@@ -1,0 +1,43 @@
+#ifndef DLINF_BENCH_BENCH_UTIL_H_
+#define DLINF_BENCH_BENCH_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dlinfma/inferrer.h"
+#include "sim/generator.h"
+
+namespace dlinf {
+namespace bench {
+
+/// A dataset bundle whose world outlives the Dataset's pointer to it.
+struct BenchData {
+  std::unique_ptr<sim::World> world;
+  dlinfma::Dataset data;
+  dlinfma::SampleSet samples;
+};
+
+/// Generates a world and runs the full candidate pipeline + default feature
+/// extraction.
+inline BenchData MakeBenchData(
+    const sim::SimConfig& config,
+    const dlinfma::CandidateGeneration::Options& options = {}) {
+  BenchData bundle;
+  bundle.world = std::make_unique<sim::World>(sim::GenerateWorld(config));
+  bundle.data = dlinfma::BuildDataset(*bundle.world, options);
+  bundle.samples =
+      dlinfma::ExtractSamples(bundle.data, dlinfma::FeatureConfig{});
+  return bundle;
+}
+
+/// Both paper-like datasets with default options.
+inline std::vector<sim::SimConfig> PaperConfigs() {
+  return {sim::SynDowBJConfig(), sim::SynSubBJConfig()};
+}
+
+}  // namespace bench
+}  // namespace dlinf
+
+#endif  // DLINF_BENCH_BENCH_UTIL_H_

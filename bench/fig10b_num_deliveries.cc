@@ -1,0 +1,68 @@
+// Figure 10(b): MAE vs number of deliveries.
+//
+// Splits SynDowBJ test addresses into three equal-frequency groups by their
+// number of deliveries and reports per-group MAE for the representative
+// methods of the paper's figure: GeoCloud, MaxTC-ILC, GeoRank, UNet-based,
+// and DLInfMA. Expected shape: annotation/heuristic methods improve with
+// more deliveries; DLInfMA stays flat-to-improving and dominates everywhere.
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "baselines/evaluation.h"
+#include "baselines/georank.h"
+#include "baselines/simple_baselines.h"
+#include "baselines/unet_baseline.h"
+#include "bench_util.h"
+#include "common/logging.h"
+#include "common/stats.h"
+#include "dlinfma/dlinfma_method.h"
+
+int main() {
+  using namespace dlinf;
+  SetMinLogLevel(LogLevel::kWarning);
+
+  bench::BenchData bundle = bench::MakeBenchData(sim::SynDowBJConfig());
+
+  // Tercile boundaries by number of deliveries over test addresses.
+  std::vector<double> deliveries;
+  for (const dlinfma::AddressSample& s : bundle.samples.test) {
+    deliveries.push_back(
+        static_cast<double>(bundle.data.gen->address_trips(s.address_id).size()));
+  }
+  const double q1 = Percentile(deliveries, 1.0 / 3.0);
+  const double q2 = Percentile(deliveries, 2.0 / 3.0);
+  auto group_of = [&](size_t i) {
+    if (deliveries[i] <= q1) return 0;
+    if (deliveries[i] <= q2) return 1;
+    return 2;
+  };
+
+  std::vector<std::unique_ptr<dlinfma::Inferrer>> methods;
+  methods.push_back(std::make_unique<baselines::GeoCloudBaseline>());
+  methods.push_back(std::make_unique<baselines::MaxTcIlcBaseline>());
+  methods.push_back(std::make_unique<baselines::GeoRankBaseline>());
+  methods.push_back(std::make_unique<baselines::UnetBaseline>());
+  methods.push_back(std::make_unique<dlinfma::DlInfMaMethod>());
+
+  std::printf("== Figure 10(b): MAE by #deliveries group (SynDowBJ) ==\n");
+  std::printf("(groups: <=%.0f / <=%.0f / >%.0f deliveries)\n", q1, q2, q2);
+  std::printf("%-14s %10s %10s %10s\n", "method", "few", "medium", "many");
+
+  const std::vector<Point> truth =
+      dlinfma::GroundTruthOf(*bundle.world, bundle.samples.test);
+  for (auto& method : methods) {
+    method->Fit(bundle.data, bundle.samples);
+    const std::vector<Point> predictions =
+        method->InferAll(bundle.data, bundle.samples.test);
+    std::vector<std::vector<double>> errors(3);
+    for (size_t i = 0; i < predictions.size(); ++i) {
+      errors[group_of(i)].push_back(Distance(predictions[i], truth[i]));
+    }
+    std::printf("%-14s %10.1f %10.1f %10.1f\n", method->name().c_str(),
+                Mean(errors[0]), Mean(errors[1]), Mean(errors[2]));
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Figure 13: inference efficiency.
+//
+// google-benchmark over the number of addresses to infer: the paper reports
+// time growing linearly with the address count, heuristics fastest, GeoRank
+// slightly slower than GeoCloud (quadratic pairwise comparisons), DLInfMA
+// faster than UNet-based, and DLInfMA sustaining ~1K addresses/s in Python
+// (far more here in C++; the shape, not the constant, is the claim).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "baselines/georank.h"
+#include "baselines/simple_baselines.h"
+#include "baselines/unet_baseline.h"
+#include "bench_util.h"
+#include "common/logging.h"
+#include "dlinfma/dlinfma_method.h"
+
+namespace {
+
+using namespace dlinf;
+
+/// Shared fixture: one dataset, every method fitted once. Inference-only
+/// timing happens in the benchmark loops.
+struct Fixture {
+  Fixture() {
+    SetMinLogLevel(LogLevel::kWarning);
+    sim::SimConfig config = sim::SynDowBJConfig();
+    bundle = bench::MakeBenchData(config);
+
+    geocloud.Fit(bundle.data, bundle.samples);
+    georank.Fit(bundle.data, bundle.samples);
+    dlinfma::TrainConfig quick_train;
+    quick_train.max_epochs = 30;  // Inference speed is what's measured.
+    dlinfma_method =
+        std::make_unique<dlinfma::DlInfMaMethod>("DLInfMA",
+                                                 dlinfma::LocMatcherConfig{},
+                                                 quick_train);
+    dlinfma_method->Fit(bundle.data, bundle.samples);
+    baselines::UnetBaseline::Options unet_options;
+    unet_options.max_epochs = 5;
+    unet = std::make_unique<baselines::UnetBaseline>(unet_options);
+    unet->Fit(bundle.data, bundle.samples);
+  }
+
+  /// First `count` test samples, cycling if count exceeds the test set.
+  std::vector<dlinfma::AddressSample> SampleSlice(int64_t count) const {
+    std::vector<dlinfma::AddressSample> slice;
+    slice.reserve(count);
+    for (int64_t i = 0; i < count; ++i) {
+      slice.push_back(bundle.samples.test[i % bundle.samples.test.size()]);
+    }
+    return slice;
+  }
+
+  bench::BenchData bundle;
+  baselines::GeoCloudBaseline geocloud;
+  baselines::MaxTcIlcBaseline max_tc_ilc;
+  baselines::GeoRankBaseline georank;
+  std::unique_ptr<baselines::UnetBaseline> unet;
+  std::unique_ptr<dlinfma::DlInfMaMethod> dlinfma_method;
+};
+
+Fixture& GetFixture() {
+  static Fixture* fixture = new Fixture();
+  return *fixture;
+}
+
+template <typename MethodGetter>
+void RunInference(benchmark::State& state, MethodGetter getter) {
+  Fixture& fixture = GetFixture();
+  const std::vector<dlinfma::AddressSample> slice =
+      fixture.SampleSlice(state.range(0));
+  for (auto _ : state) {
+    auto out = getter(fixture)->InferAll(fixture.bundle.data, slice);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_GeoCloud(benchmark::State& state) {
+  RunInference(state, [](Fixture& f) { return &f.geocloud; });
+}
+void BM_MaxTcIlc(benchmark::State& state) {
+  RunInference(state, [](Fixture& f) { return &f.max_tc_ilc; });
+}
+void BM_GeoRank(benchmark::State& state) {
+  RunInference(state, [](Fixture& f) { return &f.georank; });
+}
+void BM_UnetBased(benchmark::State& state) {
+  RunInference(state, [](Fixture& f) { return f.unet.get(); });
+}
+void BM_DLInfMA(benchmark::State& state) {
+  RunInference(state, [](Fixture& f) { return f.dlinfma_method.get(); });
+}
+
+BENCHMARK(BM_GeoCloud)->Arg(100)->Arg(200)->Arg(400)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MaxTcIlc)->Arg(100)->Arg(200)->Arg(400)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GeoRank)->Arg(100)->Arg(200)->Arg(400)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_UnetBased)->Arg(100)->Arg(200)->Arg(400)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DLInfMA)->Arg(100)->Arg(200)->Arg(400)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,138 @@
+// Figure 9: data analysis of the evaluation datasets, printed as text
+// series.
+//   (a) number of distinct delivery locations per building,
+//   (b) CDF of the number of deliveries per address,
+//   (c) distribution of stay points per trip,
+//   (d) distribution of location candidates per address.
+
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "bench_util.h"
+#include "common/logging.h"
+#include "common/stats.h"
+
+namespace {
+
+using namespace dlinf;
+
+void Fig9a(const std::vector<bench::BenchData>& bundles) {
+  std::printf("\n-- Fig 9(a): #delivery locations per building (fraction) --\n");
+  std::printf("%-12s %10s %10s\n", "#locations", "SynDowBJ", "SynSubBJ");
+  std::vector<std::map<int, double>> dist(2);
+  for (int d = 0; d < 2; ++d) {
+    const sim::World& world = *bundles[d].world;
+    std::map<int64_t, std::set<std::pair<double, double>>> per_building;
+    for (const sim::Address& addr : world.addresses) {
+      per_building[addr.building_id].insert(
+          {addr.true_delivery_location.x, addr.true_delivery_location.y});
+    }
+    for (const auto& [building, locations] : per_building) {
+      dist[d][static_cast<int>(locations.size())] += 1.0;
+    }
+    for (auto& [k, v] : dist[d]) v /= per_building.size();
+  }
+  for (int k = 1; k <= 5; ++k) {
+    std::printf("%-12d %10.3f %10.3f\n", k, dist[0][k], dist[1][k]);
+  }
+  for (int d = 0; d < 2; ++d) {
+    double multi = 0;
+    for (auto& [k, v] : dist[d]) {
+      if (k > 1) multi += v;
+    }
+    std::printf("buildings with >1 location (%s): %.1f%%\n",
+                bundles[d].world->name.c_str(), 100.0 * multi);
+  }
+}
+
+void Fig9b(const std::vector<bench::BenchData>& bundles) {
+  std::printf("\n-- Fig 9(b): CDF of #deliveries per address --\n");
+  std::printf("%-14s %10s %10s\n", "#deliveries<=", "SynDowBJ", "SynSubBJ");
+  std::vector<Histogram> cdfs;
+  for (const bench::BenchData& b : bundles) {
+    Histogram h(0.5, 1.0, 40);  // Buckets at 1, 2, 3, ...
+    for (int64_t id : b.world->DeliveredAddressIds()) {
+      h.Add(static_cast<double>(b.data.gen->address_trips(id).size()));
+    }
+    cdfs.push_back(h);
+  }
+  for (int k : {1, 2, 3, 5, 8, 12, 16, 20, 30, 40}) {
+    std::printf("%-14d %10.3f %10.3f\n", k,
+                cdfs[0].CumulativeFraction(k - 1),
+                cdfs[1].CumulativeFraction(k - 1));
+  }
+}
+
+void Fig9c(const std::vector<bench::BenchData>& bundles) {
+  std::printf("\n-- Fig 9(c): stay points per trip --\n");
+  std::printf("%-14s %10s %10s\n", "bucket", "SynDowBJ", "SynSubBJ");
+  std::vector<Histogram> hists;
+  std::vector<double> means;
+  for (const bench::BenchData& b : bundles) {
+    Histogram h(0.0, 5.0, 12);
+    std::map<int64_t, int> per_trip;
+    for (const StayPoint& sp : b.data.gen->stay_points()) {
+      per_trip[sp.trip_id]++;
+    }
+    std::vector<double> counts;
+    for (const auto& [trip, count] : per_trip) {
+      h.Add(count);
+      counts.push_back(count);
+    }
+    hists.push_back(h);
+    means.push_back(Mean(counts));
+  }
+  for (int bucket = 0; bucket < 12; ++bucket) {
+    std::printf("[%2.0f,%2.0f)        %10.3f %10.3f\n",
+                hists[0].BucketLow(bucket), hists[0].BucketLow(bucket) + 5,
+                hists[0].Fraction(bucket), hists[1].Fraction(bucket));
+  }
+  std::printf("mean stay points/trip: %.1f (SynDowBJ) %.1f (SynSubBJ)\n",
+              means[0], means[1]);
+}
+
+void Fig9d(const std::vector<bench::BenchData>& bundles) {
+  std::printf("\n-- Fig 9(d): location candidates per address --\n");
+  std::printf("%-14s %10s %10s\n", "bucket", "SynDowBJ", "SynSubBJ");
+  std::vector<Histogram> hists;
+  std::vector<double> means;
+  for (const bench::BenchData& b : bundles) {
+    Histogram h(0.0, 5.0, 12);
+    std::vector<double> counts;
+    auto add = [&](const std::vector<dlinfma::AddressSample>& samples) {
+      for (const auto& s : samples) {
+        h.Add(static_cast<double>(s.candidate_ids.size()));
+        counts.push_back(static_cast<double>(s.candidate_ids.size()));
+      }
+    };
+    add(b.samples.train);
+    add(b.samples.val);
+    add(b.samples.test);
+    hists.push_back(h);
+    means.push_back(Mean(counts));
+  }
+  for (int bucket = 0; bucket < 12; ++bucket) {
+    std::printf("[%2.0f,%2.0f)        %10.3f %10.3f\n",
+                hists[0].BucketLow(bucket), hists[0].BucketLow(bucket) + 5,
+                hists[0].Fraction(bucket), hists[1].Fraction(bucket));
+  }
+  std::printf("mean candidates/address: %.1f (SynDowBJ) %.1f (SynSubBJ)\n",
+              means[0], means[1]);
+}
+
+}  // namespace
+
+int main() {
+  SetMinLogLevel(LogLevel::kWarning);
+  std::printf("== Figure 9: dataset distributions ==\n");
+  std::vector<bench::BenchData> bundles;
+  for (const sim::SimConfig& config : bench::PaperConfigs()) {
+    bundles.push_back(bench::MakeBenchData(config));
+  }
+  Fig9a(bundles);
+  Fig9b(bundles);
+  Fig9c(bundles);
+  Fig9d(bundles);
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Table I: statistics of the (synthetic) evaluation datasets.
+//
+// The paper's Table I reports, per dataset, the scale of trips, waybills,
+// addresses and the train/eval/test spatial split. This binary regenerates
+// the same rows for SynDowBJ / SynSubBJ.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/logging.h"
+
+int main() {
+  using namespace dlinf;
+  SetMinLogLevel(LogLevel::kWarning);
+
+  std::printf("== Table I: dataset statistics ==\n");
+  std::printf("%-28s %12s %12s\n", "statistic", "SynDowBJ", "SynSubBJ");
+
+  std::vector<bench::BenchData> bundles;
+  for (const sim::SimConfig& config : bench::PaperConfigs()) {
+    bundles.push_back(bench::MakeBenchData(config));
+  }
+
+  auto row = [&](const char* name, auto getter) {
+    std::printf("%-28s %12lld %12lld\n", name,
+                static_cast<long long>(getter(bundles[0])),
+                static_cast<long long>(getter(bundles[1])));
+  };
+  row("communities", [](const bench::BenchData& b) {
+    return b.world->communities.size();
+  });
+  row("buildings", [](const bench::BenchData& b) {
+    return b.world->buildings.size();
+  });
+  row("addresses", [](const bench::BenchData& b) {
+    return b.world->addresses.size();
+  });
+  row("delivered addresses", [](const bench::BenchData& b) {
+    return b.world->DeliveredAddressIds().size();
+  });
+  row("couriers", [](const bench::BenchData& b) {
+    return b.world->couriers.size();
+  });
+  row("delivery trips", [](const bench::BenchData& b) {
+    return b.world->trips.size();
+  });
+  row("waybills", [](const bench::BenchData& b) {
+    return b.world->TotalWaybills();
+  });
+  row("GPS points", [](const bench::BenchData& b) {
+    return b.world->TotalTrajectoryPoints();
+  });
+  row("stay points", [](const bench::BenchData& b) {
+    return b.data.gen->stay_points().size();
+  });
+  row("location candidates", [](const bench::BenchData& b) {
+    return b.data.gen->candidates().size();
+  });
+  row("train addresses", [](const bench::BenchData& b) {
+    return b.samples.train.size();
+  });
+  row("eval addresses", [](const bench::BenchData& b) {
+    return b.samples.val.size();
+  });
+  row("test addresses", [](const bench::BenchData& b) {
+    return b.samples.test.size();
+  });
+  return 0;
+}

@@ -1,0 +1,197 @@
+// Table II: overall effectiveness on both datasets.
+//
+// Reproduces every row of the paper's Table II: the eight baselines, the
+// classification / pairwise-ranking variants, the encoder and clustering
+// variants (DLInfMA-PN, DLInfMA-Grid), the feature ablations
+// (nTC / nD / nP / nLC / nA / LC_addr), and DLInfMA itself — each evaluated
+// with MAE, P95 and beta50 on the spatially held-out test split.
+//
+// Pass --quick to cut training budgets (for smoke runs).
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "baselines/evaluation.h"
+#include "baselines/georank.h"
+#include "baselines/simple_baselines.h"
+#include "baselines/unet_baseline.h"
+#include "baselines/variants.h"
+#include "bench_util.h"
+#include "common/logging.h"
+#include "dlinfma/dlinfma_method.h"
+
+namespace {
+
+using namespace dlinf;
+
+bool g_quick = false;
+
+dlinfma::TrainConfig LocMatcherTrainConfig() {
+  dlinfma::TrainConfig config;
+  if (g_quick) {
+    config.max_epochs = 20;
+    config.early_stop_patience = 5;
+  }
+  return config;
+}
+
+/// Runs a LocMatcher-based method on a specific sample set (used for the
+/// feature ablations, which re-extract features).
+baselines::MethodResult RunLocMatcher(const std::string& name,
+                                      const dlinfma::Dataset& data,
+                                      const dlinfma::SampleSet& samples,
+                                      dlinfma::LocMatcherConfig model_config =
+                                          dlinfma::LocMatcherConfig()) {
+  dlinfma::DlInfMaMethod method(name, model_config, LocMatcherTrainConfig());
+  return baselines::RunMethod(&method, data, samples);
+}
+
+void RunDataset(const sim::SimConfig& config) {
+  bench::BenchData base = bench::MakeBenchData(config);
+  std::vector<baselines::MethodResult> results;
+
+  // --- Baselines (Table II upper block). --------------------------------
+  {
+    baselines::GeocodingBaseline m;
+    results.push_back(baselines::RunMethod(&m, base.data, base.samples));
+  }
+  {
+    baselines::AnnotationBaseline m;
+    results.push_back(baselines::RunMethod(&m, base.data, base.samples));
+  }
+  {
+    baselines::GeoCloudBaseline m;
+    results.push_back(baselines::RunMethod(&m, base.data, base.samples));
+  }
+  {
+    baselines::GeoRankBaseline m;
+    results.push_back(baselines::RunMethod(&m, base.data, base.samples));
+  }
+  {
+    baselines::UnetBaseline::Options options;
+    if (g_quick) options.max_epochs = 5;
+    baselines::UnetBaseline m(options);
+    results.push_back(baselines::RunMethod(&m, base.data, base.samples));
+  }
+  {
+    baselines::MinDistBaseline m;
+    results.push_back(baselines::RunMethod(&m, base.data, base.samples));
+  }
+  {
+    baselines::MaxTcBaseline m;
+    results.push_back(baselines::RunMethod(&m, base.data, base.samples));
+  }
+  {
+    baselines::MaxTcIlcBaseline m;
+    results.push_back(baselines::RunMethod(&m, base.data, base.samples));
+  }
+
+  // --- Classification / ranking variants. --------------------------------
+  {
+    baselines::ClassificationVariant::Options options;
+    if (g_quick) {
+      options.gbdt_stages = 30;
+      options.rf_trees = 50;
+      options.mlp_epochs = 10;
+    }
+    baselines::ClassificationVariant gbdt(
+        baselines::ClassificationVariant::Model::kGbdt, "DLInfMA-GBDT",
+        options);
+    results.push_back(baselines::RunMethod(&gbdt, base.data, base.samples));
+    baselines::ClassificationVariant rf(
+        baselines::ClassificationVariant::Model::kRandomForest, "DLInfMA-RF",
+        options);
+    results.push_back(baselines::RunMethod(&rf, base.data, base.samples));
+    baselines::ClassificationVariant mlp(
+        baselines::ClassificationVariant::Model::kMlp, "DLInfMA-MLP",
+        options);
+    results.push_back(baselines::RunMethod(&mlp, base.data, base.samples));
+  }
+  {
+    baselines::RankDtVariant m;
+    results.push_back(baselines::RunMethod(&m, base.data, base.samples));
+  }
+  {
+    baselines::RankNetVariant::Options options;
+    if (g_quick) options.epochs = 10;
+    baselines::RankNetVariant m(options);
+    results.push_back(baselines::RunMethod(&m, base.data, base.samples));
+  }
+
+  // --- Encoder variant: DLInfMA-PN (LSTM instead of transformer). ---------
+  {
+    dlinfma::LocMatcherConfig pn;
+    pn.encoder = dlinfma::LocMatcherConfig::EncoderKind::kLstm;
+    results.push_back(RunLocMatcher("DLInfMA-PN", base.data, base.samples, pn));
+  }
+
+  // --- Clustering variant: DLInfMA-Grid (grid-merge candidate pool). ------
+  {
+    dlinfma::CandidateGeneration::Options grid_options;
+    grid_options.use_grid_merge = true;
+    bench::BenchData grid = bench::MakeBenchData(config, grid_options);
+    baselines::MethodResult r =
+        RunLocMatcher("DLInfMA-Grid", grid.data, grid.samples);
+    results.push_back(r);
+    std::printf("(grid pool: %zu candidates vs hierarchical: %zu)\n",
+                grid.data.gen->candidates().size(),
+                base.data.gen->candidates().size());
+  }
+
+  // --- Feature ablations. --------------------------------------------------
+  auto run_ablation = [&](const std::string& name,
+                          dlinfma::FeatureConfig feature_config) {
+    const dlinfma::SampleSet samples =
+        dlinfma::ExtractSamples(base.data, feature_config);
+    results.push_back(RunLocMatcher(name, base.data, samples));
+  };
+  {
+    dlinfma::FeatureConfig fc;
+    fc.use_trip_coverage = false;
+    run_ablation("DLInfMA-nTC", fc);
+  }
+  {
+    dlinfma::FeatureConfig fc;
+    fc.use_distance = false;
+    run_ablation("DLInfMA-nD", fc);
+  }
+  {
+    dlinfma::FeatureConfig fc;
+    fc.use_profile = false;
+    run_ablation("DLInfMA-nP", fc);
+  }
+  {
+    dlinfma::FeatureConfig fc;
+    fc.use_location_commonality = false;
+    run_ablation("DLInfMA-nLC", fc);
+  }
+  {
+    dlinfma::FeatureConfig fc;
+    fc.lc_address_based = true;
+    run_ablation("DLInfMA-LCaddr", fc);
+  }
+  {
+    dlinfma::LocMatcherConfig na;
+    na.use_address_context = false;
+    results.push_back(RunLocMatcher("DLInfMA-nA", base.data, base.samples, na));
+  }
+
+  // --- DLInfMA itself. ------------------------------------------------------
+  results.push_back(RunLocMatcher("DLInfMA", base.data, base.samples));
+
+  baselines::PrintResultsTable("Table II (" + base.world->name + ")", results);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SetMinLogLevel(LogLevel::kWarning);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) g_quick = true;
+  }
+  for (const sim::SimConfig& config : bench::PaperConfigs()) {
+    RunDataset(config);
+  }
+  return 0;
+}

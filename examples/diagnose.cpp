@@ -1,0 +1,138 @@
+// Internal diagnostic: dissects pipeline quality on a small world.
+// Not part of the paper's deliverables; useful when tuning the simulator.
+
+#include <cstdio>
+#include <map>
+#include <cstdlib>
+#include <string>
+
+#include "common/stats.h"
+#include "dlinfma/dlinfma_method.h"
+#include "dlinfma/inferrer.h"
+#include "dlinfma/trainer.h"
+#include "sim/generator.h"
+
+int main(int argc, char** argv) {
+  using namespace dlinf;
+  sim::SimConfig config = sim::SynDowBJConfig();
+  if (argc > 1 && std::string(argv[1]) == "sub") config = sim::SynSubBJConfig();
+  if (const char* fine = std::getenv("GEOCODE_FINE")) {
+    config.p_geocode_fine = std::atof(fine);
+    config.p_geocode_coarse = 0.9 - config.p_geocode_fine;
+  }
+  if (const char* locker = std::getenv("P_LOCKER")) {
+    config.p_locker = std::atof(locker);
+  }
+  sim::World world = sim::GenerateWorld(config);
+
+  dlinfma::Dataset data =
+      dlinfma::BuildDataset(world, dlinfma::CandidateGeneration::Options{});
+  dlinfma::SampleSet samples =
+      dlinfma::ExtractSamples(data, dlinfma::FeatureConfig{});
+
+  // Oracle: distance from ground truth to the *nearest* candidate (the label).
+  std::vector<double> oracle_err;
+  std::vector<double> num_cands;
+  std::map<sim::DeliveryMode, std::vector<double>> oracle_by_mode;
+  for (const auto& s : samples.test) {
+    const sim::Address& addr = world.address(s.address_id);
+    const Point label_loc =
+        data.gen->candidate(s.candidate_ids[s.label]).location;
+    const double err = Distance(label_loc, addr.true_delivery_location);
+    oracle_err.push_back(err);
+    oracle_by_mode[addr.mode].push_back(err);
+    num_cands.push_back(static_cast<double>(s.candidate_ids.size()));
+  }
+  std::printf("candidates/address: mean=%.1f p95=%.0f\n", Mean(num_cands),
+              Percentile(num_cands, 0.95));
+  std::printf("oracle err: mean=%.1fm p50=%.1f p95=%.1fm\n", Mean(oracle_err),
+              Median(oracle_err), Percentile(oracle_err, 0.95));
+  for (auto& [mode, v] : oracle_by_mode) {
+    std::printf("  mode %d: n=%zu mean=%.1f p95=%.1f\n", static_cast<int>(mode),
+                v.size(), Mean(v), Percentile(v, 0.95));
+  }
+
+  // Label candidate's features vs others.
+  double label_tc = 0, other_tc = 0, label_lc = 0, other_lc = 0;
+  int label_n = 0, other_n = 0;
+  for (const auto& s : samples.test) {
+    for (size_t i = 0; i < s.features.size(); ++i) {
+      if (static_cast<int>(i) == s.label) {
+        label_tc += s.features[i].trip_coverage;
+        label_lc += s.features[i].location_commonality;
+        ++label_n;
+      } else {
+        other_tc += s.features[i].trip_coverage;
+        other_lc += s.features[i].location_commonality;
+        ++other_n;
+      }
+    }
+  }
+  std::printf("label: TC=%.3f LC=%.3f | others: TC=%.3f LC=%.3f\n",
+              label_tc / label_n, label_lc / label_n, other_tc / other_n,
+              other_lc / other_n);
+
+  // Train DLInfMA and measure pick accuracy + error by mode.
+  dlinfma::TrainConfig tc;
+  tc.max_epochs = 150;
+  tc.verbose = true;
+  if (argc > 2) tc.learning_rate = std::stof(argv[2]);
+  if (argc > 3) tc.lr_halve_epochs = std::stoi(argv[3]);
+  if (argc > 4) tc.early_stop_patience = std::stoi(argv[4]);
+  dlinfma::LocMatcherConfig mc;
+  if (const char* z = std::getenv("MODEL_DIM")) mc.model_dim = std::atoi(z);
+  if (const char* l = std::getenv("LAYERS")) mc.num_layers = std::atoi(l);
+  dlinfma::DlInfMaMethod method("DLInfMA", mc, tc);
+  method.Fit(data, samples);
+  std::printf("trained %d epochs val_loss=%.3f\n",
+              method.train_result().epochs_run,
+              method.train_result().best_val_loss);
+
+  const std::vector<int> picks = method.model()->PredictIndices(samples.test);
+  int correct = 0;
+  std::map<sim::DeliveryMode, std::vector<double>> err_by_mode;
+  std::vector<double> errs;
+  for (size_t i = 0; i < samples.test.size(); ++i) {
+    const auto& s = samples.test[i];
+    if (picks[i] == s.label) ++correct;
+    const sim::Address& addr = world.address(s.address_id);
+    const double err =
+        Distance(data.gen->candidate(s.candidate_ids[picks[i]]).location,
+                 addr.true_delivery_location);
+    errs.push_back(err);
+    err_by_mode[addr.mode].push_back(err);
+  }
+  std::printf("pick accuracy: %.1f%% (%d/%zu)\n",
+              100.0 * correct / samples.test.size(), correct,
+              samples.test.size());
+
+  // Feature comparison on wrong picks: what fooled the model?
+  double p_tc = 0, p_lc = 0, p_d = 0, p_dur = 0, p_cour = 0;
+  double t_tc = 0, t_lc = 0, t_d = 0, t_dur = 0, t_cour = 0;
+  int wrong = 0;
+  for (size_t i = 0; i < samples.test.size(); ++i) {
+    const auto& s = samples.test[i];
+    if (picks[i] == s.label) continue;
+    ++wrong;
+    const auto& pf = s.features[picks[i]];
+    const auto& tf = s.features[s.label];
+    p_tc += pf.trip_coverage; t_tc += tf.trip_coverage;
+    p_lc += pf.location_commonality; t_lc += tf.location_commonality;
+    p_d += pf.distance; t_d += tf.distance;
+    p_dur += pf.avg_duration; t_dur += tf.avg_duration;
+    p_cour += pf.num_couriers; t_cour += tf.num_couriers;
+  }
+  if (wrong > 0) {
+    std::printf("wrong picks (%d): picked TC=%.2f LC=%.3f d=%.2f dur=%.2f cour=%.1f\n",
+                wrong, p_tc / wrong, p_lc / wrong, p_d / wrong, p_dur / wrong, p_cour / wrong);
+    std::printf("            labels: TC=%.2f LC=%.3f d=%.2f dur=%.2f cour=%.1f\n",
+                t_tc / wrong, t_lc / wrong, t_d / wrong, t_dur / wrong, t_cour / wrong);
+  }
+  std::printf("model err: mean=%.1f p50=%.1f p95=%.1f\n", Mean(errs),
+              Median(errs), Percentile(errs, 0.95));
+  for (auto& [mode, v] : err_by_mode) {
+    std::printf("  mode %d: n=%zu mean=%.1f p95=%.1f\n", static_cast<int>(mode),
+                v.size(), Mean(v), Percentile(v, 0.95));
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+#include "apps/arrival_time.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dlinf {
+namespace apps {
+
+std::vector<double> EstimateArrivalTimes(const Point& start,
+                                         const std::vector<Point>& stops,
+                                         const std::vector<int>& order,
+                                         double start_time,
+                                         const EtaOptions& options) {
+  CHECK_EQ(order.size(), stops.size());
+  CHECK_GT(options.speed_mps, 0.0);
+  std::vector<double> arrivals;
+  arrivals.reserve(order.size());
+  double t = start_time;
+  Point cur = start;
+  for (int index : order) {
+    t += Distance(cur, stops[index]) / options.speed_mps;
+    arrivals.push_back(t);
+    t += options.service_time_s;
+    cur = stops[index];
+  }
+  return arrivals;
+}
+
+EtaOptions CalibrateEta(const std::vector<double>& leg_distances,
+                        const std::vector<double>& leg_elapsed) {
+  EtaOptions options;
+  CHECK_EQ(leg_distances.size(), leg_elapsed.size());
+  const size_t n = leg_distances.size();
+  if (n < 2) return options;
+  // Least squares for elapsed = d / v + s, i.e. elapsed = a*d + s with
+  // a = 1/v: standard simple linear regression.
+  double sum_d = 0, sum_t = 0, sum_dd = 0, sum_dt = 0;
+  for (size_t i = 0; i < n; ++i) {
+    sum_d += leg_distances[i];
+    sum_t += leg_elapsed[i];
+    sum_dd += leg_distances[i] * leg_distances[i];
+    sum_dt += leg_distances[i] * leg_elapsed[i];
+  }
+  const double denom = n * sum_dd - sum_d * sum_d;
+  if (std::fabs(denom) < 1e-9) return options;
+  const double a = (n * sum_dt - sum_d * sum_t) / denom;
+  const double s = (sum_t - a * sum_d) / n;
+  if (a <= 1e-6) return options;  // Degenerate: keep defaults.
+  options.speed_mps = 1.0 / a;
+  options.service_time_s = std::max(0.0, s);
+  return options;
+}
+
+}  // namespace apps
+}  // namespace dlinf

@@ -1,0 +1,43 @@
+#ifndef DLINF_APPS_ARRIVAL_TIME_H_
+#define DLINF_APPS_ARRIVAL_TIME_H_
+
+#include <vector>
+
+#include "geo/point.h"
+
+namespace dlinf {
+namespace apps {
+
+/// Arrival-time estimation — the third downstream application the paper's
+/// introduction motivates ([3]): given a courier's planned route over
+/// believed delivery locations, predict when each stop is reached.
+///
+/// The estimator walks the route accumulating travel time (distance over an
+/// average speed) plus a per-stop service time. Its accuracy is bounded by
+/// the accuracy of the believed locations, which is how better
+/// delivery-location inference translates into better ETAs.
+struct EtaOptions {
+  double speed_mps = 4.0;        ///< Average courier movement speed.
+  double service_time_s = 100.0; ///< Mean handling time per stop.
+};
+
+/// Estimated arrival time (seconds from `start_time`) at every stop of the
+/// route `order` over `stops`, starting from `start`.
+std::vector<double> EstimateArrivalTimes(const Point& start,
+                                         const std::vector<Point>& stops,
+                                         const std::vector<int>& order,
+                                         double start_time,
+                                         const EtaOptions& options = {});
+
+/// Calibrates EtaOptions from historical trips: fits the average speed and
+/// service time that minimize squared error of the leg model on observed
+/// (distance, elapsed) pairs. `leg_distances` / `leg_elapsed` are matched
+/// samples of consecutive-stop distance and actual elapsed time (travel +
+/// service). Falls back to the defaults for degenerate inputs.
+EtaOptions CalibrateEta(const std::vector<double>& leg_distances,
+                        const std::vector<double>& leg_elapsed);
+
+}  // namespace apps
+}  // namespace dlinf
+
+#endif  // DLINF_APPS_ARRIVAL_TIME_H_

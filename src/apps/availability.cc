@@ -1,0 +1,97 @@
+#include "apps/availability.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace dlinf {
+namespace apps {
+
+double AvailabilityProfile::ProbabilityAt(int day_of_week, int hour) const {
+  CHECK(day_of_week >= 0 && day_of_week < 7);
+  CHECK(hour >= 0 && hour < 24);
+  return histogram[day_of_week][hour];
+}
+
+std::vector<std::pair<int, int>> AvailabilityProfile::WindowsAbove(
+    double threshold, int day_of_week) const {
+  CHECK(day_of_week >= 0 && day_of_week < 7);
+  std::vector<std::pair<int, int>> windows;
+  int start = -1;
+  for (int hour = 0; hour <= 24; ++hour) {
+    const bool above =
+        hour < 24 && histogram[day_of_week][hour] >= threshold;
+    if (above && start < 0) start = hour;
+    if (!above && start >= 0) {
+      windows.emplace_back(start, hour);
+      start = -1;
+    }
+  }
+  return windows;
+}
+
+std::vector<double> EstimateActualDeliveryTimes(
+    const dlinfma::CandidateGeneration& gen, int64_t address_id,
+    const Point& delivery_location) {
+  // Nearest candidate to the inferred location.
+  int64_t target = -1;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (const dlinfma::LocationCandidate& c : gen.candidates()) {
+    const double d = Distance(c.location, delivery_location);
+    if (d < best_d) {
+      best_d = d;
+      target = c.id;
+    }
+  }
+  std::vector<double> times;
+  for (const dlinfma::AddressTripRecord& record :
+       gen.address_trips(address_id)) {
+    double latest = -1.0;
+    for (const dlinfma::TripCandidateVisit& visit :
+         gen.trip_visits()[record.trip_id]) {
+      if (visit.candidate_id == target &&
+          visit.time <= record.recorded_delivery_time) {
+        latest = std::max(latest, visit.time);
+      }
+    }
+    // Fall back to the recorded time when the location was never visited
+    // before the confirmation (e.g., a wrong inferred location).
+    times.push_back(latest >= 0 ? latest : record.recorded_delivery_time);
+  }
+  return times;
+}
+
+AvailabilityProfile BuildAvailabilityProfile(
+    const std::vector<double>& times) {
+  AvailabilityProfile profile;
+  for (double t : times) {
+    const int day = static_cast<int>(std::floor(t / 86400.0));
+    const int dow = ((day % 7) + 7) % 7;
+    const int hour =
+        std::clamp(static_cast<int>(std::fmod(t, 86400.0) / 3600.0), 0, 23);
+    profile.histogram[dow][hour] += 1.0;
+    ++profile.num_observations;
+  }
+  if (profile.num_observations > 0) {
+    for (auto& day : profile.histogram) {
+      for (double& h : day) h /= profile.num_observations;
+    }
+  }
+  return profile;
+}
+
+double ProfileDistance(const AvailabilityProfile& a,
+                       const AvailabilityProfile& b) {
+  double total = 0.0;
+  for (int d = 0; d < 7; ++d) {
+    for (int h = 0; h < 24; ++h) {
+      total += std::fabs(a.histogram[d][h] - b.histogram[d][h]);
+    }
+  }
+  return total;
+}
+
+}  // namespace apps
+}  // namespace dlinf

@@ -1,0 +1,51 @@
+#ifndef DLINF_APPS_AVAILABILITY_H_
+#define DLINF_APPS_AVAILABILITY_H_
+
+#include <array>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "dlinfma/candidate_generation.h"
+#include "geo/point.h"
+
+namespace dlinf {
+namespace apps {
+
+/// Customer availability inference (Section VI-C): a day-of-week x
+/// hour-of-day distribution of when an address actually receives parcels.
+struct AvailabilityProfile {
+  /// histogram[dow][hour]: fraction of observed deliveries (sums to 1).
+  std::array<std::array<double, 24>, 7> histogram{};
+  int num_observations = 0;
+
+  double ProbabilityAt(int day_of_week, int hour) const;
+
+  /// Contiguous [start_hour, end_hour) windows on `day_of_week` where the
+  /// delivery probability is at least `threshold` (Figure 15(b) style).
+  std::vector<std::pair<int, int>> WindowsAbove(double threshold,
+                                                int day_of_week) const;
+};
+
+/// Estimates the *actual* delivery times of an address from stay points near
+/// its (inferred) delivery location: in each of the address's trips, the
+/// last visit to the candidate nearest `delivery_location` at or before the
+/// recorded confirmation time. This is the paper's correction of the
+/// delayed, manually recorded times.
+std::vector<double> EstimateActualDeliveryTimes(
+    const dlinfma::CandidateGeneration& gen, int64_t address_id,
+    const Point& delivery_location);
+
+/// Builds a profile from delivery timestamps (seconds since the dataset
+/// epoch; day 0 is taken as a Monday).
+AvailabilityProfile BuildAvailabilityProfile(const std::vector<double>& times);
+
+/// L1 distance between two profiles' distributions (diagnostic: how much the
+/// delayed recorded times distort availability).
+double ProfileDistance(const AvailabilityProfile& a,
+                       const AvailabilityProfile& b);
+
+}  // namespace apps
+}  // namespace dlinf
+
+#endif  // DLINF_APPS_AVAILABILITY_H_

@@ -1,0 +1,60 @@
+#include "apps/location_service.h"
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace dlinf {
+namespace apps {
+
+DeliveryLocationService DeliveryLocationService::Build(
+    const sim::World& world,
+    const std::unordered_map<int64_t, Point>& inferred) {
+  DeliveryLocationService service(&world);
+  service.address_kv_ = inferred;
+
+  // Building tier: the most frequently inferred location among the
+  // building's addresses, merging locations within 10 m.
+  std::unordered_map<int64_t, std::vector<Point>> by_building;
+  for (const auto& [address_id, location] : inferred) {
+    by_building[world.address(address_id).building_id].push_back(location);
+  }
+  for (const auto& [building_id, locations] : by_building) {
+    int best_count = 0;
+    Point best = locations.front();
+    for (const Point& candidate : locations) {
+      int count = 0;
+      for (const Point& other : locations) {
+        if (Distance(candidate, other) <= 10.0) ++count;
+      }
+      if (count > best_count) {
+        best_count = count;
+        best = candidate;
+      }
+    }
+    service.building_kv_[building_id] = best;
+  }
+  return service;
+}
+
+DeliveryLocationService::Answer DeliveryLocationService::Query(
+    int64_t address_id) const {
+  auto it = address_kv_.find(address_id);
+  if (it != address_kv_.end()) {
+    return Answer{it->second, Source::kAddress};
+  }
+  const sim::Address& addr = world_->address(address_id);
+  return QueryByBuilding(addr.building_id, addr.geocoded_location);
+}
+
+DeliveryLocationService::Answer DeliveryLocationService::QueryByBuilding(
+    int64_t building_id, const Point& geocode) const {
+  auto it = building_kv_.find(building_id);
+  if (it != building_kv_.end()) {
+    return Answer{it->second, Source::kBuilding};
+  }
+  return Answer{geocode, Source::kGeocode};
+}
+
+}  // namespace apps
+}  // namespace dlinf

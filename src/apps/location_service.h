@@ -1,0 +1,58 @@
+#ifndef DLINF_APPS_LOCATION_SERVICE_H_
+#define DLINF_APPS_LOCATION_SERVICE_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "geo/point.h"
+#include "sim/world.h"
+
+namespace dlinf {
+namespace apps {
+
+/// The deployed delivery-location query service (Section VI-A).
+///
+/// Inference results are stored in an address-level key-value map; a
+/// building-level map holds each building's most-used delivery location
+/// (covering addresses that never appeared in history); Geocoding is the
+/// final fallback. Queries walk that 3-tier chain, exactly as the paper's
+/// online API does.
+class DeliveryLocationService {
+ public:
+  /// Where a query answer came from (the tier that matched).
+  enum class Source { kAddress, kBuilding, kGeocode };
+
+  struct Answer {
+    Point location;
+    Source source = Source::kGeocode;
+  };
+
+  /// Builds the two KV tiers from per-address inference results.
+  /// `inferred` maps address id -> inferred delivery location; the building
+  /// tier aggregates these by building (modal location, 10 m tolerance).
+  static DeliveryLocationService Build(
+      const sim::World& world,
+      const std::unordered_map<int64_t, Point>& inferred);
+
+  /// Answers a query for a known address id.
+  Answer Query(int64_t address_id) const;
+
+  /// Answers a query for a *new* address known only by building (the
+  /// real-time case of Section VI-A where the address never appeared).
+  Answer QueryByBuilding(int64_t building_id, const Point& geocode) const;
+
+  size_t address_entries() const { return address_kv_.size(); }
+  size_t building_entries() const { return building_kv_.size(); }
+
+ private:
+  explicit DeliveryLocationService(const sim::World* world) : world_(world) {}
+
+  const sim::World* world_;
+  std::unordered_map<int64_t, Point> address_kv_;
+  std::unordered_map<int64_t, Point> building_kv_;
+};
+
+}  // namespace apps
+}  // namespace dlinf
+
+#endif  // DLINF_APPS_LOCATION_SERVICE_H_

@@ -1,0 +1,88 @@
+#include "apps/route_planner.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace dlinf {
+namespace apps {
+
+std::vector<int> NearestNeighborRoute(const Point& start,
+                                      const std::vector<Point>& stops) {
+  std::vector<int> order;
+  std::vector<bool> used(stops.size(), false);
+  Point cur = start;
+  for (size_t step = 0; step < stops.size(); ++step) {
+    int best = -1;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < stops.size(); ++i) {
+      if (used[i]) continue;
+      const double d = Distance(cur, stops[i]);
+      if (d < best_d) {
+        best_d = d;
+        best = static_cast<int>(i);
+      }
+    }
+    used[best] = true;
+    order.push_back(best);
+    cur = stops[best];
+  }
+  return order;
+}
+
+double RouteLength(const Point& start, const std::vector<Point>& stops,
+                   const std::vector<int>& order) {
+  CHECK_EQ(order.size(), stops.size());
+  double length = 0.0;
+  Point cur = start;
+  for (int index : order) {
+    length += Distance(cur, stops[index]);
+    cur = stops[index];
+  }
+  return length;
+}
+
+std::vector<int> TwoOptImprove(const Point& start,
+                               const std::vector<Point>& stops,
+                               std::vector<int> order, int max_rounds) {
+  if (order.size() < 3) return order;
+  auto at = [&](int pos) -> const Point& {
+    return pos < 0 ? start : stops[order[pos]];
+  };
+  const int n = static_cast<int>(order.size());
+  for (int round = 0; round < max_rounds; ++round) {
+    bool improved = false;
+    for (int i = 0; i < n - 1; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        // Reversing order[i..j] replaces edges (i-1,i) and (j,j+1).
+        const double before = Distance(at(i - 1), at(i)) +
+                              (j + 1 < n ? Distance(at(j), at(j + 1)) : 0.0);
+        const double after = Distance(at(i - 1), at(j)) +
+                             (j + 1 < n ? Distance(at(i), at(j + 1)) : 0.0);
+        if (after + 1e-9 < before) {
+          std::reverse(order.begin() + i, order.begin() + j + 1);
+          improved = true;
+        }
+      }
+    }
+    if (!improved) break;
+  }
+  return order;
+}
+
+std::vector<int> PlanRoute(const Point& start,
+                           const std::vector<Point>& stops) {
+  return TwoOptImprove(start, stops, NearestNeighborRoute(start, stops));
+}
+
+double ActualRouteCost(const Point& start,
+                       const std::vector<Point>& believed_stops,
+                       const std::vector<Point>& true_stops) {
+  CHECK_EQ(believed_stops.size(), true_stops.size());
+  const std::vector<int> order = PlanRoute(start, believed_stops);
+  return RouteLength(start, true_stops, order);
+}
+
+}  // namespace apps
+}  // namespace dlinf

@@ -1,0 +1,44 @@
+#ifndef DLINF_APPS_ROUTE_PLANNER_H_
+#define DLINF_APPS_ROUTE_PLANNER_H_
+
+#include <vector>
+
+#include "geo/point.h"
+
+namespace dlinf {
+namespace apps {
+
+/// Route planning for couriers (Section VI-B): TSP [1] over the believed
+/// delivery locations, previously run on Geocoded locations and, after
+/// DLInfMA's deployment, on inferred delivery locations.
+
+/// Greedy nearest-neighbour visiting order of `stops`, starting from `start`
+/// (the order does not include the start itself).
+std::vector<int> NearestNeighborRoute(const Point& start,
+                                      const std::vector<Point>& stops);
+
+/// 2-opt improvement of a visiting order (tour is open: start -> stops in
+/// order, no return leg). Returns the improved order.
+std::vector<int> TwoOptImprove(const Point& start,
+                               const std::vector<Point>& stops,
+                               std::vector<int> order,
+                               int max_rounds = 20);
+
+/// Plans a route with nearest-neighbour + 2-opt.
+std::vector<int> PlanRoute(const Point& start, const std::vector<Point>& stops);
+
+/// Length of the open tour start -> stops[order[0]] -> ... -> last.
+double RouteLength(const Point& start, const std::vector<Point>& stops,
+                   const std::vector<int>& order);
+
+/// The deployment's quality measure: a route is planned on *believed*
+/// locations, but the courier physically walks to the *true* ones; returns
+/// the actual walking distance of the planned order over the true stops.
+double ActualRouteCost(const Point& start,
+                       const std::vector<Point>& believed_stops,
+                       const std::vector<Point>& true_stops);
+
+}  // namespace apps
+}  // namespace dlinf
+
+#endif  // DLINF_APPS_ROUTE_PLANNER_H_

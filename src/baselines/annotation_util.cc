@@ -1,0 +1,20 @@
+#include "baselines/annotation_util.h"
+
+namespace dlinf {
+namespace baselines {
+
+std::unordered_map<int64_t, std::vector<Point>> ComputeAnnotatedLocations(
+    const sim::World& world) {
+  std::unordered_map<int64_t, std::vector<Point>> annotations;
+  for (const sim::DeliveryTrip& trip : world.trips) {
+    if (trip.trajectory.empty()) continue;
+    for (const sim::Waybill& waybill : trip.waybills) {
+      annotations[waybill.address_id].push_back(
+          trip.trajectory.PositionAt(waybill.recorded_delivery_time));
+    }
+  }
+  return annotations;
+}
+
+}  // namespace baselines
+}  // namespace dlinf

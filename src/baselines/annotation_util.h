@@ -1,0 +1,28 @@
+#ifndef DLINF_BASELINES_ANNOTATION_UTIL_H_
+#define DLINF_BASELINES_ANNOTATION_UTIL_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/point.h"
+#include "sim/world.h"
+
+namespace dlinf {
+namespace baselines {
+
+/// Annotated locations of every delivered address: the courier's position at
+/// each waybill's *recorded* delivery time, read off the trip trajectory.
+///
+/// This is exactly the signal the annotation-based prior work ([5], [6],
+/// [19], [20]) consumes; when confirmations are delayed, these annotations
+/// drift away from the true delivery location — the failure mode DLInfMA is
+/// designed around. The paper notes these can "be easily generated based on
+/// the trajectory data" (Section V-B).
+std::unordered_map<int64_t, std::vector<Point>> ComputeAnnotatedLocations(
+    const sim::World& world);
+
+}  // namespace baselines
+}  // namespace dlinf
+
+#endif  // DLINF_BASELINES_ANNOTATION_UTIL_H_

@@ -1,0 +1,44 @@
+#include "baselines/evaluation.h"
+
+#include <cstdio>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+
+namespace dlinf {
+namespace baselines {
+
+MethodResult RunMethod(dlinfma::Inferrer* method, const dlinfma::Dataset& data,
+                       const dlinfma::SampleSet& samples) {
+  CHECK(method != nullptr);
+  MethodResult result;
+  result.method = method->name();
+
+  Stopwatch fit_watch;
+  method->Fit(data, samples);
+  result.fit_seconds = fit_watch.ElapsedSeconds();
+
+  Stopwatch infer_watch;
+  const std::vector<Point> predictions = method->InferAll(data, samples.test);
+  result.infer_seconds = infer_watch.ElapsedSeconds();
+
+  const std::vector<Point> truth = GroundTruthOf(*data.world, samples.test);
+  result.metrics = dlinfma::ComputeMetrics(predictions, truth);
+  return result;
+}
+
+void PrintResultsTable(const std::string& title,
+                       const std::vector<MethodResult>& results) {
+  std::printf("\n== %s ==\n", title.c_str());
+  std::printf("%-18s %10s %10s %10s %9s %9s\n", "method", "MAE(m)", "P95(m)",
+              "beta50(%)", "fit(s)", "infer(s)");
+  for (const MethodResult& r : results) {
+    std::printf("%-18s %10.1f %10.1f %10.1f %9.2f %9.3f\n", r.method.c_str(),
+                r.metrics.mae_m, r.metrics.p95_m, r.metrics.beta50_pct,
+                r.fit_seconds, r.infer_seconds);
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace baselines
+}  // namespace dlinf

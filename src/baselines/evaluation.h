@@ -1,0 +1,34 @@
+#ifndef DLINF_BASELINES_EVALUATION_H_
+#define DLINF_BASELINES_EVALUATION_H_
+
+#include <string>
+#include <vector>
+
+#include "dlinfma/inferrer.h"
+#include "dlinfma/metrics.h"
+
+namespace dlinf {
+namespace baselines {
+
+/// One method's evaluation outcome: the paper's three metrics plus timings
+/// (used by the Table II / III rows and the Section V-F discussion).
+struct MethodResult {
+  std::string method;
+  dlinfma::EvalMetrics metrics;
+  double fit_seconds = 0.0;
+  double infer_seconds = 0.0;
+};
+
+/// Fits a method on the train/val samples and evaluates on the test samples
+/// against ground truth.
+MethodResult RunMethod(dlinfma::Inferrer* method, const dlinfma::Dataset& data,
+                       const dlinfma::SampleSet& samples);
+
+/// Prints an aligned metrics table to stdout (bench output format).
+void PrintResultsTable(const std::string& title,
+                       const std::vector<MethodResult>& results);
+
+}  // namespace baselines
+}  // namespace dlinf
+
+#endif  // DLINF_BASELINES_EVALUATION_H_

@@ -1,0 +1,113 @@
+#include "baselines/georank.h"
+
+#include <cmath>
+#include <limits>
+
+#include "baselines/annotation_util.h"
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "ml/pairwise.h"
+
+namespace dlinf {
+namespace baselines {
+
+GeoRankBaseline::GeoRankBaseline() : GeoRankBaseline(Options()) {}
+
+GeoRankBaseline::GeoRankBaseline(const Options& options) : options_(options) {}
+
+ml::FeatureRow GeoRankBaseline::AnnotationFeatures(
+    const std::vector<Point>& group, int index, const Point& geocode) {
+  const Point& self = group[index];
+  double sum_dist = 0.0;
+  int near = 0;
+  for (size_t j = 0; j < group.size(); ++j) {
+    if (static_cast<int>(j) == index) continue;
+    const double d = Distance(self, group[j]);
+    sum_dist += d;
+    if (d <= 30.0) ++near;
+  }
+  const double siblings = static_cast<double>(group.size()) - 1.0;
+  return ml::FeatureRow{
+      Distance(self, geocode) / 100.0,
+      siblings > 0 ? sum_dist / siblings / 100.0 : 0.0,
+      siblings > 0 ? static_cast<double>(near) / siblings : 0.0,
+      std::log1p(static_cast<double>(group.size()))};
+}
+
+void GeoRankBaseline::Fit(const dlinfma::Dataset& data,
+                          const dlinfma::SampleSet& samples) {
+  Stopwatch watch;
+  annotations_ = ComputeAnnotatedLocations(*data.world);
+
+  // One ranking group per training address: annotated locations as rows,
+  // the annotation nearest the ground truth as the positive.
+  std::vector<ml::RankingGroup> groups;
+  for (const dlinfma::AddressSample& sample : samples.train) {
+    auto it = annotations_.find(sample.address_id);
+    if (it == annotations_.end() || it->second.size() < 2) continue;
+    const sim::Address& addr = data.world->address(sample.address_id);
+    ml::RankingGroup group;
+    int best = 0;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < it->second.size(); ++i) {
+      group.rows.push_back(AnnotationFeatures(it->second, static_cast<int>(i),
+                                              addr.geocoded_location));
+      const double d = Distance(it->second[i], addr.true_delivery_location);
+      if (d < best_d) {
+        best_d = d;
+        best = static_cast<int>(i);
+      }
+    }
+    group.positive_index = best;
+    groups.push_back(std::move(group));
+  }
+  CHECK(!groups.empty()) << "GeoRank found no trainable addresses";
+
+  Rng rng(options_.seed);
+  std::vector<ml::FeatureRow> x;
+  std::vector<double> y;
+  ml::MakePairwiseTrainingSet(groups, options_.max_pairs_per_group, &rng, &x,
+                              &y);
+
+  ml::DecisionTree::Options tree_options;
+  tree_options.task = ml::DecisionTree::Task::kClassification;
+  tree_options.max_depth = options_.max_depth;
+  tree_options.max_leaves = options_.max_leaves;
+  ranker_.Fit(x, y, /*w=*/{}, tree_options);
+  fit_seconds_ = watch.ElapsedSeconds();
+}
+
+std::vector<Point> GeoRankBaseline::InferAll(
+    const dlinfma::Dataset& data,
+    const std::vector<dlinfma::AddressSample>& samples) {
+  CHECK(ranker_.trained()) << "Fit must run before InferAll";
+  std::vector<Point> out;
+  out.reserve(samples.size());
+  for (const dlinfma::AddressSample& sample : samples) {
+    auto it = annotations_.find(sample.address_id);
+    const sim::Address& addr = data.world->address(sample.address_id);
+    if (it == annotations_.end() || it->second.empty()) {
+      out.push_back(addr.geocoded_location);
+      continue;
+    }
+    const std::vector<Point>& group = it->second;
+    if (group.size() == 1) {
+      out.push_back(group[0]);
+      continue;
+    }
+    std::vector<ml::FeatureRow> rows;
+    for (size_t i = 0; i < group.size(); ++i) {
+      rows.push_back(AnnotationFeatures(group, static_cast<int>(i),
+                                        addr.geocoded_location));
+    }
+    const int winner = ml::PairwiseVoteSelect(
+        rows, [this](const ml::FeatureRow& diff) {
+          return ranker_.Predict(diff);
+        });
+    out.push_back(group[winner]);
+  }
+  return out;
+}
+
+}  // namespace baselines
+}  // namespace dlinf

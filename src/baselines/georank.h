@@ -1,0 +1,61 @@
+#ifndef DLINF_BASELINES_GEORANK_H_
+#define DLINF_BASELINES_GEORANK_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dlinfma/inferrer.h"
+#include "ml/decision_tree.h"
+
+namespace dlinf {
+namespace baselines {
+
+/// GeoRank [6]: annotation-based supervised ranking.
+///
+/// Every annotated location of an address is a delivery-location candidate;
+/// a pairwise ranking model with a decision-tree base learner (1024 leaves
+/// max, per the paper's training details) is trained on feature differences
+/// of (positive, negative) candidate pairs; at inference the candidate that
+/// wins the most pairwise comparisons is selected.
+class GeoRankBaseline : public dlinfma::Inferrer {
+ public:
+  struct Options {
+    int max_leaves = 1024;
+    int max_depth = 16;
+    /// Caps pairs per address to bound the quadratic pair blowup.
+    int max_pairs_per_group = 30;
+    uint64_t seed = 11;
+  };
+
+  GeoRankBaseline();
+  explicit GeoRankBaseline(const Options& options);
+
+  std::string name() const override { return "GeoRank"; }
+
+  void Fit(const dlinfma::Dataset& data,
+           const dlinfma::SampleSet& samples) override;
+
+  std::vector<Point> InferAll(
+      const dlinfma::Dataset& data,
+      const std::vector<dlinfma::AddressSample>& samples) override;
+
+  double fit_seconds() const { return fit_seconds_; }
+
+ private:
+  /// Feature row of one annotated location within its address group:
+  /// [dist to geocode / 100 m, mean dist to sibling annotations / 100 m,
+  ///  fraction of sibling annotations within 30 m, log(1 + #annotations)].
+  static ml::FeatureRow AnnotationFeatures(const std::vector<Point>& group,
+                                           int index, const Point& geocode);
+
+  Options options_;
+  ml::DecisionTree ranker_;
+  std::unordered_map<int64_t, std::vector<Point>> annotations_;
+  double fit_seconds_ = 0.0;
+};
+
+}  // namespace baselines
+}  // namespace dlinf
+
+#endif  // DLINF_BASELINES_GEORANK_H_

@@ -1,0 +1,154 @@
+#include "baselines/simple_baselines.h"
+
+#include <limits>
+
+#include "baselines/annotation_util.h"
+#include "common/check.h"
+
+namespace dlinf {
+namespace baselines {
+namespace {
+
+/// Falls back to the geocoded location when an address has no annotations
+/// (mirrors the deployed system's fallback chain).
+Point AnnotationFallback(const dlinfma::Dataset& data, int64_t address_id) {
+  return data.world->address(address_id).geocoded_location;
+}
+
+}  // namespace
+
+std::vector<Point> GeocodingBaseline::InferAll(
+    const dlinfma::Dataset& data,
+    const std::vector<dlinfma::AddressSample>& samples) {
+  std::vector<Point> out;
+  out.reserve(samples.size());
+  for (const dlinfma::AddressSample& sample : samples) {
+    out.push_back(data.world->address(sample.address_id).geocoded_location);
+  }
+  return out;
+}
+
+void AnnotationBaseline::Fit(const dlinfma::Dataset& data,
+                             const dlinfma::SampleSet& samples) {
+  (void)samples;
+  annotations_ = ComputeAnnotatedLocations(*data.world);
+}
+
+std::vector<Point> AnnotationBaseline::InferAll(
+    const dlinfma::Dataset& data,
+    const std::vector<dlinfma::AddressSample>& samples) {
+  std::vector<Point> out;
+  out.reserve(samples.size());
+  for (const dlinfma::AddressSample& sample : samples) {
+    auto it = annotations_.find(sample.address_id);
+    if (it == annotations_.end() || it->second.empty()) {
+      out.push_back(AnnotationFallback(data, sample.address_id));
+    } else {
+      out.push_back(Centroid(it->second));
+    }
+  }
+  return out;
+}
+
+void GeoCloudBaseline::Fit(const dlinfma::Dataset& data,
+                           const dlinfma::SampleSet& samples) {
+  (void)samples;
+  annotations_ = ComputeAnnotatedLocations(*data.world);
+}
+
+std::vector<Point> GeoCloudBaseline::InferAll(
+    const dlinfma::Dataset& data,
+    const std::vector<dlinfma::AddressSample>& samples) {
+  std::vector<Point> out;
+  out.reserve(samples.size());
+  for (const dlinfma::AddressSample& sample : samples) {
+    auto it = annotations_.find(sample.address_id);
+    if (it == annotations_.end() || it->second.empty()) {
+      out.push_back(AnnotationFallback(data, sample.address_id));
+      continue;
+    }
+    const DbscanResult clustering = Dbscan(it->second, options_);
+    const std::vector<int> biggest = clustering.LargestCluster();
+    if (biggest.empty()) {
+      out.push_back(Centroid(it->second));
+      continue;
+    }
+    std::vector<Point> members;
+    members.reserve(biggest.size());
+    for (int index : biggest) members.push_back(it->second[index]);
+    out.push_back(Centroid(members));
+  }
+  return out;
+}
+
+std::vector<Point> MinDistBaseline::InferAll(
+    const dlinfma::Dataset& data,
+    const std::vector<dlinfma::AddressSample>& samples) {
+  std::vector<Point> out;
+  out.reserve(samples.size());
+  for (const dlinfma::AddressSample& sample : samples) {
+    const Point geocode =
+        data.world->address(sample.address_id).geocoded_location;
+    int best = 0;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < sample.candidate_ids.size(); ++i) {
+      const double d = Distance(
+          data.gen->candidate(sample.candidate_ids[i]).location, geocode);
+      if (d < best_d) {
+        best_d = d;
+        best = static_cast<int>(i);
+      }
+    }
+    out.push_back(data.gen->candidate(sample.candidate_ids[best]).location);
+  }
+  return out;
+}
+
+std::vector<Point> MaxTcBaseline::InferAll(
+    const dlinfma::Dataset& data,
+    const std::vector<dlinfma::AddressSample>& samples) {
+  std::vector<Point> out;
+  out.reserve(samples.size());
+  for (const dlinfma::AddressSample& sample : samples) {
+    int best = 0;
+    for (size_t i = 1; i < sample.features.size(); ++i) {
+      if (sample.features[i].trip_coverage >
+          sample.features[best].trip_coverage) {
+        best = static_cast<int>(i);
+      }
+    }
+    out.push_back(data.gen->candidate(sample.candidate_ids[best]).location);
+  }
+  return out;
+}
+
+std::vector<Point> MaxTcIlcBaseline::InferAll(
+    const dlinfma::Dataset& data,
+    const std::vector<dlinfma::AddressSample>& samples) {
+  std::vector<Point> out;
+  out.reserve(samples.size());
+  for (const dlinfma::AddressSample& sample : samples) {
+    int best = 0;
+    double best_score = -1.0;
+    double best_tc = -1.0;
+    for (size_t i = 0; i < sample.features.size(); ++i) {
+      const double tc = sample.features[i].trip_coverage;
+      const double lc = sample.features[i].location_commonality;
+      // Eq. 5 with additive smoothing so that LC = 0 does not let a
+      // barely-covered candidate outrank a fully covered one (the same
+      // reason IDF is smoothed in practice).
+      const double score = tc / (lc + 0.05);
+      if (score > best_score ||
+          (score == best_score && tc > best_tc)) {
+        best_score = score;
+        best_tc = tc;
+        best = static_cast<int>(i);
+      }
+    }
+    out.push_back(data.gen->candidate(sample.candidate_ids[best]).location);
+  }
+  return out;
+}
+
+}  // namespace baselines
+}  // namespace dlinf

@@ -1,0 +1,93 @@
+#ifndef DLINF_BASELINES_SIMPLE_BASELINES_H_
+#define DLINF_BASELINES_SIMPLE_BASELINES_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/dbscan.h"
+#include "dlinfma/inferrer.h"
+
+namespace dlinf {
+namespace baselines {
+
+/// Geocoding: returns the address's geocoded location as-is (the industry
+/// default the paper argues against).
+class GeocodingBaseline : public dlinfma::Inferrer {
+ public:
+  std::string name() const override { return "Geocoding"; }
+  std::vector<Point> InferAll(
+      const dlinfma::Dataset& data,
+      const std::vector<dlinfma::AddressSample>& samples) override;
+};
+
+/// Annotation [5]: the spatial centroid of the address's annotated
+/// (confirmation-time) locations.
+class AnnotationBaseline : public dlinfma::Inferrer {
+ public:
+  std::string name() const override { return "Annotation"; }
+  void Fit(const dlinfma::Dataset& data,
+           const dlinfma::SampleSet& samples) override;
+  std::vector<Point> InferAll(
+      const dlinfma::Dataset& data,
+      const std::vector<dlinfma::AddressSample>& samples) override;
+
+ private:
+  std::unordered_map<int64_t, std::vector<Point>> annotations_;
+};
+
+/// GeoCloud [19]: DBSCAN over the annotated locations (min_points = 1 per the
+/// paper's setup) and the centroid of the biggest cluster.
+class GeoCloudBaseline : public dlinfma::Inferrer {
+ public:
+  explicit GeoCloudBaseline(const DbscanOptions& options = {30.0, 1})
+      : options_(options) {}
+  std::string name() const override { return "GeoCloud"; }
+  void Fit(const dlinfma::Dataset& data,
+           const dlinfma::SampleSet& samples) override;
+  std::vector<Point> InferAll(
+      const dlinfma::Dataset& data,
+      const std::vector<dlinfma::AddressSample>& samples) override;
+
+ private:
+  DbscanOptions options_;
+  std::unordered_map<int64_t, std::vector<Point>> annotations_;
+};
+
+/// MinDist: the location candidate nearest the geocoded waybill location.
+class MinDistBaseline : public dlinfma::Inferrer {
+ public:
+  std::string name() const override { return "MinDist"; }
+  std::vector<Point> InferAll(
+      const dlinfma::Dataset& data,
+      const std::vector<dlinfma::AddressSample>& samples) override;
+};
+
+/// MaxTC: the candidate with maximal trip coverage. Ties (common: the
+/// station and community gates are passed by every trip, so TC = 1 is not
+/// unique) resolve to the lowest candidate id, which makes the heuristic
+/// fail exactly the way the paper describes ("common locations that a
+/// courier would pass by frequently in many trips").
+class MaxTcBaseline : public dlinfma::Inferrer {
+ public:
+  std::string name() const override { return "MaxTC"; }
+  std::vector<Point> InferAll(
+      const dlinfma::Dataset& data,
+      const std::vector<dlinfma::AddressSample>& samples) override;
+};
+
+/// MaxTC-ILC: the candidate maximizing TC * (1 / LC) (Eq. 5, the TF-IDF
+/// analogy). LC = 0 is treated as an arbitrarily strong inverse weight with
+/// TC as tie-break.
+class MaxTcIlcBaseline : public dlinfma::Inferrer {
+ public:
+  std::string name() const override { return "MaxTC-ILC"; }
+  std::vector<Point> InferAll(
+      const dlinfma::Dataset& data,
+      const std::vector<dlinfma::AddressSample>& samples) override;
+};
+
+}  // namespace baselines
+}  // namespace dlinf
+
+#endif  // DLINF_BASELINES_SIMPLE_BASELINES_H_

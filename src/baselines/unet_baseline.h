@@ -1,0 +1,91 @@
+#ifndef DLINF_BASELINES_UNET_BASELINE_H_
+#define DLINF_BASELINES_UNET_BASELINE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dlinfma/inferrer.h"
+#include "geo/latlng.h"
+#include "nn/module.h"
+
+namespace dlinf {
+namespace baselines {
+
+/// The small encoder-decoder segmentation network of the UNet-based
+/// baseline: two 3x3 conv blocks, a 2x2 max-pool bottleneck, nearest
+/// upsampling back to 9x9, a skip connection, and a 1x1 head producing
+/// per-cell logits.
+class SmallUnet : public nn::Module {
+ public:
+  explicit SmallUnet(Rng* rng);
+  ~SmallUnet() override;  // Defined in the .cc where Conv2dLayer is complete.
+
+  /// `x` is [B, 1, 9, 9]; returns per-cell logits [B, 81].
+  nn::Tensor Forward(const nn::Tensor& x, const nn::FwdCtx& ctx) const;
+
+ private:
+  class Conv2dLayer;
+  std::unique_ptr<Conv2dLayer> enc1_, enc2_, bottleneck_, dec1_, head_;
+};
+
+/// UNet-based [20] baseline, adapted as in the paper's comparison (customer
+/// locations removed): for each address, a 9x9 image over GeoHash-8 cells
+/// (~38 m x 19 m) centered at the cell with the most annotated locations;
+/// pixel values are normalized annotation counts; UNet [21] segments the
+/// delivery-location cell; the predicted cell's center is the inference.
+class UnetBaseline : public dlinfma::Inferrer {
+ public:
+  struct Options {
+    int geohash_precision = 8;
+    int grid_half = 4;  ///< 9x9 image.
+    float learning_rate = 1e-3f;
+    int batch_size = 16;
+    int max_epochs = 40;
+    int early_stop_patience = 5;
+    uint64_t seed = 13;
+    /// Anchor for the local-meters <-> geodetic conversion (Beijing).
+    LatLng anchor{39.9042, 116.4074};
+  };
+
+  UnetBaseline();
+  explicit UnetBaseline(const Options& options);
+
+  std::string name() const override { return "UNet-based"; }
+
+  void Fit(const dlinfma::Dataset& data,
+           const dlinfma::SampleSet& samples) override;
+
+  std::vector<Point> InferAll(
+      const dlinfma::Dataset& data,
+      const std::vector<dlinfma::AddressSample>& samples) override;
+
+  double fit_seconds() const { return fit_seconds_; }
+
+ private:
+  struct Image {
+    std::vector<float> pixels;  ///< 81 normalized counts, row-major (dy, dx).
+    std::string center_hash;
+    int label = -1;  ///< Ground-truth cell index or -1 when off-image.
+  };
+
+  /// Builds the address's spatial density image from its annotations.
+  /// Returns false when the address has no annotations.
+  bool BuildImage(int64_t address_id, bool with_label,
+                  const sim::World& world, Image* image) const;
+
+  /// Center of grid cell `index` in local meters.
+  Point CellCenter(const std::string& center_hash, int index) const;
+
+  Options options_;
+  LocalProjection projection_;
+  std::unordered_map<int64_t, std::vector<Point>> annotations_;
+  std::unique_ptr<SmallUnet> model_;
+  double fit_seconds_ = 0.0;
+};
+
+}  // namespace baselines
+}  // namespace dlinf
+
+#endif  // DLINF_BASELINES_UNET_BASELINE_H_

@@ -1,0 +1,317 @@
+#include "baselines/variants.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "ml/pairwise.h"
+#include "nn/loss.h"
+#include "nn/ops.h"
+#include "nn/optimizer.h"
+
+namespace dlinf {
+namespace baselines {
+namespace {
+
+/// Flattens every (address, candidate) pair of a split into rows/labels.
+void FlattenSplit(const std::vector<dlinfma::AddressSample>& samples,
+                  std::vector<ml::FeatureRow>* x, std::vector<double>* y) {
+  for (const dlinfma::AddressSample& sample : samples) {
+    CHECK_GE(sample.label, 0);
+    for (size_t i = 0; i < sample.candidate_ids.size(); ++i) {
+      x->push_back(dlinfma::FlattenFeatures(sample, static_cast<int>(i)));
+      y->push_back(static_cast<int>(i) == sample.label ? 1.0 : 0.0);
+    }
+  }
+}
+
+/// Pairwise ranking groups from candidate features.
+std::vector<ml::RankingGroup> MakeGroups(
+    const std::vector<dlinfma::AddressSample>& samples) {
+  std::vector<ml::RankingGroup> groups;
+  for (const dlinfma::AddressSample& sample : samples) {
+    if (sample.candidate_ids.size() < 2) continue;
+    CHECK_GE(sample.label, 0);
+    ml::RankingGroup group;
+    for (size_t i = 0; i < sample.candidate_ids.size(); ++i) {
+      group.rows.push_back(
+          dlinfma::FlattenFeatures(sample, static_cast<int>(i)));
+    }
+    group.positive_index = sample.label;
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+nn::Tensor RowsToTensor(const std::vector<ml::FeatureRow>& rows) {
+  CHECK(!rows.empty());
+  const int width = static_cast<int>(rows[0].size());
+  std::vector<float> flat;
+  flat.reserve(rows.size() * width);
+  for (const ml::FeatureRow& row : rows) {
+    for (double v : row) flat.push_back(static_cast<float>(v));
+  }
+  return nn::Tensor::FromVector({static_cast<int>(rows.size()), width},
+                                std::move(flat));
+}
+
+}  // namespace
+
+ClassificationVariant::ClassificationVariant(Model model, std::string name)
+    : ClassificationVariant(model, std::move(name), Options()) {}
+
+ClassificationVariant::ClassificationVariant(Model model, std::string name,
+                                             const Options& options)
+    : model_(model), name_(std::move(name)), options_(options) {}
+
+RankDtVariant::RankDtVariant() : RankDtVariant(Options()) {}
+
+RankDtVariant::RankDtVariant(const Options& options) : options_(options) {}
+
+RankNetVariant::RankNetVariant() : RankNetVariant(Options()) {}
+
+RankNetVariant::RankNetVariant(const Options& options) : options_(options) {}
+
+void ClassificationVariant::Fit(const dlinfma::Dataset& data,
+                                const dlinfma::SampleSet& samples) {
+  (void)data;
+  std::vector<ml::FeatureRow> x;
+  std::vector<double> y;
+  FlattenSplit(samples.train, &x, &y);
+  std::vector<double> w(y.size(), 1.0);
+  for (size_t i = 0; i < y.size(); ++i) {
+    if (y[i] > 0.5) w[i] = options_.positive_weight;
+  }
+  Rng rng(options_.seed);
+
+  switch (model_) {
+    case Model::kGbdt: {
+      ml::GradientBoosting::Options gbdt_options;
+      gbdt_options.num_stages = options_.gbdt_stages;
+      gbdt_.Fit(x, y, w, gbdt_options);
+      break;
+    }
+    case Model::kRandomForest: {
+      ml::RandomForest::Options rf_options;
+      rf_options.num_trees = options_.rf_trees;
+      rf_options.max_depth = options_.rf_depth;
+      rf_options.feature_subsample = options_.rf_feature_subsample;
+      forest_.Fit(x, y, w, rf_options, &rng);
+      break;
+    }
+    case Model::kMlp: {
+      mlp_ = std::make_unique<nn::Mlp>(
+          std::vector<int>{dlinfma::kFlatFeatureWidth, options_.mlp_hidden, 1},
+          &rng);
+      nn::Adam adam(mlp_->Parameters(), options_.mlp_learning_rate);
+
+      std::vector<ml::FeatureRow> val_x;
+      std::vector<double> val_y;
+      FlattenSplit(samples.val, &val_x, &val_y);
+      const nn::Tensor val_tensor = RowsToTensor(val_x);
+      const std::vector<float> val_targets(val_y.begin(), val_y.end());
+
+      std::vector<int> order(x.size());
+      for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+      double best_val = 1e30;
+      int stall = 0;
+      std::vector<nn::Tensor> params = mlp_->Parameters();
+      std::vector<std::vector<float>> best_params;
+      for (int epoch = 0; epoch < options_.mlp_epochs; ++epoch) {
+        rng.Shuffle(&order);
+        for (size_t begin = 0; begin < order.size();
+             begin += static_cast<size_t>(options_.mlp_batch)) {
+          const size_t end = std::min(
+              order.size(), begin + static_cast<size_t>(options_.mlp_batch));
+          std::vector<ml::FeatureRow> batch_rows;
+          std::vector<float> batch_targets;
+          for (size_t i = begin; i < end; ++i) {
+            batch_rows.push_back(x[order[i]]);
+            batch_targets.push_back(static_cast<float>(y[order[i]]));
+          }
+          adam.ZeroGrad();
+          nn::Tensor logits = nn::Reshape(
+              mlp_->Forward(RowsToTensor(batch_rows)),
+              {static_cast<int>(batch_rows.size())});
+          nn::Tensor loss = nn::BceWithLogits(
+              logits, batch_targets,
+              static_cast<float>(options_.positive_weight));
+          loss.Backward();
+          adam.Step();
+        }
+        nn::Tensor val_logits =
+            nn::Reshape(mlp_->Forward(val_tensor),
+                        {static_cast<int>(val_targets.size())});
+        const double val_loss =
+            nn::BceWithLogits(val_logits, val_targets,
+                              static_cast<float>(options_.positive_weight))
+                .item();
+        if (val_loss < best_val - 1e-5) {
+          best_val = val_loss;
+          stall = 0;
+          best_params.clear();
+          for (const nn::Tensor& p : params) best_params.push_back(p.data());
+        } else if (++stall >= options_.mlp_patience) {
+          break;
+        }
+      }
+      if (!best_params.empty()) {
+        for (size_t i = 0; i < params.size(); ++i) {
+          params[i].data() = best_params[i];
+        }
+      }
+      break;
+    }
+  }
+}
+
+double ClassificationVariant::Score(const ml::FeatureRow& row) const {
+  switch (model_) {
+    case Model::kGbdt:
+      return gbdt_.PredictProba(row);
+    case Model::kRandomForest:
+      return forest_.PredictProba(row);
+    case Model::kMlp: {
+      CHECK(mlp_ != nullptr);
+      nn::Tensor logits = mlp_->Forward(RowsToTensor({row}));
+      return 1.0 / (1.0 + std::exp(-static_cast<double>(logits.data()[0])));
+    }
+  }
+  return 0.0;
+}
+
+std::vector<Point> ClassificationVariant::InferAll(
+    const dlinfma::Dataset& data,
+    const std::vector<dlinfma::AddressSample>& samples) {
+  std::vector<Point> out;
+  out.reserve(samples.size());
+  for (const dlinfma::AddressSample& sample : samples) {
+    int best = 0;
+    double best_score = -1.0;
+    for (size_t i = 0; i < sample.candidate_ids.size(); ++i) {
+      const double score =
+          Score(dlinfma::FlattenFeatures(sample, static_cast<int>(i)));
+      if (score > best_score) {
+        best_score = score;
+        best = static_cast<int>(i);
+      }
+    }
+    out.push_back(data.gen->candidate(sample.candidate_ids[best]).location);
+  }
+  return out;
+}
+
+void RankDtVariant::Fit(const dlinfma::Dataset& data,
+                        const dlinfma::SampleSet& samples) {
+  (void)data;
+  const std::vector<ml::RankingGroup> groups = MakeGroups(samples.train);
+  CHECK(!groups.empty());
+  Rng rng(options_.seed);
+  std::vector<ml::FeatureRow> x;
+  std::vector<double> y;
+  ml::MakePairwiseTrainingSet(groups, options_.max_pairs_per_group, &rng, &x,
+                              &y);
+  ml::DecisionTree::Options tree_options;
+  tree_options.task = ml::DecisionTree::Task::kClassification;
+  tree_options.max_depth = options_.max_depth;
+  tree_options.max_leaves = options_.max_leaves;
+  ranker_.Fit(x, y, {}, tree_options);
+}
+
+std::vector<Point> RankDtVariant::InferAll(
+    const dlinfma::Dataset& data,
+    const std::vector<dlinfma::AddressSample>& samples) {
+  CHECK(ranker_.trained());
+  std::vector<Point> out;
+  out.reserve(samples.size());
+  for (const dlinfma::AddressSample& sample : samples) {
+    std::vector<ml::FeatureRow> rows;
+    for (size_t i = 0; i < sample.candidate_ids.size(); ++i) {
+      rows.push_back(dlinfma::FlattenFeatures(sample, static_cast<int>(i)));
+    }
+    const int winner = ml::PairwiseVoteSelect(
+        rows,
+        [this](const ml::FeatureRow& diff) { return ranker_.Predict(diff); });
+    out.push_back(data.gen->candidate(sample.candidate_ids[winner]).location);
+  }
+  return out;
+}
+
+void RankNetVariant::Fit(const dlinfma::Dataset& data,
+                         const dlinfma::SampleSet& samples) {
+  (void)data;
+  const std::vector<ml::RankingGroup> groups = MakeGroups(samples.train);
+  CHECK(!groups.empty());
+  Rng rng(options_.seed);
+  scorer_ = std::make_unique<nn::Mlp>(
+      std::vector<int>{dlinfma::kFlatFeatureWidth, options_.hidden, 1}, &rng);
+  nn::Adam adam(scorer_->Parameters(), options_.learning_rate);
+
+  // Pair lists: (positive row, negative row).
+  std::vector<std::pair<const ml::FeatureRow*, const ml::FeatureRow*>> pairs;
+  for (const ml::RankingGroup& group : groups) {
+    std::vector<int> negatives;
+    for (int i = 0; i < static_cast<int>(group.rows.size()); ++i) {
+      if (i != group.positive_index) negatives.push_back(i);
+    }
+    if (options_.max_pairs_per_group > 0 &&
+        static_cast<int>(negatives.size()) > options_.max_pairs_per_group) {
+      rng.Shuffle(&negatives);
+      negatives.resize(options_.max_pairs_per_group);
+    }
+    for (int neg : negatives) {
+      pairs.emplace_back(&group.rows[group.positive_index], &group.rows[neg]);
+    }
+  }
+
+  std::vector<int> order(pairs.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t begin = 0; begin < order.size();
+         begin += static_cast<size_t>(options_.batch)) {
+      const size_t end =
+          std::min(order.size(), begin + static_cast<size_t>(options_.batch));
+      std::vector<ml::FeatureRow> pos_rows, neg_rows;
+      for (size_t i = begin; i < end; ++i) {
+        pos_rows.push_back(*pairs[order[i]].first);
+        neg_rows.push_back(*pairs[order[i]].second);
+      }
+      const int b = static_cast<int>(pos_rows.size());
+      adam.ZeroGrad();
+      nn::Tensor s_pos =
+          nn::Reshape(scorer_->Forward(RowsToTensor(pos_rows)), {b});
+      nn::Tensor s_neg =
+          nn::Reshape(scorer_->Forward(RowsToTensor(neg_rows)), {b});
+      // RankNet: P(pos > neg) = sigmoid(s_pos - s_neg), target 1.
+      nn::Tensor loss = nn::BceWithLogits(nn::Sub(s_pos, s_neg),
+                                          std::vector<float>(b, 1.0f));
+      loss.Backward();
+      adam.Step();
+    }
+  }
+}
+
+std::vector<Point> RankNetVariant::InferAll(
+    const dlinfma::Dataset& data,
+    const std::vector<dlinfma::AddressSample>& samples) {
+  CHECK(scorer_ != nullptr);
+  std::vector<Point> out;
+  out.reserve(samples.size());
+  for (const dlinfma::AddressSample& sample : samples) {
+    std::vector<ml::FeatureRow> rows;
+    for (size_t i = 0; i < sample.candidate_ids.size(); ++i) {
+      rows.push_back(dlinfma::FlattenFeatures(sample, static_cast<int>(i)));
+    }
+    nn::Tensor scores = nn::Reshape(scorer_->Forward(RowsToTensor(rows)),
+                                    {static_cast<int>(rows.size())});
+    int best = 0;
+    for (size_t i = 1; i < rows.size(); ++i) {
+      if (scores.data()[i] > scores.data()[best]) best = static_cast<int>(i);
+    }
+    out.push_back(data.gen->candidate(sample.candidate_ids[best]).location);
+  }
+  return out;
+}
+
+}  // namespace baselines
+}  // namespace dlinf

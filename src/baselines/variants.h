@@ -1,0 +1,125 @@
+#ifndef DLINF_BASELINES_VARIANTS_H_
+#define DLINF_BASELINES_VARIANTS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dlinfma/inferrer.h"
+#include "ml/decision_tree.h"
+#include "ml/gbdt.h"
+#include "ml/random_forest.h"
+#include "nn/module.h"
+
+namespace dlinf {
+namespace baselines {
+
+/// DLInfMA-GBDT / -RF / -MLP: same candidate generation and features as
+/// DLInfMA, but each candidate is classified *independently* as
+/// delivery-location-or-not (Figure 7(a)); the candidate with the highest
+/// probability wins. The paper's class weight 8:2 (positives upweighted 4x)
+/// is applied.
+class ClassificationVariant : public dlinfma::Inferrer {
+ public:
+  enum class Model { kGbdt, kRandomForest, kMlp };
+
+  struct Options {
+    double positive_weight = 4.0;  ///< 8:2 class weighting.
+    // GBDT (paper: 150 stages).
+    int gbdt_stages = 150;
+    // Random forest (paper: 400 trees, depth 10).
+    int rf_trees = 400;
+    int rf_depth = 10;
+    int rf_feature_subsample = 8;
+    // MLP (paper: 1 hidden layer, 16 neurons).
+    int mlp_hidden = 16;
+    float mlp_learning_rate = 1e-3f;
+    int mlp_epochs = 40;
+    int mlp_batch = 256;
+    int mlp_patience = 5;
+    uint64_t seed = 17;
+  };
+
+  ClassificationVariant(Model model, std::string name);
+  ClassificationVariant(Model model, std::string name,
+                        const Options& options);
+
+  std::string name() const override { return name_; }
+  void Fit(const dlinfma::Dataset& data,
+           const dlinfma::SampleSet& samples) override;
+  std::vector<Point> InferAll(
+      const dlinfma::Dataset& data,
+      const std::vector<dlinfma::AddressSample>& samples) override;
+
+ private:
+  double Score(const ml::FeatureRow& row) const;
+
+  Model model_;
+  std::string name_;
+  Options options_;
+  ml::GradientBoosting gbdt_;
+  ml::RandomForest forest_;
+  std::unique_ptr<nn::Mlp> mlp_;
+};
+
+/// DLInfMA-RkDT: pairwise ranking over the DLInfMA candidate features with a
+/// decision-tree base learner (1024 leaves max) and win-count selection
+/// (Figure 7(b)).
+class RankDtVariant : public dlinfma::Inferrer {
+ public:
+  struct Options {
+    int max_leaves = 1024;
+    int max_depth = 16;
+    int max_pairs_per_group = 30;
+    uint64_t seed = 19;
+  };
+
+  RankDtVariant();
+  explicit RankDtVariant(const Options& options);
+
+  std::string name() const override { return "DLInfMA-RkDT"; }
+  void Fit(const dlinfma::Dataset& data,
+           const dlinfma::SampleSet& samples) override;
+  std::vector<Point> InferAll(
+      const dlinfma::Dataset& data,
+      const std::vector<dlinfma::AddressSample>& samples) override;
+
+ private:
+  Options options_;
+  ml::DecisionTree ranker_;
+};
+
+/// DLInfMA-RkNet: RankNet [26] over the DLInfMA candidate features — a
+/// shared scoring MLP (one 16-unit hidden layer) trained on pairs with
+/// P(i > j) = sigmoid(s_i - s_j); inference scores candidates directly.
+class RankNetVariant : public dlinfma::Inferrer {
+ public:
+  struct Options {
+    int hidden = 16;
+    float learning_rate = 1e-3f;
+    int epochs = 40;
+    int batch = 128;
+    int patience = 5;
+    int max_pairs_per_group = 30;
+    uint64_t seed = 23;
+  };
+
+  RankNetVariant();
+  explicit RankNetVariant(const Options& options);
+
+  std::string name() const override { return "DLInfMA-RkNet"; }
+  void Fit(const dlinfma::Dataset& data,
+           const dlinfma::SampleSet& samples) override;
+  std::vector<Point> InferAll(
+      const dlinfma::Dataset& data,
+      const std::vector<dlinfma::AddressSample>& samples) override;
+
+ private:
+  Options options_;
+  std::unique_ptr<nn::Mlp> scorer_;
+};
+
+}  // namespace baselines
+}  // namespace dlinf
+
+#endif  // DLINF_BASELINES_VARIANTS_H_

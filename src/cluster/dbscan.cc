@@ -1,0 +1,70 @@
+#include "cluster/dbscan.h"
+
+#include <deque>
+
+#include "common/check.h"
+#include "geo/grid_index.h"
+
+namespace dlinf {
+
+std::vector<int> DbscanResult::LargestCluster() const {
+  std::vector<int> sizes(num_clusters, 0);
+  for (int label : labels) {
+    if (label >= 0) ++sizes[label];
+  }
+  int best = -1;
+  int best_size = 0;
+  for (int c = 0; c < num_clusters; ++c) {
+    if (sizes[c] > best_size) {
+      best_size = sizes[c];
+      best = c;
+    }
+  }
+  std::vector<int> members;
+  if (best < 0) return members;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] == best) members.push_back(static_cast<int>(i));
+  }
+  return members;
+}
+
+DbscanResult Dbscan(const std::vector<Point>& points,
+                    const DbscanOptions& options) {
+  CHECK_GT(options.eps, 0.0);
+  CHECK_GE(options.min_points, 1);
+  const int n = static_cast<int>(points.size());
+  DbscanResult result;
+  result.labels.assign(n, -2);  // -2 = unvisited, -1 = noise.
+
+  GridIndex index(options.eps);
+  for (int i = 0; i < n; ++i) index.Insert(i, points[i]);
+
+  int next_cluster = 0;
+  for (int i = 0; i < n; ++i) {
+    if (result.labels[i] != -2) continue;
+    std::vector<int64_t> neighbors = index.RadiusQuery(points[i], options.eps);
+    if (static_cast<int>(neighbors.size()) < options.min_points) {
+      result.labels[i] = -1;
+      continue;
+    }
+    const int cluster = next_cluster++;
+    result.labels[i] = cluster;
+    std::deque<int64_t> frontier(neighbors.begin(), neighbors.end());
+    while (!frontier.empty()) {
+      const int j = static_cast<int>(frontier.front());
+      frontier.pop_front();
+      if (result.labels[j] == -1) result.labels[j] = cluster;  // Border point.
+      if (result.labels[j] != -2) continue;
+      result.labels[j] = cluster;
+      std::vector<int64_t> j_neighbors =
+          index.RadiusQuery(points[j], options.eps);
+      if (static_cast<int>(j_neighbors.size()) >= options.min_points) {
+        for (int64_t nb : j_neighbors) frontier.push_back(nb);
+      }
+    }
+  }
+  result.num_clusters = next_cluster;
+  return result;
+}
+
+}  // namespace dlinf

@@ -1,0 +1,35 @@
+#ifndef DLINF_CLUSTER_DBSCAN_H_
+#define DLINF_CLUSTER_DBSCAN_H_
+
+#include <vector>
+
+#include "geo/point.h"
+
+namespace dlinf {
+
+/// DBSCAN parameters. The GeoCloud baseline [19] runs DBSCAN over annotated
+/// locations with min_points = 1 so that even sparsely delivered addresses
+/// produce a cluster (Section V-B, training details).
+struct DbscanOptions {
+  double eps = 30.0;   ///< Neighbourhood radius, meters.
+  int min_points = 1;  ///< Minimum neighbourhood size for a core point.
+};
+
+/// Result of a DBSCAN run: per-point cluster labels (-1 = noise) and the
+/// number of clusters found. Labels are dense in [0, num_clusters).
+struct DbscanResult {
+  std::vector<int> labels;
+  int num_clusters = 0;
+
+  /// Indexes of the points in the most populous cluster; empty when
+  /// everything is noise. GeoCloud centroids this set.
+  std::vector<int> LargestCluster() const;
+};
+
+/// Standard density-based clustering (Ester et al. [10]), grid-accelerated.
+DbscanResult Dbscan(const std::vector<Point>& points,
+                    const DbscanOptions& options = {});
+
+}  // namespace dlinf
+
+#endif  // DLINF_CLUSTER_DBSCAN_H_

@@ -1,0 +1,32 @@
+#include "cluster/grid_merge.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace dlinf {
+
+std::vector<PointCluster> GridMergeCluster(const std::vector<Point>& points,
+                                           double cell_size) {
+  CHECK_GT(cell_size, 0.0);
+  std::unordered_map<int64_t, PointCluster> cells;
+  for (size_t i = 0; i < points.size(); ++i) {
+    const int64_t cx = static_cast<int64_t>(std::floor(points[i].x / cell_size));
+    const int64_t cy = static_cast<int64_t>(std::floor(points[i].y / cell_size));
+    const int64_t key = (cx << 32) ^ (cy & 0xffffffffll);
+    PointCluster& cell = cells[key];
+    // Incrementally maintain the centroid.
+    const double w = cell.members.empty() ? 0.0 : cell.weight;
+    cell.centroid = Point{(cell.centroid.x * w + points[i].x) / (w + 1.0),
+                          (cell.centroid.y * w + points[i].y) / (w + 1.0)};
+    cell.weight = w + 1.0;
+    cell.members.push_back(static_cast<int64_t>(i));
+  }
+  std::vector<PointCluster> clusters;
+  clusters.reserve(cells.size());
+  for (auto& [key, cell] : cells) clusters.push_back(std::move(cell));
+  return clusters;
+}
+
+}  // namespace dlinf

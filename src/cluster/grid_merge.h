@@ -1,0 +1,23 @@
+#ifndef DLINF_CLUSTER_GRID_MERGE_H_
+#define DLINF_CLUSTER_GRID_MERGE_H_
+
+#include <vector>
+
+#include "cluster/hierarchical.h"
+#include "geo/point.h"
+
+namespace dlinf {
+
+/// Grid-merging clustering [12], used by the DLInfMA-Grid variant: the plane
+/// is discretized into `cell_size` x `cell_size` cells and each non-empty
+/// cell becomes one cluster (centroid of the points in the cell).
+///
+/// As the paper observes (Table II discussion), this produces more locations
+/// than hierarchical clustering because two nearby points on opposite sides
+/// of a cell boundary are never merged.
+std::vector<PointCluster> GridMergeCluster(const std::vector<Point>& points,
+                                           double cell_size);
+
+}  // namespace dlinf
+
+#endif  // DLINF_CLUSTER_GRID_MERGE_H_

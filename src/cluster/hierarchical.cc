@@ -1,0 +1,116 @@
+#include "cluster/hierarchical.h"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+
+#include "common/check.h"
+#include "geo/grid_index.h"
+
+namespace dlinf {
+namespace {
+
+/// Candidate merge between two live clusters, ordered by distance.
+struct MergePair {
+  double distance;
+  int64_t a;
+  int64_t b;
+
+  bool operator>(const MergePair& other) const {
+    return distance > other.distance;
+  }
+};
+
+}  // namespace
+
+std::vector<PointCluster> MakeSingletonClusters(
+    const std::vector<Point>& points, int64_t id_offset) {
+  std::vector<PointCluster> clusters;
+  clusters.reserve(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    PointCluster c;
+    c.centroid = points[i];
+    c.weight = 1.0;
+    c.members = {id_offset + static_cast<int64_t>(i)};
+    clusters.push_back(std::move(c));
+  }
+  return clusters;
+}
+
+std::vector<PointCluster> AgglomerateByDistance(
+    std::vector<PointCluster> clusters, double distance_threshold) {
+  CHECK_GT(distance_threshold, 0.0);
+  const double d2_threshold = distance_threshold * distance_threshold;
+
+  // Clusters are append-only; merged inputs are tombstoned. Ids index `pool`.
+  std::vector<PointCluster> pool = std::move(clusters);
+  std::vector<bool> alive(pool.size(), true);
+  GridIndex index(distance_threshold);
+  for (size_t i = 0; i < pool.size(); ++i) {
+    index.Insert(static_cast<int64_t>(i), pool[i].centroid);
+  }
+
+  std::priority_queue<MergePair, std::vector<MergePair>, std::greater<>> heap;
+  auto push_neighbors = [&](int64_t id) {
+    const std::vector<int64_t> neighbors =
+        index.RadiusQuery(pool[id].centroid, distance_threshold);
+    for (int64_t other : neighbors) {
+      if (other == id) continue;
+      const double d2 =
+          SquaredDistance(pool[id].centroid, pool[other].centroid);
+      if (d2 <= d2_threshold) {
+        heap.push(MergePair{std::sqrt(d2), std::min(id, other),
+                            std::max(id, other)});
+      }
+    }
+  };
+  for (size_t i = 0; i < pool.size(); ++i) {
+    push_neighbors(static_cast<int64_t>(i));
+  }
+
+  while (!heap.empty()) {
+    const MergePair top = heap.top();
+    heap.pop();
+    if (!alive[top.a] || !alive[top.b]) continue;
+    // Centroids never move after creation, so a popped pair of live clusters
+    // is exactly the current closest pair; merge it.
+    PointCluster merged;
+    const PointCluster& ca = pool[top.a];
+    const PointCluster& cb = pool[top.b];
+    const double w = ca.weight + cb.weight;
+    merged.centroid =
+        Point{(ca.centroid.x * ca.weight + cb.centroid.x * cb.weight) / w,
+              (ca.centroid.y * ca.weight + cb.centroid.y * cb.weight) / w};
+    merged.weight = w;
+    merged.members.reserve(ca.members.size() + cb.members.size());
+    merged.members.insert(merged.members.end(), ca.members.begin(),
+                          ca.members.end());
+    merged.members.insert(merged.members.end(), cb.members.begin(),
+                          cb.members.end());
+
+    alive[top.a] = false;
+    alive[top.b] = false;
+    index.Remove(top.a, ca.centroid);
+    index.Remove(top.b, cb.centroid);
+
+    const int64_t new_id = static_cast<int64_t>(pool.size());
+    pool.push_back(std::move(merged));
+    alive.push_back(true);
+    index.Insert(new_id, pool[new_id].centroid);
+    push_neighbors(new_id);
+  }
+
+  std::vector<PointCluster> result;
+  for (size_t i = 0; i < pool.size(); ++i) {
+    if (alive[i]) result.push_back(std::move(pool[i]));
+  }
+  return result;
+}
+
+std::vector<PointCluster> AgglomerateByDistance(
+    const std::vector<Point>& points, double distance_threshold) {
+  return AgglomerateByDistance(MakeSingletonClusters(points),
+                               distance_threshold);
+}
+
+}  // namespace dlinf

@@ -1,0 +1,82 @@
+#include "cluster/kmeans.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace dlinf {
+namespace {
+
+int NearestCentroid(const Point& p, const std::vector<Point>& centroids,
+                    double* out_d2) {
+  int best = 0;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  for (size_t c = 0; c < centroids.size(); ++c) {
+    const double d2 = SquaredDistance(p, centroids[c]);
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = static_cast<int>(c);
+    }
+  }
+  if (out_d2 != nullptr) *out_d2 = best_d2;
+  return best;
+}
+
+}  // namespace
+
+KMeansResult KMeans(const std::vector<Point>& points, int k, Rng* rng,
+                    int max_iterations) {
+  CHECK(!points.empty());
+  CHECK_GE(k, 1);
+  CHECK(rng != nullptr);
+  k = std::min<int>(k, static_cast<int>(points.size()));
+
+  // k-means++ seeding: first centroid uniform, then proportional to squared
+  // distance from the nearest chosen centroid.
+  KMeansResult result;
+  result.centroids.push_back(
+      points[static_cast<size_t>(rng->UniformInt(0, points.size() - 1))]);
+  std::vector<double> d2(points.size());
+  while (static_cast<int>(result.centroids.size()) < k) {
+    for (size_t i = 0; i < points.size(); ++i) {
+      NearestCentroid(points[i], result.centroids, &d2[i]);
+    }
+    result.centroids.push_back(points[rng->WeightedIndex(d2)]);
+  }
+
+  result.assignments.assign(points.size(), -1);
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    bool changed = false;
+    for (size_t i = 0; i < points.size(); ++i) {
+      const int c = NearestCentroid(points[i], result.centroids, nullptr);
+      if (c != result.assignments[i]) {
+        result.assignments[i] = c;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+    std::vector<double> sx(k, 0.0), sy(k, 0.0);
+    std::vector<int> counts(k, 0);
+    for (size_t i = 0; i < points.size(); ++i) {
+      const int c = result.assignments[i];
+      sx[c] += points[i].x;
+      sy[c] += points[i].y;
+      ++counts[c];
+    }
+    for (int c = 0; c < k; ++c) {
+      if (counts[c] > 0) {
+        result.centroids[c] = Point{sx[c] / counts[c], sy[c] / counts[c]};
+      }
+    }
+  }
+
+  result.inertia = 0.0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    result.inertia +=
+        SquaredDistance(points[i], result.centroids[result.assignments[i]]);
+  }
+  return result;
+}
+
+}  // namespace dlinf

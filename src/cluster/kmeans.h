@@ -1,0 +1,28 @@
+#ifndef DLINF_CLUSTER_KMEANS_H_
+#define DLINF_CLUSTER_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "geo/point.h"
+
+namespace dlinf {
+
+/// Lloyd's k-means with k-means++ seeding. Included as the reference
+/// clustering method the paper contrasts hierarchical clustering against
+/// (Section III-B discusses why a distance threshold is easier to set than k).
+struct KMeansResult {
+  std::vector<Point> centroids;     ///< k centroids.
+  std::vector<int> assignments;     ///< Per-point centroid index.
+  double inertia = 0.0;             ///< Sum of squared point-centroid dists.
+};
+
+/// Runs k-means; k is capped at points.size(). Aborts if k < 1 or the input
+/// is empty.
+KMeansResult KMeans(const std::vector<Point>& points, int k, Rng* rng,
+                    int max_iterations = 100);
+
+}  // namespace dlinf
+
+#endif  // DLINF_CLUSTER_KMEANS_H_

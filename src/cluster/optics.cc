@@ -1,0 +1,135 @@
+#include "cluster/optics.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "common/check.h"
+#include "geo/grid_index.h"
+
+namespace dlinf {
+namespace {
+
+/// Seed-list entry ordered by smallest reachability first.
+struct Seed {
+  double reachability;
+  int index;
+
+  bool operator>(const Seed& other) const {
+    return reachability > other.reachability;
+  }
+};
+
+/// Core distance: distance to the min_points-th neighbour (including the
+/// point itself), or -1 when there are fewer neighbours within max_eps.
+double CoreDistance(const std::vector<Point>& points,
+                    const std::vector<int64_t>& neighbors, int center,
+                    int min_points) {
+  if (static_cast<int>(neighbors.size()) < min_points) return -1.0;
+  std::vector<double> dists;
+  dists.reserve(neighbors.size());
+  for (int64_t n : neighbors) {
+    dists.push_back(Distance(points[center], points[n]));
+  }
+  std::nth_element(dists.begin(), dists.begin() + (min_points - 1),
+                   dists.end());
+  return dists[min_points - 1];
+}
+
+}  // namespace
+
+OpticsResult Optics(const std::vector<Point>& points,
+                    const OpticsOptions& options) {
+  CHECK_GT(options.max_eps, 0.0);
+  CHECK_GE(options.min_points, 1);
+  const int n = static_cast<int>(points.size());
+  OpticsResult result;
+  result.reachability.assign(n, OpticsResult::kUndefinedReachability);
+  result.ordering.reserve(n);
+
+  GridIndex index(options.max_eps);
+  for (int i = 0; i < n; ++i) index.Insert(i, points[i]);
+
+  std::vector<bool> processed(n, false);
+  for (int start = 0; start < n; ++start) {
+    if (processed[start]) continue;
+    processed[start] = true;
+    result.ordering.push_back(start);
+
+    std::vector<int64_t> neighbors =
+        index.RadiusQuery(points[start], options.max_eps);
+    double core = CoreDistance(points, neighbors, start, options.min_points);
+    if (core < 0) continue;  // Not a core point: stays noise-ordered.
+
+    // Expand from the start point with a seed priority queue. Stale entries
+    // are skipped lazily (reachability only ever decreases).
+    std::priority_queue<Seed, std::vector<Seed>, std::greater<>> seeds;
+    auto update_seeds = [&](int center, double core_distance,
+                            const std::vector<int64_t>& nbrs) {
+      for (int64_t nb64 : nbrs) {
+        const int nb = static_cast<int>(nb64);
+        if (processed[nb]) continue;
+        const double reach =
+            std::max(core_distance, Distance(points[center], points[nb]));
+        if (result.reachability[nb] ==
+                OpticsResult::kUndefinedReachability ||
+            reach < result.reachability[nb]) {
+          result.reachability[nb] = reach;
+          seeds.push(Seed{reach, nb});
+        }
+      }
+    };
+    update_seeds(start, core, neighbors);
+
+    while (!seeds.empty()) {
+      const Seed seed = seeds.top();
+      seeds.pop();
+      if (processed[seed.index]) continue;  // Stale entry.
+      processed[seed.index] = true;
+      result.ordering.push_back(seed.index);
+      const std::vector<int64_t> seed_neighbors =
+          index.RadiusQuery(points[seed.index], options.max_eps);
+      const double seed_core = CoreDistance(points, seed_neighbors,
+                                            seed.index, options.min_points);
+      if (seed_core >= 0) {
+        update_seeds(seed.index, seed_core, seed_neighbors);
+      }
+    }
+  }
+  CHECK_EQ(result.ordering.size(), points.size());
+  return result;
+}
+
+std::vector<int> OpticsResult::ExtractDbscanClusters(double eps_prime) const {
+  const int n = static_cast<int>(reachability.size());
+  std::vector<int> labels(n, -1);
+  int cluster = -1;
+  for (int position = 0; position < n; ++position) {
+    const int point = ordering[position];
+    const double reach = reachability[point];
+    if (reach == kUndefinedReachability || reach > eps_prime) {
+      // Not density-reachable from the previous points at eps': either
+      // noise or the start of a new cluster (decided by the next points).
+      ++cluster;
+      labels[point] = cluster;
+    } else {
+      labels[point] = cluster;
+    }
+  }
+  // Clusters of size 1 whose point was never density-reachable are noise.
+  std::vector<int> sizes(cluster + 1, 0);
+  for (int point = 0; point < n; ++point) {
+    if (labels[point] >= 0) ++sizes[labels[point]];
+  }
+  std::vector<int> remap(cluster + 1, -1);
+  int next = 0;
+  for (int c = 0; c <= cluster; ++c) {
+    if (sizes[c] > 1) remap[c] = next++;
+  }
+  for (int point = 0; point < n; ++point) {
+    labels[point] = labels[point] >= 0 ? remap[labels[point]] : -1;
+  }
+  return labels;
+}
+
+}  // namespace dlinf

@@ -1,0 +1,40 @@
+#ifndef DLINF_CLUSTER_OPTICS_H_
+#define DLINF_CLUSTER_OPTICS_H_
+
+#include <vector>
+
+#include "geo/point.h"
+
+namespace dlinf {
+
+/// OPTICS (Ankerst et al. [11]), one of the clustering methods the paper
+/// surveys for generating locations from stay points (Section III-B).
+///
+/// Produces the classic reachability ordering; ExtractDbscanClusters then
+/// yields a DBSCAN-equivalent flat clustering for any eps' <= eps without
+/// re-running the scan, which is the usual way OPTICS is applied.
+struct OpticsOptions {
+  double max_eps = 80.0;  ///< Upper bound on the neighbourhood radius.
+  int min_points = 3;
+};
+
+struct OpticsResult {
+  /// Visit order: indexes into the input point vector.
+  std::vector<int> ordering;
+  /// reachability[i] is the reachability distance of input point i
+  /// (kUndefinedReachability when never reachable within max_eps).
+  std::vector<double> reachability;
+
+  static constexpr double kUndefinedReachability = -1.0;
+
+  /// DBSCAN-equivalent flat labels at threshold eps' (-1 = noise).
+  /// Requires eps' <= the max_eps used to build the result.
+  std::vector<int> ExtractDbscanClusters(double eps_prime) const;
+};
+
+OpticsResult Optics(const std::vector<Point>& points,
+                    const OpticsOptions& options = {});
+
+}  // namespace dlinf
+
+#endif  // DLINF_CLUSTER_OPTICS_H_

@@ -1,0 +1,73 @@
+#ifndef DLINF_COMMON_CHECK_H_
+#define DLINF_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+/// \file
+/// Lightweight CHECK/LOG macros for invariant enforcement.
+///
+/// Library code in this project does not use exceptions (Google style).
+/// Programmer errors and violated invariants abort with a message; recoverable
+/// conditions are reported through return values (std::optional / bool).
+
+namespace dlinf {
+namespace internal {
+
+/// Accumulates a failure message and aborts the process on destruction.
+/// Used by the CHECK family of macros below; not for direct use.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* kind, const char* file, int line,
+                     const char* condition) {
+    stream_ << kind << " failed at " << file << ":" << line << ": "
+            << condition;
+  }
+
+  CheckFailureStream(const CheckFailureStream&) = delete;
+  CheckFailureStream& operator=(const CheckFailureStream&) = delete;
+
+  [[noreturn]] ~CheckFailureStream() {
+    stream_ << "\n";
+    std::fputs(stream_.str().c_str(), stderr);
+    std::fflush(stderr);
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << " " << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace dlinf
+
+/// Aborts with a message if `condition` is false. Additional context may be
+/// streamed in: `CHECK(n > 0) << "n was" << n;`
+#define CHECK(condition)                                                     \
+  if (!(condition))                                                          \
+  ::dlinf::internal::CheckFailureStream("CHECK", __FILE__, __LINE__,         \
+                                        #condition)
+
+#define CHECK_EQ(a, b) CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ")"
+#define CHECK_NE(a, b) CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ")"
+#define CHECK_LT(a, b) CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ")"
+#define CHECK_LE(a, b) CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ")"
+#define CHECK_GT(a, b) CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ")"
+#define CHECK_GE(a, b) CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ")"
+
+#ifdef NDEBUG
+#define DCHECK(condition) \
+  if (false) CHECK(condition)
+#else
+#define DCHECK(condition) CHECK(condition)
+#endif
+
+#endif  // DLINF_COMMON_CHECK_H_

@@ -1,0 +1,50 @@
+#include "common/csv.h"
+
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace dlinf {
+
+int CsvTable::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::optional<CsvTable> ReadCsv(const std::string& path, char sep) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  CsvTable table;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    std::vector<std::string> fields = Split(line, sep);
+    if (first) {
+      table.header = std::move(fields);
+      first = false;
+    } else {
+      if (fields.size() != table.header.size()) return std::nullopt;
+      table.rows.push_back(std::move(fields));
+    }
+  }
+  if (first) return std::nullopt;  // Empty file: not a valid table.
+  return table;
+}
+
+bool WriteCsv(const std::string& path, const CsvTable& table, char sep) {
+  std::ofstream out(path);
+  if (!out) return false;
+  const std::string sep_str(1, sep);
+  out << Join(table.header, sep_str) << "\n";
+  for (const auto& row : table.rows) {
+    if (row.size() != table.header.size()) return false;
+    out << Join(row, sep_str) << "\n";
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace dlinf

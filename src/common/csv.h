@@ -1,0 +1,28 @@
+#ifndef DLINF_COMMON_CSV_H_
+#define DLINF_COMMON_CSV_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dlinf {
+
+/// A parsed CSV table: a header row plus data rows of equal width.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a header column, or -1 if absent.
+  int ColumnIndex(const std::string& name) const;
+};
+
+/// Reads a simple (unquoted) CSV file. Returns nullopt if the file cannot be
+/// opened or rows have inconsistent widths.
+std::optional<CsvTable> ReadCsv(const std::string& path, char sep = ',');
+
+/// Writes a CSV file; returns false on I/O failure.
+bool WriteCsv(const std::string& path, const CsvTable& table, char sep = ',');
+
+}  // namespace dlinf
+
+#endif  // DLINF_COMMON_CSV_H_

@@ -1,0 +1,18 @@
+#include "common/logging.h"
+
+#include <atomic>
+
+namespace dlinf {
+namespace {
+
+std::atomic<LogLevel> g_min_level{LogLevel::kInfo};
+
+}  // namespace
+
+LogLevel MinLogLevel() { return g_min_level.load(std::memory_order_relaxed); }
+
+void SetMinLogLevel(LogLevel level) {
+  g_min_level.store(level, std::memory_order_relaxed);
+}
+
+}  // namespace dlinf

@@ -1,0 +1,61 @@
+#ifndef DLINF_COMMON_LOGGING_H_
+#define DLINF_COMMON_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+/// \file
+/// Minimal leveled logging to stderr: `LOG_INFO << "built pool of" << n;`
+
+namespace dlinf {
+
+/// Global log verbosity. Messages below this level are dropped.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Returns the process-wide minimum level that is actually emitted.
+LogLevel MinLogLevel();
+
+/// Sets the process-wide minimum emitted level (e.g. silence benches).
+void SetMinLogLevel(LogLevel level);
+
+namespace internal {
+
+/// One log statement; flushes its buffer to stderr on destruction.
+class LogStream {
+ public:
+  LogStream(LogLevel level, const char* tag) : level_(level) {
+    stream_ << "[" << tag << "]";
+  }
+
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  ~LogStream() {
+    if (level_ >= MinLogLevel()) {
+      stream_ << "\n";
+      std::cerr << stream_.str();
+    }
+  }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << " " << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace dlinf
+
+#define LOG_DEBUG ::dlinf::internal::LogStream(::dlinf::LogLevel::kDebug, "DEBUG")
+#define LOG_INFO ::dlinf::internal::LogStream(::dlinf::LogLevel::kInfo, "INFO")
+#define LOG_WARNING \
+  ::dlinf::internal::LogStream(::dlinf::LogLevel::kWarning, "WARN")
+#define LOG_ERROR ::dlinf::internal::LogStream(::dlinf::LogLevel::kError, "ERROR")
+
+#endif  // DLINF_COMMON_LOGGING_H_

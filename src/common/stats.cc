@@ -1,0 +1,73 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dlinf {
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double StdDev(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  const double mean = Mean(values);
+  double sum_sq = 0.0;
+  for (double v : values) sum_sq += (v - mean) * (v - mean);
+  return std::sqrt(sum_sq / static_cast<double>(values.size()));
+}
+
+double Percentile(const std::vector<double>& values, double q) {
+  CHECK(!values.empty());
+  CHECK(q >= 0.0 && q <= 1.0);
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t below = static_cast<size_t>(pos);
+  const double frac = pos - static_cast<double>(below);
+  if (below + 1 >= sorted.size()) return sorted.back();
+  return sorted[below] * (1.0 - frac) + sorted[below + 1] * frac;
+}
+
+double Median(const std::vector<double>& values) {
+  return Percentile(values, 0.5);
+}
+
+Histogram::Histogram(double lo, double width, int num_buckets)
+    : lo_(lo), width_(width), counts_(num_buckets, 0) {
+  CHECK(width > 0);
+  CHECK(num_buckets > 0);
+}
+
+void Histogram::Add(double value) {
+  int bucket = static_cast<int>(std::floor((value - lo_) / width_));
+  bucket = std::clamp(bucket, 0, num_buckets() - 1);
+  ++counts_[bucket];
+  ++total_;
+}
+
+double Histogram::Fraction(int i) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(i)) / static_cast<double>(total_);
+}
+
+double Histogram::CumulativeFraction(int i) const {
+  if (total_ == 0) return 0.0;
+  CHECK(i >= 0 && i < num_buckets());
+  int64_t cum = 0;
+  for (int b = 0; b <= i; ++b) cum += counts_[b];
+  return static_cast<double>(cum) / static_cast<double>(total_);
+}
+
+int64_t Histogram::count(int i) const {
+  CHECK(i >= 0 && i < num_buckets());
+  return counts_[i];
+}
+
+}  // namespace dlinf

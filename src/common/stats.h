@@ -1,0 +1,55 @@
+#ifndef DLINF_COMMON_STATS_H_
+#define DLINF_COMMON_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace dlinf {
+
+/// Arithmetic mean; 0 for an empty input.
+double Mean(const std::vector<double>& values);
+
+/// Population standard deviation; 0 for fewer than two values.
+double StdDev(const std::vector<double>& values);
+
+/// Linear-interpolated percentile, q in [0, 1]. Input need not be sorted.
+/// Aborts on empty input.
+double Percentile(const std::vector<double>& values, double q);
+
+/// Median shorthand (Percentile with q = 0.5).
+double Median(const std::vector<double>& values);
+
+/// Fixed-width histogram used when printing the paper's distribution figures
+/// (Fig. 9) as text series.
+class Histogram {
+ public:
+  /// Buckets [lo, lo+width), [lo+width, lo+2*width), ... `num_buckets` total;
+  /// values outside the range are clamped into the first / last bucket.
+  Histogram(double lo, double width, int num_buckets);
+
+  void Add(double value);
+
+  /// Fraction of all added values that fell into bucket `i`.
+  double Fraction(int i) const;
+
+  /// Fraction of values in buckets 0..i (inclusive): an empirical CDF.
+  double CumulativeFraction(int i) const;
+
+  /// Inclusive lower edge of bucket `i`.
+  double BucketLow(int i) const { return lo_ + width_ * i; }
+
+  int num_buckets() const { return static_cast<int>(counts_.size()); }
+  int64_t total_count() const { return total_; }
+  int64_t count(int i) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<int64_t> counts_;
+  int64_t total_ = 0;
+};
+
+}  // namespace dlinf
+
+#endif  // DLINF_COMMON_STATS_H_

@@ -1,0 +1,31 @@
+#ifndef DLINF_COMMON_STOPWATCH_H_
+#define DLINF_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace dlinf {
+
+/// Wall-clock stopwatch used by the scalability benchmarks.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts timing from zero.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dlinf
+
+#endif  // DLINF_COMMON_STOPWATCH_H_

@@ -1,0 +1,26 @@
+#ifndef DLINF_COMMON_STRING_UTIL_H_
+#define DLINF_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace dlinf {
+
+/// Splits on every occurrence of `sep`; adjacent separators yield empty
+/// fields (CSV semantics).
+std::vector<std::string> Split(const std::string& text, char sep);
+
+/// Joins pieces with `sep` between them.
+std::string Join(const std::vector<std::string>& pieces,
+                 const std::string& sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string Trim(const std::string& text);
+
+/// printf-style formatting into a std::string (gcc 12 lacks std::format).
+std::string StrPrintf(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace dlinf
+
+#endif  // DLINF_COMMON_STRING_UTIL_H_

@@ -1,0 +1,56 @@
+#ifndef DLINF_COMMON_THREAD_POOL_H_
+#define DLINF_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dlinf {
+
+/// Fixed-size worker pool.
+///
+/// The paper parallelizes stay-point extraction at trajectory level and
+/// candidate-pool construction at station level (Section V-F); this pool is
+/// the substrate for both. Tasks may not throw (library code is
+/// exception-free).
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (at least 1).
+  explicit ThreadPool(int num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains outstanding tasks and joins all workers.
+  ~ThreadPool();
+
+  /// Enqueues a task for execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Runs fn(i) for i in [0, count) across the pool and waits for completion.
+  /// Work is distributed in contiguous blocks.
+  void ParallelFor(int64_t count, const std::function<void(int64_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  int64_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace dlinf
+
+#endif  // DLINF_COMMON_THREAD_POOL_H_

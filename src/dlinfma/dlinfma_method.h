@@ -1,0 +1,69 @@
+#ifndef DLINF_DLINFMA_DLINFMA_METHOD_H_
+#define DLINF_DLINFMA_DLINFMA_METHOD_H_
+
+#include <memory>
+#include <string>
+
+#include "dlinfma/inferrer.h"
+#include "dlinfma/locmatcher.h"
+#include "dlinfma/trainer.h"
+
+namespace dlinf {
+namespace dlinfma {
+
+/// The full DLInfMA method as an Inferrer: candidate generation + features
+/// are supplied through the Dataset/SampleSet, this class owns the
+/// LocMatcher model, its training, and candidate selection.
+///
+/// Variants (DLInfMA-PN, DLInfMA-nA, ...) are expressed through the model
+/// config and/or the feature config of the SampleSet used to fit it.
+class DlInfMaMethod : public Inferrer {
+ public:
+  /// `ensemble_size` > 1 trains that many LocMatchers from different seeds
+  /// and averages their candidate probabilities at inference — a standard
+  /// variance reducer for production deployments (not part of the paper's
+  /// evaluation; Table II uses the default single model).
+  explicit DlInfMaMethod(std::string name = "DLInfMA",
+                         const LocMatcherConfig& model_config = {},
+                         const TrainConfig& train_config = {},
+                         int ensemble_size = 1);
+
+  std::string name() const override { return name_; }
+
+  void Fit(const Dataset& data, const SampleSet& samples) override;
+
+  std::vector<Point> InferAll(
+      const Dataset& data,
+      const std::vector<AddressSample>& samples) override;
+
+  const TrainResult& train_result() const { return train_result_; }
+
+  /// The (first) trained model; nullptr before Fit/LoadModel.
+  LocMatcher* model() {
+    return models_.empty() ? nullptr : models_.front().get();
+  }
+  int ensemble_size() const { return ensemble_size_; }
+
+  /// Persists the trained model's parameters (binary, see nn/serialize.h).
+  /// Only supported for single-model methods (ensemble_size == 1); returns
+  /// false otherwise, if no model is trained, or on I/O failure.
+  bool SaveModel(const std::string& path) const;
+
+  /// Restores parameters into a freshly constructed model with this
+  /// method's configuration; after a successful load the method can infer
+  /// without Fit. Returns false on shape mismatch or I/O failure.
+  bool LoadModel(const std::string& path);
+
+ private:
+  std::string name_;
+  LocMatcherConfig model_config_;
+  TrainConfig train_config_;
+  int ensemble_size_;
+  std::vector<std::unique_ptr<LocMatcher>> models_;
+  TrainResult train_result_;
+};
+
+}  // namespace dlinfma
+}  // namespace dlinf
+
+#endif  // DLINF_DLINFMA_DLINFMA_METHOD_H_

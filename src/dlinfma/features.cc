@@ -1,0 +1,135 @@
+#include "dlinfma/features.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace dlinf {
+namespace dlinfma {
+
+FeatureExtractor::FeatureExtractor(const sim::World* world,
+                                   const CandidateGeneration* gen,
+                                   const FeatureConfig& config)
+    : world_(world), gen_(gen), config_(config) {
+  CHECK(world != nullptr);
+  CHECK(gen != nullptr);
+}
+
+AddressSample FeatureExtractor::Extract(int64_t address_id,
+                                        bool with_label) const {
+  const sim::Address& addr = world_->address(address_id);
+  AddressSample sample;
+  sample.address_id = address_id;
+  sample.candidate_ids = gen_->Retrieve(address_id);
+  CHECK(!sample.candidate_ids.empty())
+      << "address" << address_id << "has no location candidates";
+
+  const std::vector<AddressTripRecord>& records =
+      gen_->address_trips(address_id);
+  const double num_trips_j = static_cast<double>(records.size());
+
+  // Trips "excluded" for the LC denominator: the building's trips by
+  // default, or the address's own trips for the LC_addr ablation.
+  std::unordered_set<int64_t> excluded_trips;
+  if (config_.lc_address_based) {
+    for (const AddressTripRecord& r : records) excluded_trips.insert(r.trip_id);
+  } else {
+    for (int64_t trip_id : gen_->trips_of_building(addr.building_id)) {
+      excluded_trips.insert(trip_id);
+    }
+  }
+  const double lc_denominator =
+      static_cast<double>(gen_->num_trips()) -
+      static_cast<double>(excluded_trips.size());
+
+  std::unordered_set<int64_t> own_trips;
+  for (const AddressTripRecord& r : records) own_trips.insert(r.trip_id);
+
+  sample.features.reserve(sample.candidate_ids.size());
+  for (int64_t candidate_id : sample.candidate_ids) {
+    const LocationCandidate& candidate = gen_->candidate(candidate_id);
+    const std::vector<int64_t>& through = gen_->trips_through(candidate_id);
+
+    CandidateFeatureVector f;
+    if (config_.use_trip_coverage && num_trips_j > 0) {
+      double covered = 0.0;
+      for (int64_t trip_id : through) {
+        if (own_trips.count(trip_id) > 0) covered += 1.0;
+      }
+      f.trip_coverage = covered / num_trips_j;
+    }
+    if (config_.use_location_commonality && lc_denominator > 0) {
+      double outside = 0.0;
+      for (int64_t trip_id : through) {
+        if (excluded_trips.count(trip_id) == 0) outside += 1.0;
+      }
+      f.location_commonality = outside / lc_denominator;
+    }
+    if (config_.use_distance) {
+      // Log-compressed distance: stabilizes the heavy right tail (wrong
+      // geocodes put every candidate hundreds of meters away) for the
+      // neural scorer; monotone, so tree-based methods are unaffected.
+      f.distance = std::log1p(
+          Distance(candidate.location, addr.geocoded_location) / 10.0);
+    }
+    if (config_.use_profile) {
+      f.avg_duration = candidate.profile.avg_duration_s / 60.0;
+      f.num_couriers = static_cast<double>(candidate.profile.num_couriers);
+      f.time_distribution = candidate.profile.time_distribution;
+    }
+    sample.features.push_back(f);
+  }
+
+  sample.address.log_num_deliveries = std::log1p(num_trips_j);
+  sample.address.poi_category = addr.poi_category;
+
+  if (with_label) {
+    // Positive label: the candidate nearest the ground-truth location
+    // (Section V-A labeling rule).
+    int best = 0;
+    double best_d = Distance(
+        gen_->candidate(sample.candidate_ids[0]).location,
+        addr.true_delivery_location);
+    for (size_t i = 1; i < sample.candidate_ids.size(); ++i) {
+      const double d =
+          Distance(gen_->candidate(sample.candidate_ids[i]).location,
+                   addr.true_delivery_location);
+      if (d < best_d) {
+        best_d = d;
+        best = static_cast<int>(i);
+      }
+    }
+    sample.label = best;
+  }
+  return sample;
+}
+
+std::vector<AddressSample> FeatureExtractor::ExtractAll(
+    const std::vector<int64_t>& ids, bool with_labels) const {
+  std::vector<AddressSample> samples;
+  samples.reserve(ids.size());
+  for (int64_t id : ids) samples.push_back(Extract(id, with_labels));
+  return samples;
+}
+
+ml::FeatureRow FlattenFeatures(const AddressSample& sample, int i) {
+  CHECK(i >= 0 && i < static_cast<int>(sample.features.size()));
+  const CandidateFeatureVector& f = sample.features[i];
+  ml::FeatureRow row;
+  row.reserve(kFlatFeatureWidth);
+  row.push_back(f.trip_coverage);
+  row.push_back(f.location_commonality);
+  row.push_back(f.distance);
+  row.push_back(f.avg_duration);
+  row.push_back(f.num_couriers);
+  for (double bin : f.time_distribution) row.push_back(bin);
+  row.push_back(sample.address.log_num_deliveries);
+  row.push_back(static_cast<double>(sample.address.poi_category));
+  CHECK_EQ(static_cast<int>(row.size()), kFlatFeatureWidth);
+  return row;
+}
+
+}  // namespace dlinfma
+}  // namespace dlinf

@@ -1,0 +1,54 @@
+#include "dlinfma/inferrer.h"
+
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace dlinf {
+namespace dlinfma {
+
+Dataset BuildDataset(const sim::World& world,
+                     const CandidateGeneration::Options& options,
+                     ThreadPool* pool) {
+  Dataset data;
+  data.world = &world;
+  data.gen = std::make_unique<CandidateGeneration>(
+      CandidateGeneration::Build(world, options, pool));
+  for (int64_t id : world.DeliveredAddressIds()) {
+    switch (world.address(id).split) {
+      case sim::Split::kTrain:
+        data.train_ids.push_back(id);
+        break;
+      case sim::Split::kVal:
+        data.val_ids.push_back(id);
+        break;
+      case sim::Split::kTest:
+        data.test_ids.push_back(id);
+        break;
+    }
+  }
+  return data;
+}
+
+SampleSet ExtractSamples(const Dataset& data, const FeatureConfig& config) {
+  CHECK(data.world != nullptr && data.gen != nullptr);
+  FeatureExtractor extractor(data.world, data.gen.get(), config);
+  SampleSet samples;
+  samples.train = extractor.ExtractAll(data.train_ids, /*with_labels=*/true);
+  samples.val = extractor.ExtractAll(data.val_ids, /*with_labels=*/true);
+  samples.test = extractor.ExtractAll(data.test_ids, /*with_labels=*/true);
+  return samples;
+}
+
+std::vector<Point> GroundTruthOf(const sim::World& world,
+                                 const std::vector<AddressSample>& samples) {
+  std::vector<Point> truth;
+  truth.reserve(samples.size());
+  for (const AddressSample& sample : samples) {
+    truth.push_back(world.address(sample.address_id).true_delivery_location);
+  }
+  return truth;
+}
+
+}  // namespace dlinfma
+}  // namespace dlinf

@@ -1,0 +1,38 @@
+#include "dlinfma/metrics.h"
+
+#include "common/check.h"
+#include "common/stats.h"
+#include "common/string_util.h"
+
+namespace dlinf {
+namespace dlinfma {
+
+std::string EvalMetrics::ToString() const {
+  return StrPrintf("MAE=%.1fm P95=%.1fm beta50=%.1f%% (n=%d)", mae_m, p95_m,
+                   beta50_pct, num_samples);
+}
+
+EvalMetrics ComputeMetrics(const std::vector<Point>& predicted,
+                           const std::vector<Point>& ground_truth,
+                           double beta_delta_m) {
+  CHECK_EQ(predicted.size(), ground_truth.size());
+  CHECK(!predicted.empty());
+  std::vector<double> errors;
+  errors.reserve(predicted.size());
+  int within = 0;
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    const double e = Distance(predicted[i], ground_truth[i]);
+    errors.push_back(e);
+    if (e < beta_delta_m) ++within;
+  }
+  EvalMetrics metrics;
+  metrics.mae_m = Mean(errors);
+  metrics.p95_m = Percentile(errors, 0.95);
+  metrics.beta50_pct =
+      100.0 * static_cast<double>(within) / static_cast<double>(errors.size());
+  metrics.num_samples = static_cast<int>(errors.size());
+  return metrics;
+}
+
+}  // namespace dlinfma
+}  // namespace dlinf

@@ -1,0 +1,30 @@
+#ifndef DLINF_DLINFMA_METRICS_H_
+#define DLINF_DLINFMA_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace dlinf {
+namespace dlinfma {
+
+/// The paper's three evaluation metrics (Section V-B).
+struct EvalMetrics {
+  double mae_m = 0.0;      ///< Mean inference error, meters.
+  double p95_m = 0.0;      ///< 0.95-percentile error, meters.
+  double beta50_pct = 0.0; ///< % of addresses with error < 50 m.
+  int num_samples = 0;
+
+  std::string ToString() const;
+};
+
+/// Computes MAE / P95 / beta_delta from paired predictions and ground truth.
+EvalMetrics ComputeMetrics(const std::vector<Point>& predicted,
+                           const std::vector<Point>& ground_truth,
+                           double beta_delta_m = 50.0);
+
+}  // namespace dlinfma
+}  // namespace dlinf
+
+#endif  // DLINF_DLINFMA_METRICS_H_

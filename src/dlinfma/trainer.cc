@@ -1,0 +1,91 @@
+#include "dlinfma/trainer.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace dlinf {
+namespace dlinfma {
+
+TrainResult TrainLocMatcher(LocMatcher* model,
+                            const std::vector<AddressSample>& train,
+                            const std::vector<AddressSample>& val,
+                            const TrainConfig& config) {
+  CHECK(model != nullptr);
+  CHECK(!train.empty());
+  CHECK(!val.empty());
+  for (const AddressSample& sample : train) CHECK_GE(sample.label, 0);
+
+  Stopwatch watch;
+  Rng rng(config.seed);
+  std::vector<nn::Tensor> params = model->Parameters();
+  nn::Adam adam(params, config.learning_rate);
+  nn::HalvingSchedule schedule(&adam, config.lr_halve_epochs);
+
+  std::vector<int> order(train.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  TrainResult result;
+  double best_val = 1e30;
+  int epochs_without_improvement = 0;
+  std::vector<std::vector<float>> best_params;
+
+  for (int epoch = 0; epoch < config.max_epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double epoch_loss = 0.0;
+    int num_batches = 0;
+    for (size_t begin = 0; begin < order.size();
+         begin += static_cast<size_t>(config.batch_size)) {
+      const size_t end = std::min(
+          order.size(), begin + static_cast<size_t>(config.batch_size));
+      std::vector<const AddressSample*> chunk;
+      for (size_t i = begin; i < end; ++i) chunk.push_back(&train[order[i]]);
+      const LocMatcherBatch batch = MakeLocMatcherBatch(chunk);
+
+      nn::FwdCtx train_ctx{/*training=*/true, &rng};
+      adam.ZeroGrad();
+      nn::Tensor logits = model->Forward(batch, train_ctx);
+      nn::Tensor loss =
+          nn::MaskedCrossEntropy(logits, batch.valid, batch.labels);
+      loss.Backward();
+      adam.Step();
+      epoch_loss += loss.item();
+      ++num_batches;
+    }
+    schedule.OnEpochEnd();
+    result.final_train_loss = epoch_loss / std::max(1, num_batches);
+
+    const double val_loss = model->EvaluateLoss(val);
+    if (config.verbose) {
+      LOG_INFO << "epoch" << epoch << "train_loss" << result.final_train_loss
+               << "val_loss" << val_loss << "lr" << adam.learning_rate();
+    }
+    result.epochs_run = epoch + 1;
+    if (val_loss < best_val - 1e-5) {
+      best_val = val_loss;
+      epochs_without_improvement = 0;
+      best_params.clear();
+      for (const nn::Tensor& p : params) best_params.push_back(p.data());
+    } else if (++epochs_without_improvement >= config.early_stop_patience) {
+      break;  // Validation loss no longer decreases (paper's criterion).
+    }
+  }
+
+  // Restore the best validation checkpoint.
+  if (!best_params.empty()) {
+    for (size_t i = 0; i < params.size(); ++i) {
+      params[i].data() = best_params[i];
+    }
+  }
+  result.best_val_loss = best_val;
+  result.train_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace dlinfma
+}  // namespace dlinf

@@ -1,0 +1,104 @@
+#include "geo/geohash.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dlinf {
+namespace {
+
+constexpr char kBase32[] = "0123456789bcdefghjkmnpqrstuvwxyz";
+
+int Base32Value(char c) {
+  for (int i = 0; i < 32; ++i) {
+    if (kBase32[i] == c) return i;
+  }
+  CHECK(false) << "invalid geohash character" << std::string(1, c);
+  return -1;
+}
+
+}  // namespace
+
+std::string GeohashEncode(const LatLng& coord, int precision) {
+  CHECK(precision >= 1 && precision <= 12);
+  double lat_lo = -90.0, lat_hi = 90.0;
+  double lng_lo = -180.0, lng_hi = 180.0;
+  std::string hash;
+  hash.reserve(precision);
+  int bit = 0;
+  int value = 0;
+  bool even_bit = true;  // Even bits encode longitude.
+  while (static_cast<int>(hash.size()) < precision) {
+    if (even_bit) {
+      const double mid = (lng_lo + lng_hi) / 2.0;
+      if (coord.lng >= mid) {
+        value = (value << 1) | 1;
+        lng_lo = mid;
+      } else {
+        value <<= 1;
+        lng_hi = mid;
+      }
+    } else {
+      const double mid = (lat_lo + lat_hi) / 2.0;
+      if (coord.lat >= mid) {
+        value = (value << 1) | 1;
+        lat_lo = mid;
+      } else {
+        value <<= 1;
+        lat_hi = mid;
+      }
+    }
+    even_bit = !even_bit;
+    if (++bit == 5) {
+      hash += kBase32[value];
+      bit = 0;
+      value = 0;
+    }
+  }
+  return hash;
+}
+
+GeohashBox GeohashDecode(const std::string& hash) {
+  CHECK(!hash.empty());
+  double lat_lo = -90.0, lat_hi = 90.0;
+  double lng_lo = -180.0, lng_hi = 180.0;
+  bool even_bit = true;
+  for (char c : hash) {
+    const int value = Base32Value(c);
+    for (int shift = 4; shift >= 0; --shift) {
+      const int bit = (value >> shift) & 1;
+      if (even_bit) {
+        const double mid = (lng_lo + lng_hi) / 2.0;
+        if (bit != 0) {
+          lng_lo = mid;
+        } else {
+          lng_hi = mid;
+        }
+      } else {
+        const double mid = (lat_lo + lat_hi) / 2.0;
+        if (bit != 0) {
+          lat_lo = mid;
+        } else {
+          lat_hi = mid;
+        }
+      }
+      even_bit = !even_bit;
+    }
+  }
+  return GeohashBox{lat_lo, lat_hi, lng_lo, lng_hi};
+}
+
+std::string GeohashNeighbor(const std::string& hash, int dx, int dy) {
+  const GeohashBox box = GeohashDecode(hash);
+  const double cell_h = box.max_lat - box.min_lat;
+  const double cell_w = box.max_lng - box.min_lng;
+  LatLng center = box.Center();
+  center.lat += dy * cell_h;
+  center.lng += dx * cell_w;
+  CHECK(center.lat > -90.0 && center.lat < 90.0);
+  if (center.lng > 180.0) center.lng -= 360.0;
+  if (center.lng < -180.0) center.lng += 360.0;
+  return GeohashEncode(center, static_cast<int>(hash.size()));
+}
+
+}  // namespace dlinf

@@ -1,0 +1,38 @@
+#ifndef DLINF_GEO_GEOHASH_H_
+#define DLINF_GEO_GEOHASH_H_
+
+#include <string>
+
+#include "geo/latlng.h"
+
+namespace dlinf {
+
+/// Geodetic bounding box of one geohash cell.
+struct GeohashBox {
+  double min_lat = 0.0;
+  double max_lat = 0.0;
+  double min_lng = 0.0;
+  double max_lng = 0.0;
+
+  LatLng Center() const {
+    return LatLng{(min_lat + max_lat) / 2.0, (min_lng + max_lng) / 2.0};
+  }
+};
+
+/// Encodes a coordinate as a base-32 geohash of the given precision
+/// (1..12 characters). Precision 8 cells are roughly 38 m x 19 m, the grid
+/// resolution the UNet-based baseline [20] operates on.
+std::string GeohashEncode(const LatLng& coord, int precision);
+
+/// Decodes a geohash string to its cell bounding box. Aborts on characters
+/// outside the geohash base-32 alphabet.
+GeohashBox GeohashDecode(const std::string& hash);
+
+/// The geohash of the cell `dx` cells east and `dy` cells north of the cell
+/// containing `hash`'s center, at the same precision. Used to enumerate the
+/// 9x9 neighbourhood for the UNet-based baseline.
+std::string GeohashNeighbor(const std::string& hash, int dx, int dy);
+
+}  // namespace dlinf
+
+#endif  // DLINF_GEO_GEOHASH_H_

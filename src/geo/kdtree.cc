@@ -1,0 +1,128 @@
+#include "geo/kdtree.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "common/check.h"
+
+namespace dlinf {
+
+KdTree::KdTree(std::vector<Point> points) : points_(std::move(points)) {
+  if (points_.empty()) return;
+  std::vector<int32_t> indices(points_.size());
+  for (size_t i = 0; i < indices.size(); ++i)
+    indices[i] = static_cast<int32_t>(i);
+  nodes_.reserve(points_.size());
+  root_ = Build(&indices, 0, static_cast<int>(indices.size()), 0);
+}
+
+int32_t KdTree::Build(std::vector<int32_t>* indices, int lo, int hi,
+                      int depth) {
+  if (lo >= hi) return -1;
+  const uint8_t axis = static_cast<uint8_t>(depth % 2);
+  const int mid = lo + (hi - lo) / 2;
+  auto cmp = [this, axis](int32_t a, int32_t b) {
+    return axis == 0 ? points_[a].x < points_[b].x : points_[a].y < points_[b].y;
+  };
+  std::nth_element(indices->begin() + lo, indices->begin() + mid,
+                   indices->begin() + hi, cmp);
+  Node node;
+  node.axis = axis;
+  node.point_index = (*indices)[mid];
+  const int32_t node_id = static_cast<int32_t>(nodes_.size());
+  nodes_.push_back(node);
+  const int32_t left = Build(indices, lo, mid, depth + 1);
+  const int32_t right = Build(indices, mid + 1, hi, depth + 1);
+  nodes_[node_id].left = left;
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+int64_t KdTree::Nearest(const Point& query, double* out_distance) const {
+  if (root_ < 0) return -1;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  int64_t best_index = -1;
+  NearestRec(root_, query, &best_d2, &best_index);
+  if (out_distance != nullptr) *out_distance = std::sqrt(best_d2);
+  return best_index;
+}
+
+void KdTree::NearestRec(int32_t node_id, const Point& query, double* best_d2,
+                        int64_t* best_index) const {
+  if (node_id < 0) return;
+  const Node& node = nodes_[node_id];
+  const Point& p = points_[node.point_index];
+  const double d2 = SquaredDistance(p, query);
+  if (d2 < *best_d2) {
+    *best_d2 = d2;
+    *best_index = node.point_index;
+  }
+  const double delta =
+      node.axis == 0 ? query.x - p.x : query.y - p.y;
+  const int32_t near_child = delta <= 0 ? node.left : node.right;
+  const int32_t far_child = delta <= 0 ? node.right : node.left;
+  NearestRec(near_child, query, best_d2, best_index);
+  if (delta * delta < *best_d2) {
+    NearestRec(far_child, query, best_d2, best_index);
+  }
+}
+
+std::vector<int64_t> KdTree::KNearest(const Point& query, int k) const {
+  CHECK_GT(k, 0);
+  std::vector<std::pair<double, int64_t>> heap;  // Max-heap on distance².
+  if (root_ >= 0) KNearestRec(root_, query, k, &heap);
+  std::sort_heap(heap.begin(), heap.end());
+  std::vector<int64_t> out;
+  out.reserve(heap.size());
+  for (const auto& [d2, index] : heap) out.push_back(index);
+  return out;
+}
+
+void KdTree::KNearestRec(
+    int32_t node_id, const Point& query, int k,
+    std::vector<std::pair<double, int64_t>>* heap) const {
+  if (node_id < 0) return;
+  const Node& node = nodes_[node_id];
+  const Point& p = points_[node.point_index];
+  const double d2 = SquaredDistance(p, query);
+  if (static_cast<int>(heap->size()) < k) {
+    heap->emplace_back(d2, node.point_index);
+    std::push_heap(heap->begin(), heap->end());
+  } else if (d2 < heap->front().first) {
+    std::pop_heap(heap->begin(), heap->end());
+    heap->back() = {d2, node.point_index};
+    std::push_heap(heap->begin(), heap->end());
+  }
+  const double delta = node.axis == 0 ? query.x - p.x : query.y - p.y;
+  const int32_t near_child = delta <= 0 ? node.left : node.right;
+  const int32_t far_child = delta <= 0 ? node.right : node.left;
+  KNearestRec(near_child, query, k, heap);
+  const double worst = static_cast<int>(heap->size()) < k
+                           ? std::numeric_limits<double>::infinity()
+                           : heap->front().first;
+  if (delta * delta < worst) KNearestRec(far_child, query, k, heap);
+}
+
+std::vector<int64_t> KdTree::RadiusQuery(const Point& query,
+                                         double radius) const {
+  CHECK_GE(radius, 0.0);
+  std::vector<int64_t> out;
+  if (root_ >= 0) RadiusRec(root_, query, radius * radius, &out);
+  return out;
+}
+
+void KdTree::RadiusRec(int32_t node_id, const Point& query, double r2,
+                       std::vector<int64_t>* out) const {
+  if (node_id < 0) return;
+  const Node& node = nodes_[node_id];
+  const Point& p = points_[node.point_index];
+  if (SquaredDistance(p, query) <= r2) out->push_back(node.point_index);
+  const double delta = node.axis == 0 ? query.x - p.x : query.y - p.y;
+  const int32_t near_child = delta <= 0 ? node.left : node.right;
+  const int32_t far_child = delta <= 0 ? node.right : node.left;
+  RadiusRec(near_child, query, r2, out);
+  if (delta * delta <= r2) RadiusRec(far_child, query, r2, out);
+}
+
+}  // namespace dlinf

@@ -1,0 +1,60 @@
+#ifndef DLINF_GEO_KDTREE_H_
+#define DLINF_GEO_KDTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace dlinf {
+
+/// Static 2-d tree over a point set, built once and queried many times.
+///
+/// Used where exact nearest neighbours are needed over the whole candidate
+/// pool (supervised label assignment: "nearest candidate to the ground-truth
+/// location"; the MinDist baseline) where a fixed-radius grid probe would need
+/// an unbounded fallback radius.
+class KdTree {
+ public:
+  /// Builds over a copy of `points`. Query results are indexes into that
+  /// original vector. An empty point set is allowed (queries return -1).
+  explicit KdTree(std::vector<Point> points);
+
+  /// Index of the nearest point to `query`, or -1 when the tree is empty.
+  /// Ties resolve to the point reached first during traversal.
+  int64_t Nearest(const Point& query, double* out_distance = nullptr) const;
+
+  /// Indexes of the k nearest points, closest first (fewer when the tree is
+  /// smaller than k).
+  std::vector<int64_t> KNearest(const Point& query, int k) const;
+
+  /// Indexes of all points within `radius` of `query` (inclusive), unsorted.
+  std::vector<int64_t> RadiusQuery(const Point& query, double radius) const;
+
+  int64_t size() const { return static_cast<int64_t>(points_.size()); }
+  const Point& point(int64_t i) const { return points_[i]; }
+
+ private:
+  struct Node {
+    int32_t left = -1;
+    int32_t right = -1;
+    int32_t point_index = -1;
+    uint8_t axis = 0;  // 0 = x, 1 = y.
+  };
+
+  int32_t Build(std::vector<int32_t>* indices, int lo, int hi, int depth);
+  void NearestRec(int32_t node, const Point& query, double* best_d2,
+                  int64_t* best_index) const;
+  void KNearestRec(int32_t node, const Point& query, int k,
+                   std::vector<std::pair<double, int64_t>>* heap) const;
+  void RadiusRec(int32_t node, const Point& query, double r2,
+                 std::vector<int64_t>* out) const;
+
+  std::vector<Point> points_;
+  std::vector<Node> nodes_;
+  int32_t root_ = -1;
+};
+
+}  // namespace dlinf
+
+#endif  // DLINF_GEO_KDTREE_H_

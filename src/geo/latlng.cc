@@ -1,0 +1,40 @@
+#include "geo/latlng.h"
+
+#include <cmath>
+
+namespace dlinf {
+namespace {
+
+constexpr double kDegToRad = M_PI / 180.0;
+
+}  // namespace
+
+double HaversineDistance(const LatLng& a, const LatLng& b) {
+  const double lat1 = a.lat * kDegToRad;
+  const double lat2 = b.lat * kDegToRad;
+  const double dlat = (b.lat - a.lat) * kDegToRad;
+  const double dlng = (b.lng - a.lng) * kDegToRad;
+  const double sin_dlat = std::sin(dlat / 2.0);
+  const double sin_dlng = std::sin(dlng / 2.0);
+  const double h = sin_dlat * sin_dlat +
+                   std::cos(lat1) * std::cos(lat2) * sin_dlng * sin_dlng;
+  return 2.0 * kEarthRadiusMeters * std::asin(std::sqrt(h));
+}
+
+LocalProjection::LocalProjection(const LatLng& anchor) : anchor_(anchor) {
+  meters_per_deg_lat_ = kEarthRadiusMeters * kDegToRad;
+  meters_per_deg_lng_ =
+      kEarthRadiusMeters * kDegToRad * std::cos(anchor.lat * kDegToRad);
+}
+
+Point LocalProjection::Forward(const LatLng& coord) const {
+  return Point{(coord.lng - anchor_.lng) * meters_per_deg_lng_,
+               (coord.lat - anchor_.lat) * meters_per_deg_lat_};
+}
+
+LatLng LocalProjection::Backward(const Point& p) const {
+  return LatLng{anchor_.lat + p.y / meters_per_deg_lat_,
+                anchor_.lng + p.x / meters_per_deg_lng_};
+}
+
+}  // namespace dlinf

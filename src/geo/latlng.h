@@ -1,0 +1,44 @@
+#ifndef DLINF_GEO_LATLNG_H_
+#define DLINF_GEO_LATLNG_H_
+
+#include "geo/point.h"
+
+namespace dlinf {
+
+/// A geodetic coordinate, degrees.
+struct LatLng {
+  double lat = 0.0;
+  double lng = 0.0;
+};
+
+/// Mean Earth radius in meters (WGS84 mean).
+inline constexpr double kEarthRadiusMeters = 6371008.8;
+
+/// Great-circle distance in meters between two geodetic coordinates.
+double HaversineDistance(const LatLng& a, const LatLng& b);
+
+/// Equirectangular projection anchored at a reference coordinate.
+///
+/// Accurate to well under a meter over the few-kilometer extent of a delivery
+/// station, which is the only scale this project operates at.
+class LocalProjection {
+ public:
+  explicit LocalProjection(const LatLng& anchor);
+
+  /// Geodetic -> local meters (x east, y north) relative to the anchor.
+  Point Forward(const LatLng& coord) const;
+
+  /// Local meters -> geodetic.
+  LatLng Backward(const Point& p) const;
+
+  const LatLng& anchor() const { return anchor_; }
+
+ private:
+  LatLng anchor_;
+  double meters_per_deg_lat_;
+  double meters_per_deg_lng_;
+};
+
+}  // namespace dlinf
+
+#endif  // DLINF_GEO_LATLNG_H_

@@ -1,0 +1,29 @@
+#include "geo/point.h"
+
+namespace dlinf {
+
+Point Centroid(const std::vector<Point>& points) {
+  if (points.empty()) return Point{};
+  double sx = 0.0;
+  double sy = 0.0;
+  for (const Point& p : points) {
+    sx += p.x;
+    sy += p.y;
+  }
+  const double n = static_cast<double>(points.size());
+  return Point{sx / n, sy / n};
+}
+
+BBox Bounds(const std::vector<Point>& points) {
+  if (points.empty()) return BBox{};
+  BBox box{points[0].x, points[0].y, points[0].x, points[0].y};
+  for (const Point& p : points) {
+    if (p.x < box.min_x) box.min_x = p.x;
+    if (p.y < box.min_y) box.min_y = p.y;
+    if (p.x > box.max_x) box.max_x = p.x;
+    if (p.y > box.max_y) box.max_y = p.y;
+  }
+  return box;
+}
+
+}  // namespace dlinf

@@ -1,0 +1,60 @@
+#ifndef DLINF_GEO_POINT_H_
+#define DLINF_GEO_POINT_H_
+
+#include <cmath>
+#include <vector>
+
+namespace dlinf {
+
+/// A point in a local planar coordinate system, in meters.
+///
+/// All pipeline geometry (trajectories, stay points, candidates, delivery
+/// locations) runs in station-local metric coordinates; LatLng / Project
+/// (latlng.h) convert to and from geodetic coordinates at the boundary.
+struct Point {
+  double x = 0.0;  ///< Easting in meters.
+  double y = 0.0;  ///< Northing in meters.
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+/// Euclidean distance in meters.
+inline double Distance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// Squared Euclidean distance (avoids the sqrt in hot loops / comparisons).
+inline double SquaredDistance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Centroid of a non-empty set of points. Returns {0,0} for an empty set.
+Point Centroid(const std::vector<Point>& points);
+
+/// Axis-aligned bounding box.
+struct BBox {
+  double min_x = 0.0;
+  double min_y = 0.0;
+  double max_x = 0.0;
+  double max_y = 0.0;
+
+  bool Contains(const Point& p) const {
+    return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+  }
+
+  double Width() const { return max_x - min_x; }
+  double Height() const { return max_y - min_y; }
+};
+
+/// Tight bounding box of a non-empty point set; a zero box when empty.
+BBox Bounds(const std::vector<Point>& points);
+
+}  // namespace dlinf
+
+#endif  // DLINF_GEO_POINT_H_

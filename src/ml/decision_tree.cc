@@ -1,0 +1,251 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+
+#include "common/check.h"
+
+namespace dlinf {
+namespace ml {
+namespace {
+
+/// A node pending expansion in best-first growth.
+struct Candidate {
+  double gain = 0.0;
+  int node_index = -1;
+  int depth = 0;
+  int feature = -1;
+  double threshold = 0.0;
+  std::vector<int> left_samples;
+  std::vector<int> right_samples;
+
+  bool operator<(const Candidate& other) const { return gain < other.gain; }
+};
+
+struct SplitContext {
+  const std::vector<FeatureRow>* x;
+  const std::vector<double>* y;
+  const std::vector<double>* w;
+  DecisionTree::Options options;
+  Rng* rng;
+};
+
+/// Negated weighted impurity ("score"): higher is purer.
+/// Classification: (Wpos^2 + Wneg^2) / W   (from weighted Gini)
+/// Regression:     (sum w*y)^2 / W - const (from variance reduction; the
+/// constant sum w*y^2 cancels in gains).
+double NodeScore(const SplitContext& ctx, const std::vector<int>& samples) {
+  double w_total = 0.0;
+  double wy = 0.0;
+  for (int i : samples) {
+    const double wi = (*ctx.w)[i];
+    w_total += wi;
+    wy += wi * (*ctx.y)[i];
+  }
+  if (w_total <= 0.0) return 0.0;
+  if (ctx.options.task == DecisionTree::Task::kClassification) {
+    const double pos = wy;
+    const double neg = w_total - wy;
+    return (pos * pos + neg * neg) / w_total;
+  }
+  return wy * wy / w_total;
+}
+
+double LeafValue(const SplitContext& ctx, const std::vector<int>& samples) {
+  double w_total = 0.0;
+  double wy = 0.0;
+  for (int i : samples) {
+    w_total += (*ctx.w)[i];
+    wy += (*ctx.w)[i] * (*ctx.y)[i];
+  }
+  return w_total > 0.0 ? wy / w_total : 0.0;
+}
+
+/// Finds the best split of `samples`, filling the candidate. Returns false
+/// when no split improves the score (node stays a leaf).
+bool FindBestSplit(const SplitContext& ctx, const std::vector<int>& samples,
+                   Candidate* out) {
+  const int num_features = static_cast<int>((*ctx.x)[0].size());
+  if (static_cast<int>(samples.size()) < 2 * ctx.options.min_samples_leaf) {
+    return false;
+  }
+
+  std::vector<int> features(num_features);
+  std::iota(features.begin(), features.end(), 0);
+  if (ctx.options.feature_subsample > 0 &&
+      ctx.options.feature_subsample < num_features) {
+    CHECK(ctx.rng != nullptr)
+        << "feature_subsample requires an Rng";
+    ctx.rng->Shuffle(&features);
+    features.resize(ctx.options.feature_subsample);
+  }
+
+  const double parent_score = NodeScore(ctx, samples);
+  double best_gain = 1e-12;  // Require strictly positive improvement.
+  bool found = false;
+
+  std::vector<int> sorted = samples;
+  for (int feature : features) {
+    std::sort(sorted.begin(), sorted.end(), [&](int a, int b) {
+      return (*ctx.x)[a][feature] < (*ctx.x)[b][feature];
+    });
+    // Prefix scan of weights / weighted targets.
+    double wl = 0.0, wyl = 0.0;
+    double w_total = 0.0, wy_total = 0.0;
+    for (int i : sorted) {
+      w_total += (*ctx.w)[i];
+      wy_total += (*ctx.w)[i] * (*ctx.y)[i];
+    }
+    for (size_t k = 0; k + 1 < sorted.size(); ++k) {
+      const int i = sorted[k];
+      wl += (*ctx.w)[i];
+      wyl += (*ctx.w)[i] * (*ctx.y)[i];
+      const double v = (*ctx.x)[i][feature];
+      const double v_next = (*ctx.x)[sorted[k + 1]][feature];
+      if (v_next <= v) continue;  // Not a valid threshold between values.
+      const int left_n = static_cast<int>(k) + 1;
+      const int right_n = static_cast<int>(sorted.size()) - left_n;
+      if (left_n < ctx.options.min_samples_leaf ||
+          right_n < ctx.options.min_samples_leaf) {
+        continue;
+      }
+      const double wr = w_total - wl;
+      if (wl <= 0.0 || wr <= 0.0) continue;
+      double left_score, right_score;
+      if (ctx.options.task == DecisionTree::Task::kClassification) {
+        const double pos_l = wyl, neg_l = wl - wyl;
+        const double pos_r = wy_total - wyl, neg_r = wr - (wy_total - wyl);
+        left_score = (pos_l * pos_l + neg_l * neg_l) / wl;
+        right_score = (pos_r * pos_r + neg_r * neg_r) / wr;
+      } else {
+        const double wyr = wy_total - wyl;
+        left_score = wyl * wyl / wl;
+        right_score = wyr * wyr / wr;
+      }
+      const double gain = left_score + right_score - parent_score;
+      if (gain > best_gain) {
+        best_gain = gain;
+        out->gain = gain;
+        out->feature = feature;
+        out->threshold = (v + v_next) / 2.0;
+        found = true;
+      }
+    }
+  }
+  if (!found) return false;
+
+  out->left_samples.clear();
+  out->right_samples.clear();
+  for (int i : samples) {
+    if ((*ctx.x)[i][out->feature] <= out->threshold) {
+      out->left_samples.push_back(i);
+    } else {
+      out->right_samples.push_back(i);
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void DecisionTree::Fit(const std::vector<FeatureRow>& x,
+                       const std::vector<double>& y,
+                       const std::vector<double>& w, const Options& options,
+                       Rng* rng) {
+  CHECK(!x.empty());
+  CHECK_EQ(x.size(), y.size());
+  CHECK(w.empty() || w.size() == x.size());
+  nodes_.clear();
+
+  std::vector<double> weights = w;
+  if (weights.empty()) weights.assign(x.size(), 1.0);
+
+  SplitContext ctx{&x, &y, &weights, options, rng};
+
+  std::vector<int> all(x.size());
+  std::iota(all.begin(), all.end(), 0);
+
+  Node root;
+  root.value = LeafValue(ctx, all);
+  nodes_.push_back(root);
+
+  std::priority_queue<Candidate> frontier;
+  int leaves = 1;
+  {
+    Candidate c;
+    c.node_index = 0;
+    c.depth = 0;
+    if (options.max_depth > 0 && FindBestSplit(ctx, all, &c)) {
+      frontier.push(std::move(c));
+    }
+  }
+
+  while (!frontier.empty()) {
+    if (options.max_leaves > 0 && leaves >= options.max_leaves) break;
+    Candidate c = frontier.top();
+    frontier.pop();
+
+    Node left;
+    left.value = LeafValue(ctx, c.left_samples);
+    Node right;
+    right.value = LeafValue(ctx, c.right_samples);
+    const int left_index = static_cast<int>(nodes_.size());
+    nodes_.push_back(left);
+    const int right_index = static_cast<int>(nodes_.size());
+    nodes_.push_back(right);
+
+    nodes_[c.node_index].feature = c.feature;
+    nodes_[c.node_index].threshold = c.threshold;
+    nodes_[c.node_index].left = left_index;
+    nodes_[c.node_index].right = right_index;
+    ++leaves;  // One leaf became two.
+
+    if (c.depth + 1 < options.max_depth) {
+      Candidate cl;
+      cl.node_index = left_index;
+      cl.depth = c.depth + 1;
+      if (FindBestSplit(ctx, c.left_samples, &cl)) frontier.push(std::move(cl));
+      Candidate cr;
+      cr.node_index = right_index;
+      cr.depth = c.depth + 1;
+      if (FindBestSplit(ctx, c.right_samples, &cr)) {
+        frontier.push(std::move(cr));
+      }
+    }
+  }
+}
+
+double DecisionTree::Predict(const FeatureRow& row) const {
+  return nodes_[Apply(row)].value;
+}
+
+int DecisionTree::Apply(const FeatureRow& row) const {
+  CHECK(trained());
+  int node = 0;
+  while (nodes_[node].feature >= 0) {
+    CHECK_LT(static_cast<size_t>(nodes_[node].feature), row.size());
+    node = row[nodes_[node].feature] <= nodes_[node].threshold
+               ? nodes_[node].left
+               : nodes_[node].right;
+  }
+  return node;
+}
+
+void DecisionTree::SetLeafValue(int node_index, double value) {
+  CHECK(node_index >= 0 && node_index < num_nodes());
+  CHECK_EQ(nodes_[node_index].feature, -1);
+  nodes_[node_index].value = value;
+}
+
+int DecisionTree::num_leaves() const {
+  int leaves = 0;
+  for (const Node& node : nodes_) {
+    if (node.feature < 0) ++leaves;
+  }
+  return leaves;
+}
+
+}  // namespace ml
+}  // namespace dlinf

@@ -1,0 +1,76 @@
+#ifndef DLINF_ML_DECISION_TREE_H_
+#define DLINF_ML_DECISION_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace dlinf {
+namespace ml {
+
+/// Dense feature row. All classical models in this project consume
+/// fixed-width double features.
+using FeatureRow = std::vector<double>;
+
+/// CART decision tree supporting weighted binary classification (Gini) and
+/// regression (variance reduction).
+///
+/// Nodes are grown best-first (highest impurity decrease first), which gives
+/// the "at most N leaf nodes" semantics the paper configures for GeoRank and
+/// DLInfMA-RkDT (1024 leaves). It is also the base learner for the random
+/// forest and gradient-boosting ensembles.
+class DecisionTree {
+ public:
+  enum class Task { kClassification, kRegression };
+
+  struct Options {
+    Task task = Task::kClassification;
+    int max_depth = 10;
+    /// 0 = unlimited. Counted as leaves of the final tree.
+    int max_leaves = 0;
+    int min_samples_leaf = 1;
+    /// Number of features considered per split; 0 = all. Used by random
+    /// forests (typically sqrt of the feature count).
+    int feature_subsample = 0;
+  };
+
+  DecisionTree() = default;
+
+  /// Fits on rows `x` with targets `y` (classification targets must be 0/1)
+  /// and per-sample weights `w` (pass empty for uniform). `rng` is required
+  /// only when options.feature_subsample > 0.
+  void Fit(const std::vector<FeatureRow>& x, const std::vector<double>& y,
+           const std::vector<double>& w, const Options& options,
+           Rng* rng = nullptr);
+
+  /// Classification: probability of class 1. Regression: predicted value.
+  double Predict(const FeatureRow& row) const;
+
+  /// Index of the leaf node reached by `row` (for gradient boosting's
+  /// Newton leaf refit).
+  int Apply(const FeatureRow& row) const;
+
+  /// Overrides a leaf's predicted value (gradient boosting).
+  void SetLeafValue(int node_index, double value);
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int num_leaves() const;
+  bool trained() const { return !nodes_.empty(); }
+
+ private:
+  struct Node {
+    int feature = -1;          // -1 = leaf.
+    double threshold = 0.0;    // Goes left when value <= threshold.
+    int left = -1;
+    int right = -1;
+    double value = 0.0;        // Leaf prediction.
+  };
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace ml
+}  // namespace dlinf
+
+#endif  // DLINF_ML_DECISION_TREE_H_

@@ -1,0 +1,87 @@
+#include "ml/gbdt.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace dlinf {
+namespace ml {
+namespace {
+
+double Sigmoid(double v) { return 1.0 / (1.0 + std::exp(-v)); }
+
+}  // namespace
+
+void GradientBoosting::Fit(const std::vector<FeatureRow>& x,
+                           const std::vector<double>& y,
+                           const std::vector<double>& w,
+                           const Options& options) {
+  CHECK(!x.empty());
+  CHECK_EQ(x.size(), y.size());
+  CHECK_GE(options.num_stages, 1);
+  learning_rate_ = options.learning_rate;
+  trees_.clear();
+
+  std::vector<double> weights = w;
+  if (weights.empty()) weights.assign(x.size(), 1.0);
+
+  // Prior: weighted log-odds, clamped away from degenerate all-one-class.
+  double wy = 0.0, w_total = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    wy += weights[i] * y[i];
+    w_total += weights[i];
+  }
+  const double p0 = std::min(1.0 - 1e-6, std::max(1e-6, wy / w_total));
+  base_score_ = std::log(p0 / (1.0 - p0));
+
+  std::vector<double> score(x.size(), base_score_);
+  DecisionTree::Options tree_options;
+  tree_options.task = DecisionTree::Task::kRegression;
+  tree_options.max_depth = options.max_depth;
+  tree_options.min_samples_leaf = options.min_samples_leaf;
+
+  for (int stage = 0; stage < options.num_stages; ++stage) {
+    // Negative gradient of logistic loss.
+    std::vector<double> residual(x.size());
+    for (size_t i = 0; i < x.size(); ++i) {
+      residual[i] = y[i] - Sigmoid(score[i]);
+    }
+    DecisionTree tree;
+    tree.Fit(x, residual, weights, tree_options);
+
+    // One Newton step per leaf: sum(w*r) / sum(w*p*(1-p)).
+    struct LeafStats {
+      double num = 0.0;
+      double den = 0.0;
+    };
+    std::unordered_map<int, LeafStats> stats;
+    std::vector<int> leaf_of(x.size());
+    for (size_t i = 0; i < x.size(); ++i) {
+      leaf_of[i] = tree.Apply(x[i]);
+      const double p = Sigmoid(score[i]);
+      LeafStats& s = stats[leaf_of[i]];
+      s.num += weights[i] * residual[i];
+      s.den += weights[i] * p * (1.0 - p);
+    }
+    for (const auto& [leaf, s] : stats) {
+      tree.SetLeafValue(leaf, s.den > 1e-12 ? s.num / s.den : 0.0);
+    }
+    for (size_t i = 0; i < x.size(); ++i) {
+      score[i] += learning_rate_ * tree.Predict(x[i]);
+    }
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double GradientBoosting::PredictProba(const FeatureRow& row) const {
+  CHECK(!trees_.empty());
+  double score = base_score_;
+  for (const DecisionTree& tree : trees_) {
+    score += learning_rate_ * tree.Predict(row);
+  }
+  return Sigmoid(score);
+}
+
+}  // namespace ml
+}  // namespace dlinf

@@ -1,0 +1,43 @@
+#ifndef DLINF_ML_GBDT_H_
+#define DLINF_ML_GBDT_H_
+
+#include <vector>
+
+#include "ml/decision_tree.h"
+
+namespace dlinf {
+namespace ml {
+
+/// Gradient-boosted trees with logistic loss (Friedman [23]); base learner
+/// of the DLInfMA-GBDT variant (paper setting: 150 boosting stages).
+///
+/// Each stage fits a regression tree to the negative gradient (residuals
+/// y - p) and refits leaf values with a one-step Newton update.
+class GradientBoosting {
+ public:
+  struct Options {
+    int num_stages = 150;
+    double learning_rate = 0.1;
+    int max_depth = 3;
+    int min_samples_leaf = 1;
+  };
+
+  /// Fits on 0/1 targets with optional per-sample weights.
+  void Fit(const std::vector<FeatureRow>& x, const std::vector<double>& y,
+           const std::vector<double>& w, const Options& options);
+
+  /// Probability of class 1 (sigmoid of the boosted score).
+  double PredictProba(const FeatureRow& row) const;
+
+  int num_stages() const { return static_cast<int>(trees_.size()); }
+
+ private:
+  double base_score_ = 0.0;  // Log-odds prior.
+  double learning_rate_ = 0.1;
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace ml
+}  // namespace dlinf
+
+#endif  // DLINF_ML_GBDT_H_

@@ -1,0 +1,67 @@
+#include "ml/pairwise.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dlinf {
+namespace ml {
+
+FeatureRow RowDifference(const FeatureRow& a, const FeatureRow& b) {
+  CHECK_EQ(a.size(), b.size());
+  FeatureRow diff(a.size());
+  for (size_t i = 0; i < a.size(); ++i) diff[i] = a[i] - b[i];
+  return diff;
+}
+
+void MakePairwiseTrainingSet(const std::vector<RankingGroup>& groups,
+                             int max_pairs_per_group, Rng* rng,
+                             std::vector<FeatureRow>* x,
+                             std::vector<double>* y) {
+  CHECK(x != nullptr && y != nullptr);
+  x->clear();
+  y->clear();
+  for (const RankingGroup& group : groups) {
+    CHECK(group.positive_index >= 0 &&
+          group.positive_index < static_cast<int>(group.rows.size()));
+    const FeatureRow& pos = group.rows[group.positive_index];
+    std::vector<int> negatives;
+    for (int i = 0; i < static_cast<int>(group.rows.size()); ++i) {
+      if (i != group.positive_index) negatives.push_back(i);
+    }
+    if (max_pairs_per_group > 0 &&
+        static_cast<int>(negatives.size()) > max_pairs_per_group) {
+      CHECK(rng != nullptr);
+      rng->Shuffle(&negatives);
+      negatives.resize(max_pairs_per_group);
+    }
+    for (int neg_index : negatives) {
+      const FeatureRow& neg = group.rows[neg_index];
+      x->push_back(RowDifference(pos, neg));
+      y->push_back(1.0);
+      x->push_back(RowDifference(neg, pos));
+      y->push_back(0.0);
+    }
+  }
+}
+
+int PairwiseVoteSelect(
+    const std::vector<FeatureRow>& rows,
+    const std::function<double(const FeatureRow&)>& pair_score) {
+  CHECK(!rows.empty());
+  if (rows.size() == 1) return 0;
+  std::vector<int> wins(rows.size(), 0);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    for (size_t j = 0; j < rows.size(); ++j) {
+      if (i == j) continue;
+      if (pair_score(RowDifference(rows[i], rows[j])) > 0.5) {
+        ++wins[i];
+      }
+    }
+  }
+  return static_cast<int>(
+      std::max_element(wins.begin(), wins.end()) - wins.begin());
+}
+
+}  // namespace ml
+}  // namespace dlinf

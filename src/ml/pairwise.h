@@ -1,0 +1,44 @@
+#ifndef DLINF_ML_PAIRWISE_H_
+#define DLINF_ML_PAIRWISE_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/random.h"
+#include "ml/decision_tree.h"
+
+namespace dlinf {
+namespace ml {
+
+/// A group of candidate feature rows with exactly one positive, as produced
+/// per address by the candidate-generation pipeline.
+struct RankingGroup {
+  std::vector<FeatureRow> rows;
+  int positive_index = -1;
+};
+
+/// Training rows for a pairwise ranking model (GeoRank [6], DLInfMA-RkDT):
+/// for each (positive, negative) pair within a group, emits the feature
+/// difference (pos - neg) labelled 1 and (neg - pos) labelled 0.
+/// `max_pairs_per_group` bounds quadratic blowup (0 = unlimited).
+void MakePairwiseTrainingSet(const std::vector<RankingGroup>& groups,
+                             int max_pairs_per_group, Rng* rng,
+                             std::vector<FeatureRow>* x,
+                             std::vector<double>* y);
+
+/// Vote-based pairwise inference: every ordered candidate pair (i, j) is
+/// scored by `pair_score` on the feature difference; candidate i wins the
+/// comparison when pair_score(x_i - x_j) > 0.5. Returns the index with the
+/// most wins (ties resolve to the lower index). This mirrors the "candidate
+/// that wins the most comparisons" selection of GeoRank.
+int PairwiseVoteSelect(
+    const std::vector<FeatureRow>& rows,
+    const std::function<double(const FeatureRow&)>& pair_score);
+
+/// Elementwise a - b (rows must be the same width).
+FeatureRow RowDifference(const FeatureRow& a, const FeatureRow& b);
+
+}  // namespace ml
+}  // namespace dlinf
+
+#endif  // DLINF_ML_PAIRWISE_H_

@@ -1,0 +1,49 @@
+#include "ml/random_forest.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dlinf {
+namespace ml {
+
+void RandomForest::Fit(const std::vector<FeatureRow>& x,
+                       const std::vector<double>& y,
+                       const std::vector<double>& w, const Options& options,
+                       Rng* rng) {
+  CHECK(!x.empty());
+  CHECK(rng != nullptr);
+  CHECK_GE(options.num_trees, 1);
+  trees_.assign(options.num_trees, DecisionTree());
+
+  const int num_features = static_cast<int>(x[0].size());
+  DecisionTree::Options tree_options;
+  tree_options.task = DecisionTree::Task::kClassification;
+  tree_options.max_depth = options.max_depth;
+  tree_options.min_samples_leaf = options.min_samples_leaf;
+  tree_options.feature_subsample =
+      options.feature_subsample > 0
+          ? options.feature_subsample
+          : std::max(1, static_cast<int>(std::sqrt(num_features)));
+
+  const size_t n = x.size();
+  for (DecisionTree& tree : trees_) {
+    // Bootstrap sample expressed through sample weights (counts).
+    std::vector<double> boot_w(n, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      const size_t pick = static_cast<size_t>(rng->UniformInt(0, n - 1));
+      boot_w[pick] += w.empty() ? 1.0 : w[pick];
+    }
+    tree.Fit(x, y, boot_w, tree_options, rng);
+  }
+}
+
+double RandomForest::PredictProba(const FeatureRow& row) const {
+  CHECK(!trees_.empty());
+  double sum = 0.0;
+  for (const DecisionTree& tree : trees_) sum += tree.Predict(row);
+  return sum / trees_.size();
+}
+
+}  // namespace ml
+}  // namespace dlinf

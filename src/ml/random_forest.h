@@ -1,0 +1,40 @@
+#ifndef DLINF_ML_RANDOM_FOREST_H_
+#define DLINF_ML_RANDOM_FOREST_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "ml/decision_tree.h"
+
+namespace dlinf {
+namespace ml {
+
+/// Bagged ensemble of classification trees (Breiman [24]); base learner of
+/// the DLInfMA-RF variant (paper settings: 400 trees, depth 10).
+class RandomForest {
+ public:
+  struct Options {
+    int num_trees = 400;
+    int max_depth = 10;
+    int min_samples_leaf = 1;
+    /// Features tried per split; 0 picks sqrt(num_features).
+    int feature_subsample = 0;
+  };
+
+  /// Fits on 0/1 targets with optional per-sample weights.
+  void Fit(const std::vector<FeatureRow>& x, const std::vector<double>& y,
+           const std::vector<double>& w, const Options& options, Rng* rng);
+
+  /// Mean of per-tree class-1 probabilities.
+  double PredictProba(const FeatureRow& row) const;
+
+  int num_trees() const { return static_cast<int>(trees_.size()); }
+
+ private:
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace ml
+}  // namespace dlinf
+
+#endif  // DLINF_ML_RANDOM_FOREST_H_

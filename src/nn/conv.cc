@@ -1,0 +1,221 @@
+#include "nn/conv.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace dlinf {
+namespace nn {
+
+Tensor Conv2d(const Tensor& x, const Tensor& weight, const Tensor& bias,
+              int pad) {
+  CHECK_EQ(x.rank(), 4);
+  CHECK_EQ(weight.rank(), 4);
+  CHECK_EQ(bias.rank(), 1);
+  const int batch = x.dim(0);
+  const int in_c = x.dim(1);
+  const int h = x.dim(2);
+  const int w = x.dim(3);
+  const int out_c = weight.dim(0);
+  CHECK_EQ(weight.dim(1), in_c);
+  const int kh = weight.dim(2);
+  const int kw = weight.dim(3);
+  CHECK_EQ(bias.dim(0), out_c);
+  CHECK_GE(pad, 0);
+  const int out_h = h + 2 * pad - kh + 1;
+  const int out_w = w + 2 * pad - kw + 1;
+  CHECK(out_h > 0 && out_w > 0);
+
+  Tensor out = MakeResult({batch, out_c, out_h, out_w}, {x, weight, bias});
+  const std::vector<float>& xv = x.data();
+  const std::vector<float>& wv = weight.data();
+  const std::vector<float>& bv = bias.data();
+  std::vector<float>& ov = out.data();
+
+  auto x_at = [&](int b, int c, int i, int j) -> float {
+    if (i < 0 || i >= h || j < 0 || j >= w) return 0.0f;
+    return xv[((static_cast<int64_t>(b) * in_c + c) * h + i) * w + j];
+  };
+  for (int b = 0; b < batch; ++b) {
+    for (int oc = 0; oc < out_c; ++oc) {
+      for (int oi = 0; oi < out_h; ++oi) {
+        for (int oj = 0; oj < out_w; ++oj) {
+          double acc = bv[oc];
+          for (int c = 0; c < in_c; ++c) {
+            for (int ki = 0; ki < kh; ++ki) {
+              for (int kj = 0; kj < kw; ++kj) {
+                acc += static_cast<double>(
+                           x_at(b, c, oi - pad + ki, oj - pad + kj)) *
+                       wv[((static_cast<int64_t>(oc) * in_c + c) * kh + ki) *
+                              kw +
+                          kj];
+              }
+            }
+          }
+          ov[((static_cast<int64_t>(b) * out_c + oc) * out_h + oi) * out_w +
+             oj] = static_cast<float>(acc);
+        }
+      }
+    }
+  }
+
+  if (out.requires_grad()) {
+    auto out_impl = out.impl();
+    auto x_impl = x.impl();
+    auto w_impl = weight.impl();
+    auto b_impl = bias.impl();
+    internal::TensorImpl* const self = out_impl.get();
+    out_impl->backward_fn = [self, x_impl, w_impl, b_impl, batch, in_c,
+                             out_c, h, w, kh, kw, pad, out_h, out_w]() {
+      auto x_index = [&](int b, int c, int i, int j) -> int64_t {
+        return ((static_cast<int64_t>(b) * in_c + c) * h + i) * w + j;
+      };
+      for (int b = 0; b < batch; ++b) {
+        for (int oc = 0; oc < out_c; ++oc) {
+          for (int oi = 0; oi < out_h; ++oi) {
+            for (int oj = 0; oj < out_w; ++oj) {
+              const float g =
+                  self->grad[((static_cast<int64_t>(b) * out_c + oc) *
+                                      out_h +
+                                  oi) *
+                                     out_w +
+                                 oj];
+              if (g == 0.0f) continue;
+              if (b_impl->requires_grad) b_impl->grad[oc] += g;
+              for (int c = 0; c < in_c; ++c) {
+                for (int ki = 0; ki < kh; ++ki) {
+                  const int xi = oi - pad + ki;
+                  if (xi < 0 || xi >= h) continue;
+                  for (int kj = 0; kj < kw; ++kj) {
+                    const int xj = oj - pad + kj;
+                    if (xj < 0 || xj >= w) continue;
+                    const int64_t wi =
+                        ((static_cast<int64_t>(oc) * in_c + c) * kh + ki) *
+                            kw +
+                        kj;
+                    if (w_impl->requires_grad) {
+                      w_impl->grad[wi] += g * x_impl->data[x_index(b, c, xi, xj)];
+                    }
+                    if (x_impl->requires_grad) {
+                      x_impl->grad[x_index(b, c, xi, xj)] += g * w_impl->data[wi];
+                    }
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor MaxPool2x2(const Tensor& x) {
+  CHECK_EQ(x.rank(), 4);
+  const int batch = x.dim(0);
+  const int channels = x.dim(1);
+  const int h = x.dim(2);
+  const int w = x.dim(3);
+  const int out_h = h / 2;
+  const int out_w = w / 2;
+  CHECK(out_h > 0 && out_w > 0);
+
+  Tensor out = MakeResult({batch, channels, out_h, out_w}, {x});
+  std::vector<int64_t> argmax(out.numel());
+  const std::vector<float>& xv = x.data();
+  std::vector<float>& ov = out.data();
+  int64_t flat = 0;
+  for (int b = 0; b < batch; ++b) {
+    for (int c = 0; c < channels; ++c) {
+      const int64_t base = (static_cast<int64_t>(b) * channels + c) * h * w;
+      for (int oi = 0; oi < out_h; ++oi) {
+        for (int oj = 0; oj < out_w; ++oj, ++flat) {
+          float best = -std::numeric_limits<float>::infinity();
+          int64_t best_index = -1;
+          for (int di = 0; di < 2; ++di) {
+            for (int dj = 0; dj < 2; ++dj) {
+              const int64_t index =
+                  base + static_cast<int64_t>(2 * oi + di) * w + (2 * oj + dj);
+              if (xv[index] > best) {
+                best = xv[index];
+                best_index = index;
+              }
+            }
+          }
+          ov[flat] = best;
+          argmax[flat] = best_index;
+        }
+      }
+    }
+  }
+  if (out.requires_grad()) {
+    auto out_impl = out.impl();
+    auto x_impl = x.impl();
+    internal::TensorImpl* const self = out_impl.get();
+    out_impl->backward_fn = [self, x_impl, argmax = std::move(argmax)]() {
+      for (size_t i = 0; i < argmax.size(); ++i) {
+        x_impl->grad[argmax[i]] += self->grad[i];
+      }
+    };
+  }
+  return out;
+}
+
+Tensor UpsampleNearest(const Tensor& x, int out_h, int out_w) {
+  CHECK_EQ(x.rank(), 4);
+  CHECK(out_h > 0 && out_w > 0);
+  const int batch = x.dim(0);
+  const int channels = x.dim(1);
+  const int h = x.dim(2);
+  const int w = x.dim(3);
+
+  // Source index for each target row / column (floor of proportional map).
+  std::vector<int> src_row(out_h);
+  for (int i = 0; i < out_h; ++i) {
+    src_row[i] = std::min(h - 1, i * h / out_h);
+  }
+  std::vector<int> src_col(out_w);
+  for (int j = 0; j < out_w; ++j) {
+    src_col[j] = std::min(w - 1, j * w / out_w);
+  }
+
+  Tensor out = MakeResult({batch, channels, out_h, out_w}, {x});
+  const std::vector<float>& xv = x.data();
+  std::vector<float>& ov = out.data();
+  int64_t flat = 0;
+  for (int b = 0; b < batch; ++b) {
+    for (int c = 0; c < channels; ++c) {
+      const int64_t base = (static_cast<int64_t>(b) * channels + c) * h * w;
+      for (int i = 0; i < out_h; ++i) {
+        for (int j = 0; j < out_w; ++j, ++flat) {
+          ov[flat] = xv[base + static_cast<int64_t>(src_row[i]) * w + src_col[j]];
+        }
+      }
+    }
+  }
+  if (out.requires_grad()) {
+    auto out_impl = out.impl();
+    auto x_impl = x.impl();
+    internal::TensorImpl* const self = out_impl.get();
+    out_impl->backward_fn = [self, x_impl, batch, channels, h, w, out_h,
+                             out_w, src_row = std::move(src_row),
+                             src_col = std::move(src_col)]() {
+      int64_t flat = 0;
+      for (int b = 0; b < batch; ++b) {
+        for (int c = 0; c < channels; ++c) {
+          const int64_t base = (static_cast<int64_t>(b) * channels + c) * h * w;
+          for (int i = 0; i < out_h; ++i) {
+            for (int j = 0; j < out_w; ++j, ++flat) {
+              x_impl->grad[base + static_cast<int64_t>(src_row[i]) * w +
+                           src_col[j]] += self->grad[flat];
+            }
+          }
+        }
+      }
+    };
+  }
+  return out;
+}
+
+}  // namespace nn
+}  // namespace dlinf

@@ -1,0 +1,29 @@
+#ifndef DLINF_NN_CONV_H_
+#define DLINF_NN_CONV_H_
+
+#include "nn/tensor.h"
+
+namespace dlinf {
+namespace nn {
+
+/// 2-D convolution for the UNet-based baseline [20].
+///
+/// `x` is [B, C, H, W], `weight` is [O, C, kh, kw], `bias` is [O]. Stride is
+/// 1; `pad` zero-pads symmetrically (pad = kh/2 gives "same" output for odd
+/// kernels).
+Tensor Conv2d(const Tensor& x, const Tensor& weight, const Tensor& bias,
+              int pad);
+
+/// 2x2 max pooling with stride 2 over [B, C, H, W]; trailing odd rows /
+/// columns are dropped (floor semantics).
+Tensor MaxPool2x2(const Tensor& x);
+
+/// Nearest-neighbour resize of [B, C, H, W] to [B, C, out_h, out_w].
+/// Supports arbitrary target sizes, which the 9x9 UNet needs after pooling
+/// an odd-sized map.
+Tensor UpsampleNearest(const Tensor& x, int out_h, int out_w);
+
+}  // namespace nn
+}  // namespace dlinf
+
+#endif  // DLINF_NN_CONV_H_

@@ -1,0 +1,686 @@
+#include "nn/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dlinf {
+namespace nn {
+namespace {
+
+/// Row-major strides for a contiguous tensor of this shape.
+std::vector<int64_t> ContiguousStrides(const Shape& shape) {
+  std::vector<int64_t> strides(shape.size(), 1);
+  for (int i = static_cast<int>(shape.size()) - 2; i >= 0; --i) {
+    strides[i] = strides[i + 1] * shape[i + 1];
+  }
+  return strides;
+}
+
+/// NumPy-style broadcast of two shapes; aborts on incompatibility.
+Shape BroadcastShapes(const Shape& a, const Shape& b) {
+  const int rank = std::max(a.size(), b.size());
+  Shape out(rank);
+  for (int i = 0; i < rank; ++i) {
+    const int da = i < rank - static_cast<int>(a.size())
+                       ? 1
+                       : a[i - (rank - static_cast<int>(a.size()))];
+    const int db = i < rank - static_cast<int>(b.size())
+                       ? 1
+                       : b[i - (rank - static_cast<int>(b.size()))];
+    CHECK(da == db || da == 1 || db == 1)
+        << "cannot broadcast" << ShapeToString(a) << "with"
+        << ShapeToString(b);
+    out[i] = std::max(da, db);
+  }
+  return out;
+}
+
+/// Strides for reading an input of shape `in` as if it had shape `out`
+/// (stride 0 on stretched axes).
+std::vector<int64_t> BroadcastStrides(const Shape& in, const Shape& out) {
+  const int out_rank = static_cast<int>(out.size());
+  const int offset = out_rank - static_cast<int>(in.size());
+  const std::vector<int64_t> in_strides = ContiguousStrides(in);
+  std::vector<int64_t> strides(out_rank, 0);
+  for (int i = 0; i < out_rank; ++i) {
+    if (i < offset) continue;
+    const int in_dim = in[i - offset];
+    if (in_dim == out[i]) {
+      strides[i] = in_strides[i - offset];
+    } else {
+      CHECK_EQ(in_dim, 1);
+      strides[i] = 0;
+    }
+  }
+  return strides;
+}
+
+/// Walks every output element of `out_shape` computing the mapped flat
+/// offsets into two broadcast inputs.
+template <typename Fn>
+void ForEachBroadcast(const Shape& out_shape,
+                      const std::vector<int64_t>& a_strides,
+                      const std::vector<int64_t>& b_strides, Fn&& fn) {
+  const int rank = static_cast<int>(out_shape.size());
+  const int64_t total = NumElements(out_shape);
+  std::vector<int> index(rank, 0);
+  int64_t a_off = 0;
+  int64_t b_off = 0;
+  for (int64_t flat = 0; flat < total; ++flat) {
+    fn(flat, a_off, b_off);
+    // Increment the multi-index (odometer) and the mapped offsets.
+    for (int axis = rank - 1; axis >= 0; --axis) {
+      ++index[axis];
+      a_off += a_strides[axis];
+      b_off += b_strides[axis];
+      if (index[axis] < out_shape[axis]) break;
+      index[axis] = 0;
+      a_off -= a_strides[axis] * out_shape[axis];
+      b_off -= b_strides[axis] * out_shape[axis];
+    }
+  }
+}
+
+/// Shared implementation of broadcasting binary elementwise ops.
+/// `fwd(a,b)` computes the value; `da(a,b)`/`db(a,b)` the partials.
+template <typename FwdFn, typename DaFn, typename DbFn>
+Tensor ElementwiseBinary(const Tensor& a, const Tensor& b, FwdFn fwd, DaFn da,
+                         DbFn db) {
+  const Shape out_shape = BroadcastShapes(a.shape(), b.shape());
+  const std::vector<int64_t> a_strides =
+      BroadcastStrides(a.shape(), out_shape);
+  const std::vector<int64_t> b_strides =
+      BroadcastStrides(b.shape(), out_shape);
+  Tensor out = MakeResult(out_shape, {a, b});
+  {
+    const std::vector<float>& av = a.data();
+    const std::vector<float>& bv = b.data();
+    std::vector<float>& ov = out.data();
+    ForEachBroadcast(out_shape, a_strides, b_strides,
+                     [&](int64_t flat, int64_t ai, int64_t bi) {
+                       ov[flat] = fwd(av[ai], bv[bi]);
+                     });
+  }
+  if (out.requires_grad()) {
+    auto out_impl = out.impl();
+    auto a_impl = a.impl();
+    auto b_impl = b.impl();
+    internal::TensorImpl* const self = out_impl.get();
+    out_impl->backward_fn = [self, a_impl, b_impl, out_shape, a_strides,
+                             b_strides, da, db]() {
+      const std::vector<float>& gout = self->grad;
+      ForEachBroadcast(out_shape, a_strides, b_strides,
+                       [&](int64_t flat, int64_t ai, int64_t bi) {
+                         const float g = gout[flat];
+                         if (a_impl->requires_grad) {
+                           a_impl->grad[ai] +=
+                               g * da(a_impl->data[ai], b_impl->data[bi]);
+                         }
+                         if (b_impl->requires_grad) {
+                           b_impl->grad[bi] +=
+                               g * db(a_impl->data[ai], b_impl->data[bi]);
+                         }
+                       });
+    };
+  }
+  return out;
+}
+
+/// Shared implementation of unary elementwise ops. `dfn` receives the input
+/// value and the output value (so e.g. tanh' can reuse the forward result).
+template <typename FwdFn, typename DFn>
+Tensor ElementwiseUnary(const Tensor& x, FwdFn fwd, DFn dfn) {
+  Tensor out = MakeResult(x.shape(), {x});
+  const std::vector<float>& xv = x.data();
+  std::vector<float>& ov = out.data();
+  for (size_t i = 0; i < xv.size(); ++i) ov[i] = fwd(xv[i]);
+  if (out.requires_grad()) {
+    auto out_impl = out.impl();
+    auto x_impl = x.impl();
+    internal::TensorImpl* const self = out_impl.get();
+    out_impl->backward_fn = [self, x_impl, dfn]() {
+      for (size_t i = 0; i < x_impl->data.size(); ++i) {
+        x_impl->grad[i] +=
+            self->grad[i] * dfn(x_impl->data[i], self->data[i]);
+      }
+    };
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return ElementwiseBinary(
+      a, b, [](float x, float y) { return x + y; },
+      [](float, float) { return 1.0f; }, [](float, float) { return 1.0f; });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return ElementwiseBinary(
+      a, b, [](float x, float y) { return x - y; },
+      [](float, float) { return 1.0f; }, [](float, float) { return -1.0f; });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return ElementwiseBinary(
+      a, b, [](float x, float y) { return x * y; },
+      [](float, float y) { return y; }, [](float x, float) { return x; });
+}
+
+Tensor Div(const Tensor& a, const Tensor& b) {
+  return ElementwiseBinary(
+      a, b, [](float x, float y) { return x / y; },
+      [](float, float y) { return 1.0f / y; },
+      [](float x, float y) { return -x / (y * y); });
+}
+
+Tensor AddScalar(const Tensor& x, float c) {
+  return ElementwiseUnary(
+      x, [c](float v) { return v + c; }, [](float, float) { return 1.0f; });
+}
+
+Tensor MulScalar(const Tensor& x, float c) {
+  return ElementwiseUnary(
+      x, [c](float v) { return v * c; }, [c](float, float) { return c; });
+}
+
+Tensor Relu(const Tensor& x) {
+  return ElementwiseUnary(
+      x, [](float v) { return v > 0 ? v : 0.0f; },
+      [](float v, float) { return v > 0 ? 1.0f : 0.0f; });
+}
+
+Tensor Tanh(const Tensor& x) {
+  return ElementwiseUnary(
+      x, [](float v) { return std::tanh(v); },
+      [](float, float y) { return 1.0f - y * y; });
+}
+
+Tensor Sigmoid(const Tensor& x) {
+  return ElementwiseUnary(
+      x, [](float v) { return 1.0f / (1.0f + std::exp(-v)); },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+Tensor Exp(const Tensor& x) {
+  return ElementwiseUnary(
+      x, [](float v) { return std::exp(v); },
+      [](float, float y) { return y; });
+}
+
+Tensor Log(const Tensor& x) {
+  return ElementwiseUnary(
+      x, [](float v) { return std::log(v); },
+      [](float v, float) { return 1.0f / v; });
+}
+
+Tensor Reshape(const Tensor& x, const Shape& new_shape) {
+  CHECK_EQ(NumElements(new_shape), x.numel())
+      << "reshape" << ShapeToString(x.shape()) << "to"
+      << ShapeToString(new_shape);
+  Tensor out = MakeResult(new_shape, {x});
+  out.data() = x.data();
+  if (out.requires_grad()) {
+    auto out_impl = out.impl();
+    auto x_impl = x.impl();
+    internal::TensorImpl* const self = out_impl.get();
+    out_impl->backward_fn = [self, x_impl]() {
+      for (size_t i = 0; i < x_impl->grad.size(); ++i) {
+        x_impl->grad[i] += self->grad[i];
+      }
+    };
+  }
+  return out;
+}
+
+Tensor Permute(const Tensor& x, const std::vector<int>& axes) {
+  const int rank = x.rank();
+  CHECK_EQ(static_cast<int>(axes.size()), rank);
+  Shape out_shape(rank);
+  for (int i = 0; i < rank; ++i) {
+    CHECK(axes[i] >= 0 && axes[i] < rank);
+    out_shape[i] = x.dim(axes[i]);
+  }
+  const std::vector<int64_t> in_strides = ContiguousStrides(x.shape());
+  // Stride of output axis i in the input buffer.
+  std::vector<int64_t> mapped(rank);
+  for (int i = 0; i < rank; ++i) mapped[i] = in_strides[axes[i]];
+
+  Tensor out = MakeResult(out_shape, {x});
+  const int64_t total = x.numel();
+  std::vector<int> index(rank, 0);
+  {
+    const std::vector<float>& xv = x.data();
+    std::vector<float>& ov = out.data();
+    int64_t in_off = 0;
+    for (int64_t flat = 0; flat < total; ++flat) {
+      ov[flat] = xv[in_off];
+      for (int axis = rank - 1; axis >= 0; --axis) {
+        ++index[axis];
+        in_off += mapped[axis];
+        if (index[axis] < out_shape[axis]) break;
+        index[axis] = 0;
+        in_off -= mapped[axis] * out_shape[axis];
+      }
+    }
+  }
+  if (out.requires_grad()) {
+    auto out_impl = out.impl();
+    auto x_impl = x.impl();
+    internal::TensorImpl* const self = out_impl.get();
+    out_impl->backward_fn = [self, x_impl, out_shape, mapped, rank,
+                             total]() {
+      std::vector<int> idx(rank, 0);
+      int64_t in_off = 0;
+      for (int64_t flat = 0; flat < total; ++flat) {
+        x_impl->grad[in_off] += self->grad[flat];
+        for (int axis = rank - 1; axis >= 0; --axis) {
+          ++idx[axis];
+          in_off += mapped[axis];
+          if (idx[axis] < out_shape[axis]) break;
+          idx[axis] = 0;
+          in_off -= mapped[axis] * out_shape[axis];
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor TransposeLast2(const Tensor& x) {
+  const int rank = x.rank();
+  CHECK_GE(rank, 2);
+  std::vector<int> axes(rank);
+  for (int i = 0; i < rank; ++i) axes[i] = i;
+  std::swap(axes[rank - 1], axes[rank - 2]);
+  return Permute(x, axes);
+}
+
+Tensor Concat(const std::vector<Tensor>& tensors, int axis) {
+  CHECK(!tensors.empty());
+  const int rank = tensors[0].rank();
+  if (axis < 0) axis += rank;
+  CHECK(axis >= 0 && axis < rank);
+  Shape out_shape = tensors[0].shape();
+  out_shape[axis] = 0;
+  for (const Tensor& t : tensors) {
+    CHECK_EQ(t.rank(), rank);
+    for (int i = 0; i < rank; ++i) {
+      if (i != axis) CHECK_EQ(t.dim(i), out_shape[i]);
+    }
+    out_shape[axis] += t.dim(axis);
+  }
+
+  // View each input as [outer, t.dim(axis) * inner] blocks.
+  int64_t outer = 1;
+  for (int i = 0; i < axis; ++i) outer *= out_shape[i];
+  int64_t inner = 1;
+  for (int i = axis + 1; i < rank; ++i) inner *= out_shape[i];
+
+  Tensor out = MakeResult(out_shape, tensors);
+  std::vector<float>& ov = out.data();
+  const int64_t out_row = static_cast<int64_t>(out_shape[axis]) * inner;
+  int64_t col_offset = 0;
+  for (const Tensor& t : tensors) {
+    const std::vector<float>& tv = t.data();
+    const int64_t t_row = static_cast<int64_t>(t.dim(axis)) * inner;
+    for (int64_t o = 0; o < outer; ++o) {
+      std::copy(tv.begin() + o * t_row, tv.begin() + (o + 1) * t_row,
+                ov.begin() + o * out_row + col_offset);
+    }
+    col_offset += t_row;
+  }
+  if (out.requires_grad()) {
+    auto out_impl = out.impl();
+    std::vector<std::shared_ptr<internal::TensorImpl>> inputs;
+    std::vector<int64_t> rows;
+    for (const Tensor& t : tensors) {
+      inputs.push_back(t.impl());
+      rows.push_back(static_cast<int64_t>(t.dim(axis)) * inner);
+    }
+    internal::TensorImpl* const self = out_impl.get();
+    out_impl->backward_fn = [self, inputs, rows, outer, out_row]() {
+      int64_t col = 0;
+      for (size_t k = 0; k < inputs.size(); ++k) {
+        if (inputs[k]->requires_grad) {
+          for (int64_t o = 0; o < outer; ++o) {
+            for (int64_t j = 0; j < rows[k]; ++j) {
+              inputs[k]->grad[o * rows[k] + j] +=
+                  self->grad[o * out_row + col + j];
+            }
+          }
+        }
+        col += rows[k];
+      }
+    };
+  }
+  return out;
+}
+
+Tensor SliceAxis(const Tensor& x, int axis, int start, int length) {
+  const int rank = x.rank();
+  if (axis < 0) axis += rank;
+  CHECK(axis >= 0 && axis < rank);
+  CHECK(start >= 0 && length >= 0 && start + length <= x.dim(axis));
+  Shape out_shape = x.shape();
+  out_shape[axis] = length;
+
+  int64_t outer = 1;
+  for (int i = 0; i < axis; ++i) outer *= x.dim(i);
+  int64_t inner = 1;
+  for (int i = axis + 1; i < rank; ++i) inner *= x.dim(i);
+  const int64_t in_row = static_cast<int64_t>(x.dim(axis)) * inner;
+  const int64_t out_row = static_cast<int64_t>(length) * inner;
+  const int64_t skip = static_cast<int64_t>(start) * inner;
+
+  Tensor out = MakeResult(out_shape, {x});
+  const std::vector<float>& xv = x.data();
+  std::vector<float>& ov = out.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    std::copy(xv.begin() + o * in_row + skip,
+              xv.begin() + o * in_row + skip + out_row,
+              ov.begin() + o * out_row);
+  }
+  if (out.requires_grad()) {
+    auto out_impl = out.impl();
+    auto x_impl = x.impl();
+    internal::TensorImpl* const self = out_impl.get();
+    out_impl->backward_fn = [self, x_impl, outer, in_row, out_row,
+                             skip]() {
+      for (int64_t o = 0; o < outer; ++o) {
+        for (int64_t j = 0; j < out_row; ++j) {
+          x_impl->grad[o * in_row + skip + j] += self->grad[o * out_row + j];
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  CHECK_GE(a.rank(), 2);
+  const int m = a.dim(a.rank() - 2);
+  const int k = a.dim(a.rank() - 1);
+  int64_t batch = 1;
+  for (int i = 0; i < a.rank() - 2; ++i) batch *= a.dim(i);
+
+  const bool shared_b = b.rank() == 2;
+  if (shared_b) {
+    CHECK_EQ(b.dim(0), k) << "matmul inner dims" << ShapeToString(a.shape())
+                          << ShapeToString(b.shape());
+  } else {
+    CHECK_EQ(a.rank(), b.rank());
+    for (int i = 0; i < a.rank() - 2; ++i) CHECK_EQ(a.dim(i), b.dim(i));
+    CHECK_EQ(b.dim(b.rank() - 2), k);
+  }
+  const int n = b.dim(b.rank() - 1);
+
+  Shape out_shape(a.shape().begin(), a.shape().end() - 1);
+  out_shape.push_back(n);
+  Tensor out = MakeResult(out_shape, {a, b});
+
+  const std::vector<float>& av = a.data();
+  const std::vector<float>& bv = b.data();
+  std::vector<float>& ov = out.data();
+  const int64_t a_stride = static_cast<int64_t>(m) * k;
+  const int64_t b_stride = shared_b ? 0 : static_cast<int64_t>(k) * n;
+  const int64_t o_stride = static_cast<int64_t>(m) * n;
+  for (int64_t p = 0; p < batch; ++p) {
+    const float* ap = av.data() + p * a_stride;
+    const float* bp = bv.data() + p * b_stride;
+    float* op = ov.data() + p * o_stride;
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < n; ++j) op[i * n + j] = 0.0f;
+      for (int kk = 0; kk < k; ++kk) {
+        const float aik = ap[i * k + kk];
+        if (aik == 0.0f) continue;
+        const float* brow = bp + kk * n;
+        float* orow = op + i * n;
+        for (int j = 0; j < n; ++j) orow[j] += aik * brow[j];
+      }
+    }
+  }
+
+  if (out.requires_grad()) {
+    auto out_impl = out.impl();
+    auto a_impl = a.impl();
+    auto b_impl = b.impl();
+    internal::TensorImpl* const self = out_impl.get();
+    out_impl->backward_fn = [self, a_impl, b_impl, batch, m, n, k,
+                             a_stride, b_stride, o_stride]() {
+      for (int64_t p = 0; p < batch; ++p) {
+        const float* gp = self->grad.data() + p * o_stride;
+        const float* ap = a_impl->data.data() + p * a_stride;
+        const float* bp = b_impl->data.data() + p * b_stride;
+        if (a_impl->requires_grad) {
+          float* gap = a_impl->grad.data() + p * a_stride;
+          // dA = dC @ B^T
+          for (int i = 0; i < m; ++i) {
+            for (int kk = 0; kk < k; ++kk) {
+              float acc = 0.0f;
+              const float* grow = gp + i * n;
+              const float* brow = bp + kk * n;
+              for (int j = 0; j < n; ++j) acc += grow[j] * brow[j];
+              gap[i * k + kk] += acc;
+            }
+          }
+        }
+        if (b_impl->requires_grad) {
+          float* gbp = b_impl->grad.data() + p * b_stride;
+          // dB = A^T @ dC (accumulates across batches when B is shared).
+          for (int kk = 0; kk < k; ++kk) {
+            for (int i = 0; i < m; ++i) {
+              const float aik = ap[i * k + kk];
+              if (aik == 0.0f) continue;
+              const float* grow = gp + i * n;
+              float* gbrow = gbp + kk * n;
+              for (int j = 0; j < n; ++j) gbrow[j] += aik * grow[j];
+            }
+          }
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor Sum(const Tensor& x) {
+  Tensor out = MakeResult({}, {x});
+  double acc = 0.0;
+  for (float v : x.data()) acc += v;
+  out.data()[0] = static_cast<float>(acc);
+  if (out.requires_grad()) {
+    auto out_impl = out.impl();
+    auto x_impl = x.impl();
+    internal::TensorImpl* const self = out_impl.get();
+    out_impl->backward_fn = [self, x_impl]() {
+      const float g = self->grad[0];
+      for (float& gx : x_impl->grad) gx += g;
+    };
+  }
+  return out;
+}
+
+Tensor Mean(const Tensor& x) {
+  CHECK_GT(x.numel(), 0);
+  return MulScalar(Sum(x), 1.0f / static_cast<float>(x.numel()));
+}
+
+Tensor Softmax(const Tensor& x) {
+  CHECK_GE(x.rank(), 1);
+  const int n = x.dim(x.rank() - 1);
+  const int64_t rows = x.numel() / n;
+  Tensor out = MakeResult(x.shape(), {x});
+  const std::vector<float>& xv = x.data();
+  std::vector<float>& ov = out.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* xr = xv.data() + r * n;
+    float* orow = ov.data() + r * n;
+    float max_v = xr[0];
+    for (int j = 1; j < n; ++j) max_v = std::max(max_v, xr[j]);
+    double denom = 0.0;
+    for (int j = 0; j < n; ++j) {
+      orow[j] = std::exp(xr[j] - max_v);
+      denom += orow[j];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (int j = 0; j < n; ++j) orow[j] *= inv;
+  }
+  if (out.requires_grad()) {
+    auto out_impl = out.impl();
+    auto x_impl = x.impl();
+    internal::TensorImpl* const self = out_impl.get();
+    out_impl->backward_fn = [self, x_impl, rows, n]() {
+      for (int64_t r = 0; r < rows; ++r) {
+        const float* y = self->data.data() + r * n;
+        const float* gy = self->grad.data() + r * n;
+        float* gx = x_impl->grad.data() + r * n;
+        double dot = 0.0;
+        for (int j = 0; j < n; ++j) dot += static_cast<double>(gy[j]) * y[j];
+        for (int j = 0; j < n; ++j) {
+          gx[j] += y[j] * (gy[j] - static_cast<float>(dot));
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor EmbeddingLookup(const Tensor& table, const std::vector<int>& indices) {
+  CHECK_EQ(table.rank(), 2);
+  const int vocab = table.dim(0);
+  const int width = table.dim(1);
+  Tensor out =
+      MakeResult({static_cast<int>(indices.size()), width}, {table});
+  const std::vector<float>& tv = table.data();
+  std::vector<float>& ov = out.data();
+  for (size_t i = 0; i < indices.size(); ++i) {
+    CHECK(indices[i] >= 0 && indices[i] < vocab)
+        << "embedding index" << indices[i] << "out of range" << vocab;
+    std::copy(tv.begin() + static_cast<int64_t>(indices[i]) * width,
+              tv.begin() + static_cast<int64_t>(indices[i] + 1) * width,
+              ov.begin() + static_cast<int64_t>(i) * width);
+  }
+  if (out.requires_grad()) {
+    auto out_impl = out.impl();
+    auto table_impl = table.impl();
+    internal::TensorImpl* const self = out_impl.get();
+    out_impl->backward_fn = [self, table_impl, indices, width]() {
+      for (size_t i = 0; i < indices.size(); ++i) {
+        for (int j = 0; j < width; ++j) {
+          table_impl->grad[static_cast<int64_t>(indices[i]) * width + j] +=
+              self->grad[static_cast<int64_t>(i) * width + j];
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor Dropout(const Tensor& x, float p, bool training, Rng* rng) {
+  CHECK(p >= 0.0f && p < 1.0f);
+  if (!training || p == 0.0f) return x;
+  CHECK(rng != nullptr);
+  Tensor out = MakeResult(x.shape(), {x});
+  const float scale = 1.0f / (1.0f - p);
+  std::vector<float> mask(x.numel());
+  for (float& m : mask) m = rng->Bernoulli(p) ? 0.0f : scale;
+  const std::vector<float>& xv = x.data();
+  std::vector<float>& ov = out.data();
+  for (size_t i = 0; i < xv.size(); ++i) ov[i] = xv[i] * mask[i];
+  if (out.requires_grad()) {
+    auto out_impl = out.impl();
+    auto x_impl = x.impl();
+    internal::TensorImpl* const self = out_impl.get();
+    out_impl->backward_fn = [self, x_impl, mask = std::move(mask)]() {
+      for (size_t i = 0; i < mask.size(); ++i) {
+        x_impl->grad[i] += self->grad[i] * mask[i];
+      }
+    };
+  }
+  return out;
+}
+
+Tensor LayerNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                   float eps) {
+  CHECK_GE(x.rank(), 1);
+  const int n = x.dim(x.rank() - 1);
+  CHECK_EQ(gamma.numel(), n);
+  CHECK_EQ(beta.numel(), n);
+  const int64_t rows = x.numel() / n;
+  Tensor out = MakeResult(x.shape(), {x, gamma, beta});
+
+  // Cache per-row statistics for backward.
+  std::vector<float> inv_std(rows);
+  std::vector<float> means(rows);
+  const std::vector<float>& xv = x.data();
+  const std::vector<float>& gv = gamma.data();
+  const std::vector<float>& bv = beta.data();
+  std::vector<float>& ov = out.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* xr = xv.data() + r * n;
+    double mean = 0.0;
+    for (int j = 0; j < n; ++j) mean += xr[j];
+    mean /= n;
+    double var = 0.0;
+    for (int j = 0; j < n; ++j) var += (xr[j] - mean) * (xr[j] - mean);
+    var /= n;
+    means[r] = static_cast<float>(mean);
+    inv_std[r] = static_cast<float>(1.0 / std::sqrt(var + eps));
+    float* orow = ov.data() + r * n;
+    for (int j = 0; j < n; ++j) {
+      orow[j] = gv[j] * (xr[j] - means[r]) * inv_std[r] + bv[j];
+    }
+  }
+
+  if (out.requires_grad()) {
+    auto out_impl = out.impl();
+    auto x_impl = x.impl();
+    auto g_impl = gamma.impl();
+    auto b_impl = beta.impl();
+    internal::TensorImpl* const self = out_impl.get();
+    out_impl->backward_fn = [self, x_impl, g_impl, b_impl, rows, n,
+                             means = std::move(means),
+                             inv_std = std::move(inv_std)]() {
+      for (int64_t r = 0; r < rows; ++r) {
+        const float* xr = x_impl->data.data() + r * n;
+        const float* gy = self->grad.data() + r * n;
+        const float mu = means[r];
+        const float istd = inv_std[r];
+        // xhat_j = (x_j - mu) * istd
+        if (g_impl->requires_grad || b_impl->requires_grad) {
+          for (int j = 0; j < n; ++j) {
+            const float xhat = (xr[j] - mu) * istd;
+            if (g_impl->requires_grad) g_impl->grad[j] += gy[j] * xhat;
+            if (b_impl->requires_grad) b_impl->grad[j] += gy[j];
+          }
+        }
+        if (x_impl->requires_grad) {
+          // dL/dx = istd/n * (n*dxhat - sum(dxhat) - xhat*sum(dxhat*xhat))
+          // where dxhat_j = gy_j * gamma_j.
+          double sum_dxhat = 0.0;
+          double sum_dxhat_xhat = 0.0;
+          for (int j = 0; j < n; ++j) {
+            const float dxhat = gy[j] * g_impl->data[j];
+            const float xhat = (xr[j] - mu) * istd;
+            sum_dxhat += dxhat;
+            sum_dxhat_xhat += static_cast<double>(dxhat) * xhat;
+          }
+          float* gx = x_impl->grad.data() + r * n;
+          for (int j = 0; j < n; ++j) {
+            const float dxhat = gy[j] * g_impl->data[j];
+            const float xhat = (xr[j] - mu) * istd;
+            gx[j] += istd *
+                     (dxhat - static_cast<float>(sum_dxhat) / n -
+                      xhat * static_cast<float>(sum_dxhat_xhat) / n);
+          }
+        }
+      }
+    };
+  }
+  return out;
+}
+
+}  // namespace nn
+}  // namespace dlinf

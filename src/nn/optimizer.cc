@@ -1,0 +1,80 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace dlinf {
+namespace nn {
+
+Optimizer::Optimizer(std::vector<Tensor> parameters, float learning_rate)
+    : parameters_(std::move(parameters)), learning_rate_(learning_rate) {
+  for (const Tensor& p : parameters_) {
+    CHECK(p.defined());
+    CHECK(p.requires_grad());
+  }
+}
+
+void Optimizer::ZeroGrad() {
+  for (Tensor& p : parameters_) p.ZeroGrad();
+}
+
+Sgd::Sgd(std::vector<Tensor> parameters, float learning_rate)
+    : Optimizer(std::move(parameters), learning_rate) {}
+
+void Sgd::Step() {
+  for (Tensor& p : parameters_) {
+    std::vector<float>& data = p.data();
+    const std::vector<float>& grad = p.grad();
+    for (size_t i = 0; i < data.size(); ++i) {
+      data[i] -= learning_rate_ * grad[i];
+    }
+  }
+}
+
+Adam::Adam(std::vector<Tensor> parameters, float learning_rate, float beta1,
+           float beta2, float eps)
+    : Optimizer(std::move(parameters), learning_rate),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  m_.resize(parameters_.size());
+  v_.resize(parameters_.size());
+  for (size_t i = 0; i < parameters_.size(); ++i) {
+    m_[i].assign(parameters_[i].numel(), 0.0f);
+    v_[i].assign(parameters_[i].numel(), 0.0f);
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t i = 0; i < parameters_.size(); ++i) {
+    std::vector<float>& data = parameters_[i].data();
+    const std::vector<float>& grad = parameters_[i].grad();
+    std::vector<float>& m = m_[i];
+    std::vector<float>& v = v_[i];
+    for (size_t j = 0; j < data.size(); ++j) {
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * grad[j];
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * grad[j] * grad[j];
+      const float m_hat = m[j] / bias1;
+      const float v_hat = v[j] / bias2;
+      data[j] -= learning_rate_ * m_hat / (std::sqrt(v_hat) + eps_);
+    }
+  }
+}
+
+HalvingSchedule::HalvingSchedule(Optimizer* optimizer, int step_epochs)
+    : optimizer_(optimizer), step_epochs_(step_epochs) {
+  CHECK(optimizer != nullptr);
+  CHECK_GE(step_epochs, 1);
+}
+
+void HalvingSchedule::OnEpochEnd() {
+  ++epoch_;
+  if (epoch_ % step_epochs_ == 0) {
+    optimizer_->set_learning_rate(optimizer_->learning_rate() * 0.5f);
+  }
+}
+
+}  // namespace nn
+}  // namespace dlinf

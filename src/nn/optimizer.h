@@ -1,0 +1,76 @@
+#ifndef DLINF_NN_OPTIMIZER_H_
+#define DLINF_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace dlinf {
+namespace nn {
+
+/// Base gradient-descent optimizer over an explicit parameter list.
+class Optimizer {
+ public:
+  Optimizer(std::vector<Tensor> parameters, float learning_rate);
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Applies one update from the gradients currently stored on parameters.
+  virtual void Step() = 0;
+
+  /// Clears every parameter gradient; call between batches.
+  void ZeroGrad();
+
+  float learning_rate() const { return learning_rate_; }
+  void set_learning_rate(float lr) { learning_rate_ = lr; }
+
+ protected:
+  std::vector<Tensor> parameters_;
+  float learning_rate_;
+};
+
+/// Plain SGD (reference optimizer for tests).
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor> parameters, float learning_rate);
+
+  void Step() override;
+};
+
+/// Adam [27] with the paper's settings (beta1 = 0.9, beta2 = 0.999).
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Tensor> parameters, float learning_rate,
+       float beta1 = 0.9f, float beta2 = 0.999f, float eps = 1e-8f);
+
+  void Step() override;
+
+ private:
+  float beta1_;
+  float beta2_;
+  float eps_;
+  int64_t t_ = 0;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+};
+
+/// The paper's schedule: the learning rate halves every `step_epochs` epochs.
+/// Call OnEpochEnd() once per epoch.
+class HalvingSchedule {
+ public:
+  HalvingSchedule(Optimizer* optimizer, int step_epochs);
+
+  void OnEpochEnd();
+
+ private:
+  Optimizer* optimizer_;
+  int step_epochs_;
+  int epoch_ = 0;
+};
+
+}  // namespace nn
+}  // namespace dlinf
+
+#endif  // DLINF_NN_OPTIMIZER_H_

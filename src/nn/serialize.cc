@@ -1,0 +1,64 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+
+namespace dlinf {
+namespace nn {
+namespace {
+
+constexpr uint32_t kMagic = 0x444c4e46;  // "DLNF"
+
+}  // namespace
+
+bool SaveParameters(const std::string& path,
+                    const std::vector<Tensor>& parameters) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  const uint32_t magic = kMagic;
+  const uint32_t count = static_cast<uint32_t>(parameters.size());
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const Tensor& p : parameters) {
+    const uint32_t rank = static_cast<uint32_t>(p.rank());
+    out.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
+    for (int i = 0; i < p.rank(); ++i) {
+      const int32_t d = p.dim(i);
+      out.write(reinterpret_cast<const char*>(&d), sizeof(d));
+    }
+    out.write(reinterpret_cast<const char*>(p.data().data()),
+              static_cast<std::streamsize>(p.numel() * sizeof(float)));
+  }
+  return static_cast<bool>(out);
+}
+
+bool LoadParameters(const std::string& path, std::vector<Tensor>* parameters) {
+  CHECK(parameters != nullptr);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  uint32_t magic = 0;
+  uint32_t count = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in || magic != kMagic ||
+      count != static_cast<uint32_t>(parameters->size())) {
+    return false;
+  }
+  for (Tensor& p : *parameters) {
+    uint32_t rank = 0;
+    in.read(reinterpret_cast<char*>(&rank), sizeof(rank));
+    if (!in || rank != static_cast<uint32_t>(p.rank())) return false;
+    for (int i = 0; i < p.rank(); ++i) {
+      int32_t d = 0;
+      in.read(reinterpret_cast<char*>(&d), sizeof(d));
+      if (!in || d != p.dim(i)) return false;
+    }
+    in.read(reinterpret_cast<char*>(p.data().data()),
+            static_cast<std::streamsize>(p.numel() * sizeof(float)));
+    if (!in) return false;
+  }
+  return true;
+}
+
+}  // namespace nn
+}  // namespace dlinf

@@ -1,0 +1,25 @@
+#ifndef DLINF_NN_SERIALIZE_H_
+#define DLINF_NN_SERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace dlinf {
+namespace nn {
+
+/// Writes the parameter list to a binary file (shape + float32 payload per
+/// tensor). Returns false on I/O failure.
+bool SaveParameters(const std::string& path,
+                    const std::vector<Tensor>& parameters);
+
+/// Restores parameter data in place. The list must have the same length and
+/// per-tensor shapes as at save time; returns false on any mismatch or I/O
+/// failure (parameters may be partially updated on failure).
+bool LoadParameters(const std::string& path, std::vector<Tensor>* parameters);
+
+}  // namespace nn
+}  // namespace dlinf
+
+#endif  // DLINF_NN_SERIALIZE_H_

@@ -1,0 +1,230 @@
+#include "sim/city_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace dlinf {
+namespace sim {
+namespace {
+
+/// A point at a uniformly random angle and distance in [0, radius].
+Point RandomOffset(const Point& center, double radius, Rng* rng) {
+  const double angle = rng->Uniform(0.0, 2.0 * M_PI);
+  const double r = rng->Uniform(0.0, radius);
+  return Point{center.x + r * std::cos(angle), center.y + r * std::sin(angle)};
+}
+
+void AssignSplits(const SimConfig& config, World* world, Rng* rng) {
+  // Shuffle community ids and slice by fraction: spatially disjoint splits.
+  std::vector<int64_t> ids(world->communities.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  rng->Shuffle(&ids);
+  const int n = static_cast<int>(ids.size());
+  const int train_end = std::max(1, static_cast<int>(n * config.train_frac));
+  const int val_end =
+      std::min(n - 1, train_end + std::max(1, static_cast<int>(
+                                                  n * config.val_frac)));
+  for (int i = 0; i < n; ++i) {
+    Split split = Split::kTest;
+    if (i < train_end) {
+      split = Split::kTrain;
+    } else if (i < val_end) {
+      split = Split::kVal;
+    }
+    world->communities[ids[i]].split = split;
+  }
+  for (Address& addr : world->addresses) {
+    addr.split = world->communities[addr.community_id].split;
+  }
+}
+
+}  // namespace
+
+World GenerateCity(const SimConfig& config, Rng* rng) {
+  CHECK(rng != nullptr);
+  CHECK_GE(config.num_communities, 3);
+  World world;
+  world.name = config.name;
+  // Station sits southwest of the community grid.
+  world.station = Point{-200.0, -200.0};
+
+  // --- Communities on a grid, jittered. ---------------------------------
+  for (int c = 0; c < config.num_communities; ++c) {
+    Community community;
+    community.id = c;
+    const int row = c / config.community_grid_cols;
+    const int col = c % config.community_grid_cols;
+    community.center =
+        Point{col * config.community_spacing_m +
+                  rng->Normal(0.0, config.community_spacing_m * 0.05),
+              row * config.community_spacing_m +
+                  rng->Normal(0.0, config.community_spacing_m * 0.05)};
+    // Gate on the station-facing side; locker near the gate but distinct.
+    const double gate_angle = std::atan2(world.station.y - community.center.y,
+                                         world.station.x - community.center.x);
+    community.gate =
+        Point{community.center.x +
+                  config.community_radius_m * std::cos(gate_angle),
+              community.center.y +
+                  config.community_radius_m * std::sin(gate_angle)};
+    community.locker = Point{community.gate.x + rng->Uniform(20.0, 45.0),
+                             community.gate.y + rng->Uniform(-25.0, 25.0)};
+    world.communities.push_back(community);
+  }
+
+  // --- Buildings & addresses. -------------------------------------------
+  for (Community& community : world.communities) {
+    const int num_buildings =
+        static_cast<int>(rng->UniformInt(config.min_buildings_per_community,
+                                         config.max_buildings_per_community));
+    for (int b = 0; b < num_buildings; ++b) {
+      Building building;
+      building.id = static_cast<int64_t>(world.buildings.size());
+      building.community_id = community.id;
+      // Buildings ring the community center; keep a minimum separation from
+      // the center so receptions / doorsteps do not all collapse together.
+      const double angle =
+          2.0 * M_PI * b / num_buildings + rng->Uniform(-0.2, 0.2);
+      const double r = rng->Uniform(config.community_radius_m * 0.35,
+                                    config.community_radius_m * 0.95);
+      building.position = Point{community.center.x + r * std::cos(angle),
+                                community.center.y + r * std::sin(angle)};
+      building.reception =
+          RandomOffset(building.position, config.reception_offset_m, rng);
+
+      // The building's POI category (Geocoding returns it per address; all
+      // of a building's addresses share it) tilts the delivery-mode
+      // preference: low-rise residential favors doorsteps, towers favor the
+      // community locker, offices favor their reception.
+      const int poi_category = static_cast<int>(
+          rng->UniformInt(0, config.num_poi_categories - 1));
+      double cat_doorstep, cat_locker;
+      if (poi_category < config.num_poi_categories / 2) {
+        cat_doorstep = 0.75;
+        cat_locker = 0.15;
+      } else if (poi_category < 3 * config.num_poi_categories / 4) {
+        cat_doorstep = 0.20;
+        cat_locker = 0.65;
+      } else {
+        cat_doorstep = 0.10;
+        cat_locker = 0.15;
+      }
+      const double corr = config.category_mode_correlation;
+      const double p_doorstep =
+          (1.0 - corr) * config.p_doorstep + corr * cat_doorstep;
+      const double p_locker =
+          (1.0 - corr) * config.p_locker + corr * cat_locker;
+
+      auto sample_mode = [&]() {
+        const double u = rng->Uniform(0.0, 1.0);
+        if (u < p_doorstep) return DeliveryMode::kDoorstep;
+        if (u < p_doorstep + p_locker) return DeliveryMode::kLocker;
+        return DeliveryMode::kReception;
+      };
+      auto location_for = [&](DeliveryMode mode, const Point& doorstep) {
+        switch (mode) {
+          case DeliveryMode::kDoorstep:
+            return doorstep;
+          case DeliveryMode::kLocker:
+            return community.locker;
+          case DeliveryMode::kReception:
+            return building.reception;
+        }
+        return doorstep;
+      };
+
+      // Dominant preference shared by most of the building's addresses:
+      // most buildings end up with a single delivery location, matching the
+      // paper's Fig. 9(a) statistics.
+      const DeliveryMode dominant_mode = sample_mode();
+      const Point entrance = RandomOffset(building.position, 6.0, rng);
+      const Point dominant_location = location_for(dominant_mode, entrance);
+
+      const int num_addresses = static_cast<int>(
+          rng->UniformInt(config.min_addresses_per_building,
+                          config.max_addresses_per_building));
+      for (int a = 0; a < num_addresses; ++a) {
+        Address addr;
+        addr.id = static_cast<int64_t>(world.addresses.size());
+        addr.building_id = building.id;
+        addr.community_id = community.id;
+        addr.text = StrPrintf("Community %lld Building %lld Unit %d",
+                              static_cast<long long>(community.id),
+                              static_cast<long long>(building.id), a + 1);
+        addr.poi_category = poi_category;
+
+        if (rng->Bernoulli(config.p_address_deviation)) {
+          // Individual customer preference (the Fig. 12(c) case): own mode,
+          // private door when doorstep.
+          addr.mode = sample_mode();
+          addr.true_delivery_location = location_for(
+              addr.mode,
+              RandomOffset(building.position, config.doorstep_offset_m, rng));
+        } else {
+          addr.mode = dominant_mode;
+          addr.true_delivery_location = dominant_location;
+        }
+        addr.order_rate = rng->LogNormal(config.order_rate_log_mean,
+                                         config.order_rate_log_sigma);
+        world.addresses.push_back(std::move(addr));
+      }
+      world.buildings.push_back(std::move(building));
+    }
+  }
+
+  // --- Geocoding: quality mode drawn per building so that all addresses in
+  // a building share one geocoded location (Fig. 12(b) case). --------------
+  std::vector<Point> building_geocode(world.buildings.size());
+  for (const Building& building : world.buildings) {
+    const double u = rng->Uniform(0.0, 1.0);
+    if (u < config.p_geocode_fine) {
+      building_geocode[building.id] =
+          Point{building.position.x +
+                    rng->Normal(0.0, config.geocode_fine_sigma_m),
+                building.position.y +
+                    rng->Normal(0.0, config.geocode_fine_sigma_m)};
+    } else if (u < config.p_geocode_fine + config.p_geocode_coarse) {
+      // Coarse POI database: the whole community resolves to its center.
+      building_geocode[building.id] =
+          world.communities[building.community_id].center;
+    } else {
+      // Wrong parsing ("San Yi Li" vs "San Yi Xi Li"): a *different*
+      // community's center, a few hundred meters off.
+      int64_t other = building.community_id;
+      while (other == building.community_id) {
+        other = rng->UniformInt(0, config.num_communities - 1);
+      }
+      building_geocode[building.id] = world.communities[other].center;
+    }
+  }
+  for (Address& addr : world.addresses) {
+    addr.geocoded_location = building_geocode[addr.building_id];
+  }
+
+  // --- Courier zones: contiguous slices of the community list. -----------
+  CHECK_GE(config.num_couriers, 1);
+  const int per_courier =
+      (config.num_communities + config.num_couriers - 1) /
+      config.num_couriers;
+  for (int k = 0; k < config.num_couriers; ++k) {
+    Courier courier;
+    courier.id = k;
+    for (int c = k * per_courier;
+         c < std::min((k + 1) * per_courier, config.num_communities); ++c) {
+      courier.zone_community_ids.push_back(c);
+    }
+    if (!courier.zone_community_ids.empty()) {
+      world.couriers.push_back(std::move(courier));
+    }
+  }
+
+  AssignSplits(config, &world, rng);
+  return world;
+}
+
+}  // namespace sim
+}  // namespace dlinf

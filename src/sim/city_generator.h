@@ -1,0 +1,21 @@
+#ifndef DLINF_SIM_CITY_GENERATOR_H_
+#define DLINF_SIM_CITY_GENERATOR_H_
+
+#include "common/random.h"
+#include "sim/config.h"
+#include "sim/world.h"
+
+namespace dlinf {
+namespace sim {
+
+/// Generates the static city: communities on a grid, buildings within each
+/// community, addresses with true delivery locations (doorstep / locker /
+/// reception per customer preference), simulated geocoding with the three
+/// failure modes, courier zones, and spatially disjoint train/val/test
+/// splits. Trips are not generated here (see trip_generator.h).
+World GenerateCity(const SimConfig& config, Rng* rng);
+
+}  // namespace sim
+}  // namespace dlinf
+
+#endif  // DLINF_SIM_CITY_GENERATOR_H_

@@ -1,0 +1,38 @@
+#include "sim/config.h"
+
+namespace dlinf {
+namespace sim {
+
+SimConfig SynDowBJConfig() {
+  SimConfig config;
+  config.name = "SynDowBJ";
+  config.seed = 42;
+  return config;  // Defaults model the downtown dataset.
+}
+
+SimConfig SynSubBJConfig() {
+  SimConfig config;
+  config.name = "SynSubBJ";
+  config.seed = 4242;
+  // Suburban: larger, sparser communities; coarser geocoding; fewer
+  // deliveries per address (lower order rates); heavier locker usage and
+  // more incidental stops per trip.
+  config.community_spacing_m = 420.0;
+  config.community_radius_m = 140.0;
+  config.p_geocode_fine = 0.62;
+  config.p_geocode_coarse = 0.30;
+  config.geocode_fine_sigma_m = 25.0;
+  config.p_doorstep = 0.52;
+  config.p_locker = 0.33;
+  config.order_rate_log_sigma = 1.15;
+  config.min_waybills_per_trip = 24;
+  config.max_waybills_per_trip = 36;
+  config.extra_stop_prob = 0.3;
+  config.min_addresses_per_building = 4;
+  config.max_addresses_per_building = 8;
+  config.p_address_deviation = 0.035;
+  return config;
+}
+
+}  // namespace sim
+}  // namespace dlinf

@@ -1,0 +1,114 @@
+#ifndef DLINF_SIM_CONFIG_H_
+#define DLINF_SIM_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace dlinf {
+namespace sim {
+
+/// All knobs of the synthetic-world generator.
+///
+/// Two presets mirror the paper's real datasets (Table I / Fig. 9 statistics,
+/// scaled down to laptop size): SynDowBJConfig() for dense downtown Beijing
+/// and SynSubBJConfig() for the suburban dataset (less precise geocoding,
+/// fewer deliveries per address, more stops per trip).
+struct SimConfig {
+  std::string name = "SynDowBJ";
+  uint64_t seed = 42;
+
+  // --- City layout -------------------------------------------------------
+  int num_communities = 12;
+  int community_grid_cols = 4;
+  double community_spacing_m = 330.0;
+  double community_radius_m = 120.0;
+  int min_buildings_per_community = 9;
+  int max_buildings_per_community = 13;
+  int min_addresses_per_building = 3;
+  int max_addresses_per_building = 7;
+
+  // --- Customer delivery preferences --------------------------------------
+  double p_doorstep = 0.60;
+  double p_locker = 0.25;  ///< Remaining probability is reception.
+  double doorstep_offset_m = 14.0;   ///< Private-door scatter around a building.
+  double reception_offset_m = 18.0;  ///< Reception offset from the building.
+  /// Probability that an address deviates from its building's dominant
+  /// delivery location (its own preference: private door, locker, ...).
+  /// Calibrated so that the share of buildings with >1 delivery location
+  /// matches the paper's Fig. 9(a) (~22% DowBJ / ~14% SubBJ).
+  double p_address_deviation = 0.09;
+
+  // --- Geocoder failure modes (Section V-E case studies) -----------------
+  double p_geocode_fine = 0.72;    ///< Building-accurate w/ small noise.
+  double p_geocode_coarse = 0.22;  ///< Collapses to the community center.
+  /// Remaining probability: wrong parsing -> another community's center.
+  double geocode_fine_sigma_m = 15.0;
+
+  int num_poi_categories = 21;
+  /// How strongly an address's POI category predicts its delivery mode
+  /// (0 = independent, 1 = fully category-determined). Real categories
+  /// correlate with receiving preferences (residential towers use lockers,
+  /// offices use receptions), which is what gives LocMatcher's address
+  /// context vector its signal.
+  double category_mode_correlation = 0.7;
+
+  // --- Demand --------------------------------------------------------------
+  double order_rate_log_mean = 0.0;
+  double order_rate_log_sigma = 1.0;
+
+  // --- Operations ------------------------------------------------------------
+  int num_days = 30;
+  int num_couriers = 4;
+  int trips_per_courier_per_day = 2;
+  int min_waybills_per_trip = 22;
+  int max_waybills_per_trip = 32;
+  /// Probability that a trip is run by a random non-primary courier
+  /// (vacation cover); keeps the "number of couriers" profile informative.
+  double courier_swap_prob = 0.08;
+
+  // --- Movement & GPS -----------------------------------------------------
+  double speed_mps_min = 2.5;
+  double speed_mps_max = 6.0;
+  double gps_sample_interval_s = 13.5;  ///< Matches the paper's datasets.
+  double gps_noise_moving_m = 9.0;
+  double gps_noise_staying_m = 6.5;
+  double gps_outlier_prob = 0.01;
+  double gps_outlier_dist_m = 140.0;
+
+  // --- Stop durations (seconds) --------------------------------------------
+  double doorstep_stay_mean_s = 90.0;
+  double locker_stay_mean_s = 170.0;
+  double reception_stay_mean_s = 70.0;
+  double stay_log_sigma = 0.35;  ///< Log-normal spread of stay durations.
+  double station_stay_s = 90.0;  ///< Loading at the depot before departure.
+  double gate_stop_prob = 0.6;   ///< Pause at a community gate on entry.
+  double gate_stay_mean_s = 45.0;
+  double extra_stop_prob = 0.2;  ///< Random mid-leg stop (traffic etc.).
+  double extra_stay_mean_s = 40.0;
+
+  // --- Confirmation behaviour (Section V-D batch model) --------------------
+  int confirm_batches = 2;
+  double p_delay = 0.3;
+  /// Even "prompt" confirmations lag the drop-off: the courier pockets the
+  /// phone, walks off, sorts the next parcel. By the recorded moment the
+  /// courier may already be at the next stop, which is what makes annotated
+  /// locations noisy even without batch confirmation.
+  double confirm_jitter_min_s = 10.0;
+  double confirm_jitter_max_s = 120.0;
+
+  // --- Split fractions (by community) ------------------------------------
+  double train_frac = 0.6;
+  double val_frac = 0.2;
+};
+
+/// Downtown-Beijing-like preset (precise geocoding, denser orders).
+SimConfig SynDowBJConfig();
+
+/// Suburban-Beijing-like preset (coarser geocoding, fewer deliveries per
+/// address, more stops per trip, heavier locker use).
+SimConfig SynSubBJConfig();
+
+}  // namespace sim
+}  // namespace dlinf
+
+#endif  // DLINF_SIM_CONFIG_H_

@@ -1,0 +1,31 @@
+#include "sim/generator.h"
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "sim/city_generator.h"
+#include "sim/trip_generator.h"
+
+namespace dlinf {
+namespace sim {
+
+World GenerateWorld(const SimConfig& config) {
+  Rng rng(config.seed);
+  World world = GenerateCity(config, &rng);
+  GenerateTrips(config, &world, &rng);
+  InjectConfirmationDelays(&world, config.confirm_batches, config.p_delay,
+                           config.confirm_jitter_min_s,
+                           config.confirm_jitter_max_s, &rng);
+  LOG_INFO << world.name << ": " << world.addresses.size() << "addresses,"
+           << world.trips.size() << "trips," << world.TotalWaybills()
+           << "waybills," << world.TotalTrajectoryPoints() << "GPS points";
+  return world;
+}
+
+void ReinjectDelays(World* world, int batches, double p_delay, uint64_t seed) {
+  Rng rng(seed);
+  InjectConfirmationDelays(world, batches, p_delay, /*jitter_min_s=*/10.0,
+                           /*jitter_max_s=*/120.0, &rng);
+}
+
+}  // namespace sim
+}  // namespace dlinf

@@ -1,0 +1,24 @@
+#ifndef DLINF_SIM_GENERATOR_H_
+#define DLINF_SIM_GENERATOR_H_
+
+#include "sim/config.h"
+#include "sim/world.h"
+
+namespace dlinf {
+namespace sim {
+
+/// One-call dataset factory: city + trips + confirmation delays, all derived
+/// deterministically from config.seed. This is the entry point examples,
+/// tests and benches use:
+///
+///   sim::World world = sim::GenerateWorld(sim::SynDowBJConfig());
+World GenerateWorld(const SimConfig& config);
+
+/// Re-applies the delay model with a different delay probability over the
+/// same trips (Table III robustness sweep). Ground truth is untouched.
+void ReinjectDelays(World* world, int batches, double p_delay, uint64_t seed);
+
+}  // namespace sim
+}  // namespace dlinf
+
+#endif  // DLINF_SIM_GENERATOR_H_

@@ -1,0 +1,335 @@
+#include "sim/trip_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "common/check.h"
+
+namespace dlinf {
+namespace sim {
+namespace {
+
+/// A scheduled node of a trip: the courier is at `p` from `arrive` until
+/// `depart`, moving linearly between consecutive waypoints.
+struct Waypoint {
+  Point p;
+  double arrive = 0.0;
+  double depart = 0.0;
+};
+
+/// Log-normal stay duration with the given mean (seconds).
+double StayDuration(double mean_s, double log_sigma, Rng* rng) {
+  const double mu = std::log(mean_s) - 0.5 * log_sigma * log_sigma;
+  return std::max(20.0, rng->LogNormal(mu, log_sigma));
+}
+
+/// Weighted sampling of `count` distinct address ids.
+std::vector<int64_t> SampleAddresses(const std::vector<int64_t>& pool,
+                                     const std::vector<double>& weights,
+                                     int count, Rng* rng) {
+  std::vector<int64_t> ids = pool;
+  std::vector<double> w = weights;
+  std::vector<int64_t> chosen;
+  count = std::min<int>(count, static_cast<int>(ids.size()));
+  for (int k = 0; k < count; ++k) {
+    const size_t pick = rng->WeightedIndex(w);
+    chosen.push_back(ids[pick]);
+    ids[pick] = ids.back();
+    ids.pop_back();
+    w[pick] = w.back();
+    w.pop_back();
+  }
+  return chosen;
+}
+
+/// Greedy nearest-neighbour ordering of stop indices, starting from `from`.
+std::vector<int> RouteGreedy(const std::vector<Point>& stops,
+                             const Point& from) {
+  std::vector<int> order;
+  std::vector<bool> used(stops.size(), false);
+  Point cur = from;
+  for (size_t step = 0; step < stops.size(); ++step) {
+    int best = -1;
+    double best_d = 0.0;
+    for (size_t i = 0; i < stops.size(); ++i) {
+      if (used[i]) continue;
+      const double d = Distance(cur, stops[i]);
+      if (best < 0 || d < best_d) {
+        best = static_cast<int>(i);
+        best_d = d;
+      }
+    }
+    used[best] = true;
+    order.push_back(best);
+    cur = stops[best];
+  }
+  return order;
+}
+
+/// Position on the waypoint schedule at time `t`.
+Point TruePositionAt(const std::vector<Waypoint>& waypoints, double t) {
+  CHECK(!waypoints.empty());
+  if (t <= waypoints.front().arrive) return waypoints.front().p;
+  for (size_t i = 0; i < waypoints.size(); ++i) {
+    const Waypoint& wp = waypoints[i];
+    if (t <= wp.depart) return wp.p;
+    if (i + 1 < waypoints.size() && t < waypoints[i + 1].arrive) {
+      const Waypoint& next = waypoints[i + 1];
+      const double span = next.arrive - wp.depart;
+      const double frac = span > 0 ? (t - wp.depart) / span : 0.0;
+      return Point{wp.p.x + frac * (next.p.x - wp.p.x),
+                   wp.p.y + frac * (next.p.y - wp.p.y)};
+    }
+  }
+  return waypoints.back().p;
+}
+
+/// True when `t` falls inside a stay window (noise is lower when standing).
+bool IsStaying(const std::vector<Waypoint>& waypoints, double t) {
+  for (const Waypoint& wp : waypoints) {
+    if (t >= wp.arrive && t <= wp.depart) return wp.depart > wp.arrive;
+  }
+  return false;
+}
+
+}  // namespace
+
+void GenerateTrips(const SimConfig& config, World* world, Rng* rng) {
+  CHECK(world != nullptr);
+  CHECK(rng != nullptr);
+  CHECK(world->trips.empty()) << "GenerateTrips must run on a fresh city";
+
+  // Pool of deliverable addresses per courier zone.
+  std::vector<std::vector<int64_t>> zone_pool(world->couriers.size());
+  std::vector<std::vector<double>> zone_weights(world->couriers.size());
+  for (const Courier& courier : world->couriers) {
+    for (int64_t community_id : courier.zone_community_ids) {
+      for (const Address& addr : world->addresses) {
+        if (addr.community_id == community_id) {
+          zone_pool[courier.id].push_back(addr.id);
+          zone_weights[courier.id].push_back(addr.order_rate);
+        }
+      }
+    }
+  }
+
+  int64_t next_waybill_id = 0;
+  // Trip slot start hours (up to 3 trips per courier per day).
+  const double slot_hours[3] = {9.0, 14.0, 18.0};
+
+  for (int day = 0; day < config.num_days; ++day) {
+    for (const Courier& primary : world->couriers) {
+      for (int slot = 0; slot < config.trips_per_courier_per_day; ++slot) {
+        // Occasionally another courier covers the zone.
+        int64_t courier_id = primary.id;
+        if (world->couriers.size() > 1 &&
+            rng->Bernoulli(config.courier_swap_prob)) {
+          while (courier_id == primary.id) {
+            courier_id = rng->UniformInt(
+                0, static_cast<int64_t>(world->couriers.size()) - 1);
+          }
+        }
+
+        DeliveryTrip trip;
+        trip.id = static_cast<int64_t>(world->trips.size());
+        trip.courier_id = courier_id;
+        const double start =
+            day * 86400.0 + slot_hours[std::min(slot, 2)] * 3600.0 +
+            rng->Uniform(-1200.0, 1200.0);
+
+        // --- Waybills: sampled from the *primary* courier's zone. ---------
+        const int count = static_cast<int>(rng->UniformInt(
+            config.min_waybills_per_trip, config.max_waybills_per_trip));
+        const std::vector<int64_t> batch = SampleAddresses(
+            zone_pool[primary.id], zone_weights[primary.id], count, rng);
+        if (batch.empty()) continue;
+
+        // --- Group by true delivery location (lockers/receptions merge). --
+        std::map<std::pair<double, double>, std::vector<int64_t>> stop_groups;
+        for (int64_t address_id : batch) {
+          const Point& loc = world->address(address_id).true_delivery_location;
+          stop_groups[{loc.x, loc.y}].push_back(address_id);
+        }
+        std::vector<Point> stop_points;
+        std::vector<std::vector<int64_t>> stop_addresses;
+        for (auto& [key, ids] : stop_groups) {
+          stop_points.push_back(Point{key.first, key.second});
+          stop_addresses.push_back(std::move(ids));
+        }
+        const std::vector<int> order = RouteGreedy(stop_points, world->station);
+
+        // --- Build the waypoint schedule. ---------------------------------
+        std::vector<Waypoint> waypoints;
+        double t = start;
+        waypoints.push_back(
+            Waypoint{world->station, t, t + config.station_stay_s});
+        trip.planned_stays.push_back(
+            PlannedStay{world->station, t, t + config.station_stay_s, {}});
+        t += config.station_stay_s;
+        Point cur = world->station;
+        int64_t cur_community = -1;
+
+        auto travel_to = [&](const Point& dest) {
+          const double speed =
+              rng->Uniform(config.speed_mps_min, config.speed_mps_max);
+          t += Distance(cur, dest) / speed;
+          cur = dest;
+        };
+        auto add_stay = [&](const Point& p, double duration,
+                            std::vector<int64_t> delivered) {
+          travel_to(p);
+          waypoints.push_back(Waypoint{p, t, t + duration});
+          trip.planned_stays.push_back(
+              PlannedStay{p, t, t + duration, std::move(delivered)});
+          t += duration;
+        };
+
+        for (int stop_index : order) {
+          const Point& stop = stop_points[stop_index];
+          const std::vector<int64_t>& delivered = stop_addresses[stop_index];
+          const int64_t community =
+              world->address(delivered.front()).community_id;
+
+          // Entering a new community: maybe pause at its gate.
+          if (community != cur_community) {
+            cur_community = community;
+            if (rng->Bernoulli(config.gate_stop_prob)) {
+              add_stay(world->community(community).gate,
+                       StayDuration(config.gate_stay_mean_s,
+                                    config.stay_log_sigma, rng),
+                       {});
+            }
+          } else if (rng->Bernoulli(config.extra_stop_prob)) {
+            // Incidental mid-leg stop (traffic, phone call, ...).
+            const double frac = rng->Uniform(0.3, 0.7);
+            const Point mid{cur.x + frac * (stop.x - cur.x),
+                            cur.y + frac * (stop.y - cur.y)};
+            add_stay(mid,
+                     StayDuration(config.extra_stay_mean_s,
+                                  config.stay_log_sigma, rng),
+                     {});
+          }
+
+          // The delivery stop itself.
+          const DeliveryMode mode = world->address(delivered.front()).mode;
+          const double mean_stay =
+              mode == DeliveryMode::kLocker
+                  ? config.locker_stay_mean_s
+                  : (mode == DeliveryMode::kReception
+                         ? config.reception_stay_mean_s
+                         : config.doorstep_stay_mean_s);
+          // Longer stays when several parcels are handed over at once.
+          const double duration =
+              StayDuration(mean_stay, config.stay_log_sigma, rng) *
+              (1.0 + 0.15 * (static_cast<double>(delivered.size()) - 1.0));
+          const double stay_start = [&] {
+            travel_to(stop);
+            return t;
+          }();
+          waypoints.push_back(Waypoint{stop, stay_start, stay_start + duration});
+          trip.planned_stays.push_back(PlannedStay{
+              stop, stay_start, stay_start + duration,
+              std::vector<int64_t>(delivered.begin(), delivered.end())});
+
+          // Actual delivery moments spread inside the stay.
+          for (size_t i = 0; i < delivered.size(); ++i) {
+            Waybill waybill;
+            waybill.id = next_waybill_id++;
+            waybill.address_id = delivered[i];
+            waybill.receive_time = start - rng->Uniform(3600.0, 4 * 3600.0);
+            waybill.actual_delivery_time =
+                stay_start + duration * (static_cast<double>(i) + 1.0) /
+                                 (static_cast<double>(delivered.size()) + 1.0);
+            waybill.recorded_delivery_time = waybill.actual_delivery_time;
+            trip.waybills.push_back(waybill);
+          }
+          t = stay_start + duration;
+        }
+
+        // Return to the depot.
+        travel_to(world->station);
+        waypoints.push_back(Waypoint{world->station, t, t});
+
+        trip.start_time = start;
+        trip.end_time = t;
+
+        // --- Emit GPS samples along the schedule. -------------------------
+        trip.trajectory.courier_id = courier_id;
+        for (double ts = start; ts <= t;
+             ts += config.gps_sample_interval_s +
+                   rng->Uniform(-1.0, 1.0) /* slight sampling jitter */) {
+          const Point truth = TruePositionAt(waypoints, ts);
+          const double sigma = IsStaying(waypoints, ts)
+                                   ? config.gps_noise_staying_m
+                                   : config.gps_noise_moving_m;
+          TrajPoint p;
+          p.t = ts;
+          p.x = truth.x + rng->Normal(0.0, sigma);
+          p.y = truth.y + rng->Normal(0.0, sigma);
+          if (rng->Bernoulli(config.gps_outlier_prob)) {
+            const double angle = rng->Uniform(0.0, 2.0 * M_PI);
+            p.x += config.gps_outlier_dist_m * std::cos(angle);
+            p.y += config.gps_outlier_dist_m * std::sin(angle);
+          }
+          trip.trajectory.points.push_back(p);
+        }
+
+        world->trips.push_back(std::move(trip));
+      }
+    }
+  }
+}
+
+void InjectConfirmationDelays(World* world, int batches, double p_delay,
+                              double jitter_min_s, double jitter_max_s,
+                              Rng* rng) {
+  CHECK(world != nullptr);
+  CHECK(rng != nullptr);
+  CHECK_GE(batches, 1);
+  CHECK(p_delay >= 0.0 && p_delay <= 1.0);
+
+  for (DeliveryTrip& trip : world->trips) {
+    // Stay-point times (midpoints), chronological by construction.
+    std::vector<double> stay_times;
+    for (const PlannedStay& stay : trip.planned_stays) {
+      stay_times.push_back((stay.start_time + stay.end_time) / 2.0);
+    }
+    if (stay_times.empty()) continue;
+
+    // Sequential equal-sized groups; each group's last stay time is a batch
+    // confirmation moment.
+    const int n = static_cast<int>(stay_times.size());
+    const int group_size = (n + batches - 1) / batches;
+    std::vector<double> confirm_times;
+    for (int g = 0; g < batches; ++g) {
+      const int last = std::min(n - 1, (g + 1) * group_size - 1);
+      confirm_times.push_back(stay_times[last]);
+      if (last == n - 1) break;
+    }
+
+    for (Waybill& waybill : trip.waybills) {
+      const double actual = waybill.actual_delivery_time;
+      // Find the enclosing batch window (prev_confirm, confirm].
+      double window_confirm = -1.0;
+      double prev = -1e18;
+      for (double ct : confirm_times) {
+        if (actual > prev && actual <= ct) {
+          window_confirm = ct;
+          break;
+        }
+        prev = ct;
+      }
+      if (window_confirm > 0.0 && rng->Bernoulli(p_delay)) {
+        waybill.recorded_delivery_time = window_confirm;
+      } else {
+        waybill.recorded_delivery_time =
+            actual + rng->Uniform(jitter_min_s, jitter_max_s);
+      }
+    }
+  }
+}
+
+}  // namespace sim
+}  // namespace dlinf

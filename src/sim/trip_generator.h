@@ -1,0 +1,38 @@
+#ifndef DLINF_SIM_TRIP_GENERATOR_H_
+#define DLINF_SIM_TRIP_GENERATOR_H_
+
+#include "common/random.h"
+#include "sim/config.h"
+#include "sim/world.h"
+
+namespace dlinf {
+namespace sim {
+
+/// Simulates the operational history: for every (day, courier, trip slot)
+/// samples a batch of waybills from the courier's zone, routes the stops
+/// greedily, walks the route emitting GPS samples every
+/// `gps_sample_interval_s` with sensing noise and occasional outliers, and
+/// records ground-truth stays and actual delivery times.
+///
+/// Recorded (confirmed) delivery times are NOT set here — call
+/// InjectConfirmationDelays afterwards.
+void GenerateTrips(const SimConfig& config, World* world, Rng* rng);
+
+/// Applies the paper's batch-confirmation delay model (Section V-D) to every
+/// trip: the trip's stays are divided sequentially into `batches` equal
+/// groups; the time of the last stay of each group is a batch-confirmation
+/// time; every waybill actually delivered inside a group's window is delayed
+/// to that group's confirmation time with probability `p_delay`, and
+/// otherwise confirmed promptly (actual time plus a few seconds of jitter).
+///
+/// Idempotent with respect to ground truth: re-invoking with different
+/// parameters overwrites all recorded times, which is how the Table III
+/// robustness sweep varies p_d over the same trips.
+void InjectConfirmationDelays(World* world, int batches, double p_delay,
+                              double jitter_min_s, double jitter_max_s,
+                              Rng* rng);
+
+}  // namespace sim
+}  // namespace dlinf
+
+#endif  // DLINF_SIM_TRIP_GENERATOR_H_

@@ -1,0 +1,63 @@
+#include "sim/world.h"
+
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace dlinf {
+namespace sim {
+
+const Community& World::community(int64_t id) const {
+  CHECK(id >= 0 && id < static_cast<int64_t>(communities.size()));
+  return communities[id];
+}
+
+const Building& World::building(int64_t id) const {
+  CHECK(id >= 0 && id < static_cast<int64_t>(buildings.size()));
+  return buildings[id];
+}
+
+const Address& World::address(int64_t id) const {
+  CHECK(id >= 0 && id < static_cast<int64_t>(addresses.size()));
+  return addresses[id];
+}
+
+std::vector<int64_t> World::AddressIdsInSplit(Split split) const {
+  std::vector<int64_t> ids;
+  for (const Address& addr : addresses) {
+    if (addr.split == split) ids.push_back(addr.id);
+  }
+  return ids;
+}
+
+std::vector<int64_t> World::DeliveredAddressIds() const {
+  std::unordered_set<int64_t> seen;
+  std::vector<int64_t> ids;
+  for (const DeliveryTrip& trip : trips) {
+    for (const Waybill& waybill : trip.waybills) {
+      if (seen.insert(waybill.address_id).second) {
+        ids.push_back(waybill.address_id);
+      }
+    }
+  }
+  return ids;
+}
+
+int64_t World::TotalWaybills() const {
+  int64_t total = 0;
+  for (const DeliveryTrip& trip : trips) {
+    total += static_cast<int64_t>(trip.waybills.size());
+  }
+  return total;
+}
+
+int64_t World::TotalTrajectoryPoints() const {
+  int64_t total = 0;
+  for (const DeliveryTrip& trip : trips) {
+    total += static_cast<int64_t>(trip.trajectory.points.size());
+  }
+  return total;
+}
+
+}  // namespace sim
+}  // namespace dlinf

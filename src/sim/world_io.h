@@ -1,0 +1,29 @@
+#ifndef DLINF_SIM_WORLD_IO_H_
+#define DLINF_SIM_WORLD_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "sim/world.h"
+
+namespace dlinf {
+namespace sim {
+
+/// Persists a world as a directory of CSV files (communities.csv,
+/// buildings.csv, addresses.csv, couriers.csv, trips.csv, waybills.csv,
+/// gps.csv, stays.csv). This is both a debugging aid and the documented
+/// interchange format for loading *real* waybill + trajectory data into the
+/// pipeline: fill the same files and LoadWorldCsv produces a World the whole
+/// library operates on.
+///
+/// Returns false if the directory cannot be written.
+bool SaveWorldCsv(const World& world, const std::string& directory);
+
+/// Loads a world saved by SaveWorldCsv. Returns nullopt on any missing file
+/// or malformed row.
+std::optional<World> LoadWorldCsv(const std::string& directory);
+
+}  // namespace sim
+}  // namespace dlinf
+
+#endif  // DLINF_SIM_WORLD_IO_H_

@@ -1,0 +1,72 @@
+#include "sim/world_stats.h"
+
+#include <set>
+#include <unordered_map>
+
+#include "common/stats.h"
+
+namespace dlinf {
+namespace sim {
+
+WorldStats ComputeWorldStats(const World& world) {
+  WorldStats stats;
+  stats.num_communities = static_cast<int64_t>(world.communities.size());
+  stats.num_buildings = static_cast<int64_t>(world.buildings.size());
+  stats.num_addresses = static_cast<int64_t>(world.addresses.size());
+  stats.num_couriers = static_cast<int64_t>(world.couriers.size());
+  stats.num_trips = static_cast<int64_t>(world.trips.size());
+  stats.num_waybills = world.TotalWaybills();
+  stats.num_gps_points = world.TotalTrajectoryPoints();
+
+  // Deliveries per address + confirmation delays.
+  std::unordered_map<int64_t, int> deliveries;
+  double delay_sum = 0.0;
+  for (const DeliveryTrip& trip : world.trips) {
+    for (const Waybill& w : trip.waybills) {
+      ++deliveries[w.address_id];
+      delay_sum += w.recorded_delivery_time - w.actual_delivery_time;
+    }
+  }
+  stats.num_delivered_addresses = static_cast<int64_t>(deliveries.size());
+  if (stats.num_trips > 0) {
+    stats.mean_waybills_per_trip =
+        static_cast<double>(stats.num_waybills) /
+        static_cast<double>(stats.num_trips);
+  }
+  if (stats.num_waybills > 0) {
+    stats.mean_confirmation_delay_s =
+        delay_sum / static_cast<double>(stats.num_waybills);
+  }
+  if (!deliveries.empty()) {
+    std::vector<double> counts;
+    counts.reserve(deliveries.size());
+    for (const auto& [address, count] : deliveries) {
+      counts.push_back(static_cast<double>(count));
+    }
+    stats.mean_deliveries_per_address = Mean(counts);
+    stats.median_deliveries_per_address = Median(counts);
+  }
+
+  // Distinct delivery locations per building (Fig. 9(a)).
+  std::unordered_map<int64_t, std::set<std::pair<double, double>>> locations;
+  for (const Address& addr : world.addresses) {
+    locations[addr.building_id].insert(
+        {addr.true_delivery_location.x, addr.true_delivery_location.y});
+  }
+  if (!locations.empty()) {
+    int64_t multi = 0;
+    for (const auto& [building, points] : locations) {
+      stats.locations_per_building[static_cast<int>(points.size())] += 1.0;
+      if (points.size() > 1) ++multi;
+    }
+    for (auto& [count, fraction] : stats.locations_per_building) {
+      fraction /= static_cast<double>(locations.size());
+    }
+    stats.frac_buildings_multi_location =
+        static_cast<double>(multi) / static_cast<double>(locations.size());
+  }
+  return stats;
+}
+
+}  // namespace sim
+}  // namespace dlinf

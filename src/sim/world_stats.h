@@ -1,0 +1,46 @@
+#ifndef DLINF_SIM_WORLD_STATS_H_
+#define DLINF_SIM_WORLD_STATS_H_
+
+#include <map>
+#include <vector>
+
+#include "sim/world.h"
+
+namespace dlinf {
+namespace sim {
+
+/// Aggregate dataset statistics (the quantities of the paper's Table I and
+/// Figure 9 that depend only on the world, not on the mining pipeline).
+struct WorldStats {
+  int64_t num_communities = 0;
+  int64_t num_buildings = 0;
+  int64_t num_addresses = 0;
+  int64_t num_delivered_addresses = 0;
+  int64_t num_couriers = 0;
+  int64_t num_trips = 0;
+  int64_t num_waybills = 0;
+  int64_t num_gps_points = 0;
+
+  double mean_waybills_per_trip = 0.0;
+  double mean_deliveries_per_address = 0.0;  ///< Over delivered addresses.
+  double median_deliveries_per_address = 0.0;
+
+  /// Fig. 9(a): distribution of distinct delivery locations per building
+  /// (key = #locations, value = fraction of buildings).
+  std::map<int, double> locations_per_building;
+
+  /// Fraction of buildings whose addresses use more than one location.
+  double frac_buildings_multi_location = 0.0;
+
+  /// Mean recorded-minus-actual confirmation delay in seconds (a property
+  /// of the injected confirmation behaviour).
+  double mean_confirmation_delay_s = 0.0;
+};
+
+/// Computes the statistics in one pass over the world.
+WorldStats ComputeWorldStats(const World& world);
+
+}  // namespace sim
+}  // namespace dlinf
+
+#endif  // DLINF_SIM_WORLD_STATS_H_

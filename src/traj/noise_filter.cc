@@ -1,0 +1,34 @@
+#include "traj/noise_filter.h"
+
+#include "common/check.h"
+
+namespace dlinf {
+
+Trajectory FilterNoise(const Trajectory& input,
+                       const NoiseFilterOptions& options) {
+  CHECK_GT(options.max_speed_mps, 0.0);
+  Trajectory output;
+  output.courier_id = input.courier_id;
+  output.points.reserve(input.points.size());
+  int consecutive_drops = 0;
+  for (const TrajPoint& p : input.points) {
+    if (output.points.empty()) {
+      output.points.push_back(p);
+      continue;
+    }
+    const TrajPoint& prev = output.points.back();
+    const double dt = p.t - prev.t;
+    if (dt <= 0) continue;  // Out-of-order or duplicate timestamp.
+    const double speed = Distance(p.position(), prev.position()) / dt;
+    if (speed > options.max_speed_mps &&
+        consecutive_drops < options.max_consecutive_drops) {
+      ++consecutive_drops;
+      continue;
+    }
+    consecutive_drops = 0;
+    output.points.push_back(p);
+  }
+  return output;
+}
+
+}  // namespace dlinf

@@ -1,0 +1,30 @@
+#ifndef DLINF_TRAJ_NOISE_FILTER_H_
+#define DLINF_TRAJ_NOISE_FILTER_H_
+
+#include "traj/trajectory.h"
+
+namespace dlinf {
+
+/// Parameters for the heuristic GPS outlier filter [8] used before stay-point
+/// extraction (Section III-A, operation 1).
+struct NoiseFilterOptions {
+  /// Points implying a speed above this (m/s) from the previous kept point
+  /// are dropped. Couriers ride at most ~15 m/s; default leaves headroom.
+  double max_speed_mps = 25.0;
+
+  /// Cap on consecutive drops: after this many rejected points in a row the
+  /// next point is accepted unconditionally, so a genuine fast segment (or a
+  /// long signal gap) re-anchors the filter instead of consuming the rest of
+  /// the track.
+  int max_consecutive_drops = 5;
+};
+
+/// Returns a copy of `input` with heuristic GPS outliers removed.
+/// Duplicate-timestamp points are also dropped (keeping the first), so the
+/// result always satisfies Trajectory::IsChronological().
+Trajectory FilterNoise(const Trajectory& input,
+                       const NoiseFilterOptions& options = {});
+
+}  // namespace dlinf
+
+#endif  // DLINF_TRAJ_NOISE_FILTER_H_

@@ -1,0 +1,53 @@
+#include "traj/stay_point.h"
+
+#include "common/check.h"
+
+namespace dlinf {
+namespace {
+
+StayPoint MakeStayPoint(const Trajectory& trajectory, size_t begin,
+                        size_t end) {
+  // Centroid and time span over points [begin, end).
+  double sx = 0.0;
+  double sy = 0.0;
+  for (size_t k = begin; k < end; ++k) {
+    sx += trajectory.points[k].x;
+    sy += trajectory.points[k].y;
+  }
+  const double n = static_cast<double>(end - begin);
+  StayPoint sp;
+  sp.location = Point{sx / n, sy / n};
+  sp.start_time = trajectory.points[begin].t;
+  sp.end_time = trajectory.points[end - 1].t;
+  sp.courier_id = trajectory.courier_id;
+  return sp;
+}
+
+}  // namespace
+
+std::vector<StayPoint> DetectStayPoints(const Trajectory& trajectory,
+                                        const StayPointOptions& options) {
+  CHECK_GT(options.distance_threshold_m, 0.0);
+  CHECK_GT(options.time_threshold_s, 0.0);
+  std::vector<StayPoint> stays;
+  const std::vector<TrajPoint>& pts = trajectory.points;
+  const size_t n = pts.size();
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i + 1;
+    while (j < n && Distance(pts[i].position(), pts[j].position()) <=
+                        options.distance_threshold_m) {
+      ++j;
+    }
+    // Window is [i, j): all points within D_max of the anchor p_i.
+    if (pts[j - 1].t - pts[i].t >= options.time_threshold_s) {
+      stays.push_back(MakeStayPoint(trajectory, i, j));
+      i = j;  // Restart after the stay, per [7].
+    } else {
+      ++i;
+    }
+  }
+  return stays;
+}
+
+}  // namespace dlinf

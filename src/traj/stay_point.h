@@ -1,0 +1,44 @@
+#ifndef DLINF_TRAJ_STAY_POINT_H_
+#define DLINF_TRAJ_STAY_POINT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "traj/trajectory.h"
+
+namespace dlinf {
+
+/// A detected stay (Definition 4): a maximal trajectory subsequence whose
+/// points remain within `distance_threshold` of its first point for at least
+/// `time_threshold` seconds.
+struct StayPoint {
+  Point location;        ///< Spatial centroid of the subsequence.
+  double start_time = 0; ///< Time of the first point in the stay.
+  double end_time = 0;   ///< Time of the last point in the stay.
+  int64_t courier_id = -1;
+  int64_t trip_id = -1;  ///< Filled in by callers that know the trip.
+
+  /// Definition 4 assigns a stay point the midpoint of its interval.
+  double Time() const { return (start_time + end_time) / 2.0; }
+
+  double Duration() const { return end_time - start_time; }
+};
+
+/// Parameters of stay-point detection. The paper (following [5]) uses
+/// D_max = 20 m and T_min = 30 s (Section III-A).
+struct StayPointOptions {
+  double distance_threshold_m = 20.0;  ///< D_max.
+  double time_threshold_s = 30.0;      ///< T_min.
+};
+
+/// Extracts stay points from a (noise-filtered) trajectory using the
+/// anchor-based algorithm of Li et al. [7]:
+/// scan j forward from anchor i while distance(p_i, p_j) <= D_max; when the
+/// window breaks, emit <p_i..p_{j-1}> as a stay if it spans >= T_min.
+/// Stay points inherit `courier_id` from the trajectory; `trip_id` is left -1.
+std::vector<StayPoint> DetectStayPoints(const Trajectory& trajectory,
+                                        const StayPointOptions& options = {});
+
+}  // namespace dlinf
+
+#endif  // DLINF_TRAJ_STAY_POINT_H_

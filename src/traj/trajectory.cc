@@ -1,0 +1,44 @@
+#include "traj/trajectory.h"
+
+#include "common/check.h"
+
+namespace dlinf {
+
+bool Trajectory::IsChronological() const {
+  for (size_t i = 1; i < points.size(); ++i) {
+    if (points[i].t <= points[i - 1].t) return false;
+  }
+  return true;
+}
+
+Point Trajectory::PositionAt(double t) const {
+  CHECK(!points.empty());
+  if (t <= points.front().t) return points.front().position();
+  if (t >= points.back().t) return points.back().position();
+  // Binary search for the segment containing t.
+  size_t lo = 0;
+  size_t hi = points.size() - 1;
+  while (hi - lo > 1) {
+    const size_t mid = (lo + hi) / 2;
+    if (points[mid].t <= t) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const TrajPoint& a = points[lo];
+  const TrajPoint& b = points[hi];
+  const double span = b.t - a.t;
+  const double frac = span > 0 ? (t - a.t) / span : 0.0;
+  return Point{a.x + frac * (b.x - a.x), a.y + frac * (b.y - a.y)};
+}
+
+double Trajectory::PathLength() const {
+  double length = 0.0;
+  for (size_t i = 1; i < points.size(); ++i) {
+    length += Distance(points[i - 1].position(), points[i].position());
+  }
+  return length;
+}
+
+}  // namespace dlinf

@@ -1,0 +1,46 @@
+#ifndef DLINF_TRAJ_TRAJECTORY_H_
+#define DLINF_TRAJ_TRAJECTORY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace dlinf {
+
+/// One spatio-temporal sample of a courier (Definition 3 of the paper).
+struct TrajPoint {
+  double x = 0.0;  ///< Local easting, meters.
+  double y = 0.0;  ///< Local northing, meters.
+  double t = 0.0;  ///< Seconds since the dataset epoch.
+
+  Point position() const { return Point{x, y}; }
+};
+
+/// A chronologically ordered GPS track of one courier.
+struct Trajectory {
+  int64_t courier_id = -1;
+  std::vector<TrajPoint> points;
+
+  bool empty() const { return points.empty(); }
+  size_t size() const { return points.size(); }
+
+  /// True when points are strictly increasing in time (Definition 3).
+  bool IsChronological() const;
+
+  /// Linearly interpolated position at time `t`, clamped to the track's time
+  /// span. Aborts on an empty trajectory. Used to derive "annotated
+  /// locations" (courier position at the recorded delivery time) for the
+  /// annotation-based baselines.
+  Point PositionAt(double t) const;
+
+  /// Total path length in meters (sum of consecutive segment lengths).
+  double PathLength() const;
+
+  double StartTime() const { return points.front().t; }
+  double EndTime() const { return points.back().t; }
+};
+
+}  // namespace dlinf
+
+#endif  // DLINF_TRAJ_TRAJECTORY_H_

@@ -1,0 +1,252 @@
+#include <cmath>
+#include <memory>
+
+#include "baselines/annotation_util.h"
+#include "geo/geohash.h"
+#include "baselines/evaluation.h"
+#include "baselines/georank.h"
+#include "baselines/simple_baselines.h"
+#include "baselines/unet_baseline.h"
+#include "baselines/variants.h"
+#include "gtest/gtest.h"
+#include "sim/generator.h"
+
+namespace dlinf {
+namespace baselines {
+namespace {
+
+/// Shared small dataset for all baseline tests (built once: candidate
+/// generation is the expensive part).
+class BaselinesTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sim::SimConfig config = sim::SynDowBJConfig();
+    config.num_days = 8;
+    config.num_communities = 9;
+    config.num_couriers = 3;
+    world_ = new sim::World(sim::GenerateWorld(config));
+    data_ = new dlinfma::Dataset(dlinfma::BuildDataset(*world_, {}));
+    samples_ = new dlinfma::SampleSet(
+        dlinfma::ExtractSamples(*data_, dlinfma::FeatureConfig{}));
+  }
+  static void TearDownTestSuite() {
+    delete samples_;
+    delete data_;
+    delete world_;
+  }
+
+  static sim::World* world_;
+  static dlinfma::Dataset* data_;
+  static dlinfma::SampleSet* samples_;
+};
+
+sim::World* BaselinesTest::world_ = nullptr;
+dlinfma::Dataset* BaselinesTest::data_ = nullptr;
+dlinfma::SampleSet* BaselinesTest::samples_ = nullptr;
+
+TEST_F(BaselinesTest, AnnotationsExistForEveryDeliveredAddress) {
+  const auto annotations = ComputeAnnotatedLocations(*world_);
+  for (int64_t id : world_->DeliveredAddressIds()) {
+    auto it = annotations.find(id);
+    ASSERT_NE(it, annotations.end());
+    EXPECT_EQ(it->second.size(), data_->gen->address_trips(id).size());
+  }
+}
+
+TEST_F(BaselinesTest, AnnotationIsCourierPositionAtRecordedTime) {
+  const auto annotations = ComputeAnnotatedLocations(*world_);
+  const sim::DeliveryTrip& trip = world_->trips.front();
+  const sim::Waybill& w = trip.waybills.front();
+  const Point expected = trip.trajectory.PositionAt(w.recorded_delivery_time);
+  bool found = false;
+  for (const Point& p : annotations.at(w.address_id)) {
+    if (Distance(p, expected) < 1e-9) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(BaselinesTest, GeocodingReturnsGeocodedLocations) {
+  GeocodingBaseline method;
+  const std::vector<Point> out = method.InferAll(*data_, samples_->test);
+  ASSERT_EQ(out.size(), samples_->test.size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i],
+              world_->address(samples_->test[i].address_id).geocoded_location);
+  }
+}
+
+TEST_F(BaselinesTest, AnnotationBaselineReturnsCentroid) {
+  AnnotationBaseline method;
+  method.Fit(*data_, *samples_);
+  const auto annotations = ComputeAnnotatedLocations(*world_);
+  const std::vector<Point> out = method.InferAll(*data_, samples_->test);
+  for (size_t i = 0; i < out.size(); ++i) {
+    const auto& points = annotations.at(samples_->test[i].address_id);
+    EXPECT_LT(Distance(out[i], Centroid(points)), 1e-9);
+  }
+}
+
+TEST_F(BaselinesTest, GeoCloudReturnsBiggestClusterCentroid) {
+  GeoCloudBaseline method;
+  method.Fit(*data_, *samples_);
+  const std::vector<Point> out = method.InferAll(*data_, samples_->test);
+  ASSERT_EQ(out.size(), samples_->test.size());
+  // GeoCloud should never be (much) worse than plain Annotation on MAE:
+  // discarding mis-annotated outliers only helps.
+  AnnotationBaseline annotation;
+  annotation.Fit(*data_, *samples_);
+  const auto truth = dlinfma::GroundTruthOf(*world_, samples_->test);
+  const auto geocloud_metrics = dlinfma::ComputeMetrics(out, truth);
+  const auto annotation_metrics = dlinfma::ComputeMetrics(
+      annotation.InferAll(*data_, samples_->test), truth);
+  EXPECT_LT(geocloud_metrics.mae_m, annotation_metrics.mae_m * 1.25);
+}
+
+TEST_F(BaselinesTest, MinDistPicksNearestCandidateToGeocode) {
+  MinDistBaseline method;
+  const std::vector<Point> out = method.InferAll(*data_, samples_->test);
+  for (size_t i = 0; i < out.size(); ++i) {
+    const dlinfma::AddressSample& s = samples_->test[i];
+    const Point geocode = world_->address(s.address_id).geocoded_location;
+    const double chosen = Distance(out[i], geocode);
+    for (int64_t id : s.candidate_ids) {
+      EXPECT_LE(chosen,
+                Distance(data_->gen->candidate(id).location, geocode) + 1e-9);
+    }
+  }
+}
+
+TEST_F(BaselinesTest, MaxTcPicksMaximumCoverage) {
+  MaxTcBaseline method;
+  const std::vector<Point> out = method.InferAll(*data_, samples_->test);
+  for (size_t i = 0; i < out.size(); ++i) {
+    const dlinfma::AddressSample& s = samples_->test[i];
+    double chosen_tc = -1.0;
+    double max_tc = -1.0;
+    for (size_t j = 0; j < s.features.size(); ++j) {
+      max_tc = std::max(max_tc, s.features[j].trip_coverage);
+      if (Distance(data_->gen->candidate(s.candidate_ids[j]).location,
+                   out[i]) < 1e-9) {
+        chosen_tc = std::max(chosen_tc, s.features[j].trip_coverage);
+      }
+    }
+    EXPECT_DOUBLE_EQ(chosen_tc, max_tc);
+  }
+}
+
+TEST_F(BaselinesTest, MaxTcIlcOutperformsMaxTc) {
+  // The paper's Table II relationship: adding inverse LC dramatically helps.
+  MaxTcBaseline max_tc;
+  MaxTcIlcBaseline max_tc_ilc;
+  const auto truth = dlinfma::GroundTruthOf(*world_, samples_->test);
+  const auto m1 = dlinfma::ComputeMetrics(
+      max_tc.InferAll(*data_, samples_->test), truth);
+  const auto m2 = dlinfma::ComputeMetrics(
+      max_tc_ilc.InferAll(*data_, samples_->test), truth);
+  EXPECT_LT(m2.mae_m, m1.mae_m);
+  EXPECT_GT(m2.beta50_pct, m1.beta50_pct);
+}
+
+TEST_F(BaselinesTest, GeoRankTrainsAndInfers) {
+  GeoRankBaseline method;
+  method.Fit(*data_, *samples_);
+  const std::vector<Point> out = method.InferAll(*data_, samples_->test);
+  ASSERT_EQ(out.size(), samples_->test.size());
+  // GeoRank selects among annotated locations: every output must be one of
+  // the address's annotations (or its geocode fallback).
+  const auto annotations = ComputeAnnotatedLocations(*world_);
+  for (size_t i = 0; i < out.size(); ++i) {
+    const auto it = annotations.find(samples_->test[i].address_id);
+    ASSERT_NE(it, annotations.end());
+    bool is_annotation = false;
+    for (const Point& p : it->second) {
+      if (Distance(p, out[i]) < 1e-9) is_annotation = true;
+    }
+    EXPECT_TRUE(is_annotation);
+  }
+}
+
+TEST_F(BaselinesTest, UnetBaselineTrainsAndInfersWithinImage) {
+  UnetBaseline::Options options;
+  options.max_epochs = 6;
+  UnetBaseline method(options);
+  method.Fit(*data_, *samples_);
+  const std::vector<Point> out = method.InferAll(*data_, samples_->test);
+  ASSERT_EQ(out.size(), samples_->test.size());
+  // Every prediction lies inside the 9x9 geohash-8 image around the
+  // annotations' modal cell (the cell holding the most annotations).
+  const auto annotations = ComputeAnnotatedLocations(*world_);
+  const LocalProjection projection(LatLng{39.9042, 116.4074});
+  for (size_t i = 0; i < out.size(); ++i) {
+    const auto& points = annotations.at(samples_->test[i].address_id);
+    std::unordered_map<std::string, int> counts;
+    for (const Point& p : points) {
+      counts[GeohashEncode(projection.Backward(p), 8)]++;
+    }
+    std::string modal;
+    int best = 0;
+    for (const auto& [hash, count] : counts) {
+      if (count > best) {
+        best = count;
+        modal = hash;
+      }
+    }
+    const Point center = projection.Forward(GeohashDecode(modal).Center());
+    // 9x9 cells of ~38 m x 19 m: anything within the image is < ~220 m of
+    // the center cell.
+    EXPECT_LT(Distance(out[i], center), 260.0);
+  }
+}
+
+TEST_F(BaselinesTest, ClassificationVariantsFitAndInfer) {
+  ClassificationVariant::Options options;
+  options.gbdt_stages = 20;
+  options.rf_trees = 15;
+  options.mlp_epochs = 5;
+  for (auto model : {ClassificationVariant::Model::kGbdt,
+                     ClassificationVariant::Model::kRandomForest,
+                     ClassificationVariant::Model::kMlp}) {
+    ClassificationVariant variant(model, "test-variant", options);
+    variant.Fit(*data_, *samples_);
+    const std::vector<Point> out = variant.InferAll(*data_, samples_->test);
+    ASSERT_EQ(out.size(), samples_->test.size());
+    // Predictions must come from each sample's candidate set.
+    for (size_t i = 0; i < out.size(); ++i) {
+      bool from_candidates = false;
+      for (int64_t id : samples_->test[i].candidate_ids) {
+        if (Distance(data_->gen->candidate(id).location, out[i]) < 1e-9) {
+          from_candidates = true;
+        }
+      }
+      EXPECT_TRUE(from_candidates);
+    }
+  }
+}
+
+TEST_F(BaselinesTest, RankingVariantsFitAndInfer) {
+  RankDtVariant rkdt;
+  rkdt.Fit(*data_, *samples_);
+  EXPECT_EQ(rkdt.InferAll(*data_, samples_->test).size(),
+            samples_->test.size());
+
+  RankNetVariant::Options options;
+  options.epochs = 5;
+  RankNetVariant rknet(options);
+  rknet.Fit(*data_, *samples_);
+  EXPECT_EQ(rknet.InferAll(*data_, samples_->test).size(),
+            samples_->test.size());
+}
+
+TEST_F(BaselinesTest, RunMethodProducesMetricsAndTimings) {
+  GeocodingBaseline method;
+  const MethodResult result = RunMethod(&method, *data_, *samples_);
+  EXPECT_EQ(result.method, "Geocoding");
+  EXPECT_GT(result.metrics.mae_m, 0.0);
+  EXPECT_EQ(result.metrics.num_samples,
+            static_cast<int>(samples_->test.size()));
+  EXPECT_GE(result.infer_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace dlinf

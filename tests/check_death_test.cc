@@ -1,0 +1,40 @@
+// Death tests: the CHECK family must abort with a diagnostic on violated
+// invariants (the library is exception-free; these are its failure surface).
+
+#include "common/check.h"
+
+#include "gtest/gtest.h"
+#include "nn/tensor.h"
+
+namespace dlinf {
+namespace {
+
+TEST(CheckDeathTest, CheckFailsWithMessage) {
+  EXPECT_DEATH({ CHECK(1 == 2) << "custom context"; },
+               "CHECK failed.*1 == 2.*custom context");
+}
+
+TEST(CheckDeathTest, ComparisonMacrosIncludeValues) {
+  EXPECT_DEATH({ CHECK_EQ(3, 4); }, "3.*vs.*4");
+  EXPECT_DEATH({ CHECK_LT(9, 2); }, "9.*vs.*2");
+}
+
+TEST(CheckDeathTest, CheckPassesSilently) {
+  CHECK(true);
+  CHECK_EQ(1, 1);
+  CHECK_GE(2, 1);
+}
+
+TEST(CheckDeathTest, TensorShapeMismatchAborts) {
+  EXPECT_DEATH(
+      { nn::Tensor::FromVector({2, 2}, {1.0f, 2.0f, 3.0f}); },
+      "CHECK failed");
+}
+
+TEST(CheckDeathTest, BackwardOnNonScalarAborts) {
+  nn::Tensor t = nn::Tensor::Zeros({2, 2}, /*requires_grad=*/true);
+  EXPECT_DEATH({ t.Backward(); }, "scalar");
+}
+
+}  // namespace
+}  // namespace dlinf

@@ -1,0 +1,144 @@
+#include <atomic>
+#include <cstdio>
+#include <set>
+
+#include "common/csv.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "gtest/gtest.h"
+
+namespace dlinf {
+namespace {
+
+TEST(StatsTest, MeanAndStdDev) {
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_NEAR(StdDev({2, 4, 4, 4, 5, 5, 7, 9}), 2.0, 1e-9);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  const std::vector<double> v = {4, 1, 3, 2};  // Sorted: 1 2 3 4.
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(Median({5.0}), 5.0);
+}
+
+TEST(StatsTest, HistogramBucketsAndCdf) {
+  Histogram h(0.0, 10.0, 5);
+  for (double v : {1.0, 5.0, 15.0, 100.0, -3.0}) h.Add(v);
+  EXPECT_EQ(h.count(0), 3);  // 1, 5, and clamped -3.
+  EXPECT_EQ(h.count(1), 1);  // 15.
+  EXPECT_EQ(h.count(4), 1);  // Clamped 100.
+  EXPECT_DOUBLE_EQ(h.Fraction(0), 0.6);
+  EXPECT_DOUBLE_EQ(h.CumulativeFraction(1), 0.8);
+  EXPECT_DOUBLE_EQ(h.CumulativeFraction(4), 1.0);
+  EXPECT_DOUBLE_EQ(h.BucketLow(2), 20.0);
+}
+
+TEST(RandomTest, DeterministicFromSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000000), b.UniformInt(0, 1000000));
+  }
+}
+
+TEST(RandomTest, ForkedStreamsDiffer) {
+  // Forks of identically seeded parents agree with each other...
+  Rng a(123), b(123);
+  Rng fork_a = a.Fork();
+  Rng fork_b = b.Fork();
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(fork_a.UniformInt(0, 1 << 30), fork_b.UniformInt(0, 1 << 30));
+  }
+  // ...but a fork's stream differs from its parent's.
+  Rng parent(7);
+  Rng child = parent.Fork();
+  bool any_diff = false;
+  for (int i = 0; i < 20; ++i) {
+    if (parent.UniformInt(0, 1 << 30) != child.UniformInt(0, 1 << 30)) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RandomTest, BernoulliFrequency) {
+  Rng rng(7);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(RandomTest, WeightedIndexRespectsWeights) {
+  Rng rng(9);
+  std::vector<double> w = {0.0, 9.0, 1.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 10000; ++i) ++counts[rng.WeightedIndex(w)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_GT(counts[1], counts[2] * 5);
+}
+
+TEST(StringUtilTest, SplitJoinTrim) {
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Join({"x", "y"}, "-"), "x-y");
+  EXPECT_EQ(Trim("  hi \n"), "hi");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(StrPrintf("%d-%s", 5, "ok"), "5-ok");
+}
+
+TEST(CsvTest, RoundTrip) {
+  const std::string path = testing::TempDir() + "/t.csv";
+  CsvTable table;
+  table.header = {"a", "b"};
+  table.rows = {{"1", "x"}, {"2", "y"}};
+  ASSERT_TRUE(WriteCsv(path, table));
+  auto read = ReadCsv(path);
+  ASSERT_TRUE(read.has_value());
+  EXPECT_EQ(read->header, table.header);
+  EXPECT_EQ(read->rows, table.rows);
+  EXPECT_EQ(read->ColumnIndex("b"), 1);
+  EXPECT_EQ(read->ColumnIndex("zz"), -1);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileReturnsNullopt) {
+  EXPECT_FALSE(ReadCsv("/nonexistent/definitely/not.csv").has_value());
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(1000, [&hits](int64_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](int64_t) { FAIL(); });
+}
+
+TEST(StopwatchTest, MeasuresElapsed) {
+  Stopwatch watch;
+  EXPECT_GE(watch.ElapsedSeconds(), 0.0);
+  watch.Reset();
+  EXPECT_LT(watch.ElapsedMillis(), 1000.0);
+}
+
+}  // namespace
+}  // namespace dlinf

@@ -1,0 +1,356 @@
+// Exact-semantics tests of candidate generation and feature extraction on a
+// hand-crafted world with known stays, trips and waybills.
+
+#include <algorithm>
+
+#include "dlinfma/candidate_generation.h"
+#include "dlinfma/features.h"
+#include "dlinfma/metrics.h"
+#include "gtest/gtest.h"
+#include "sim/world.h"
+
+namespace dlinf {
+namespace dlinfma {
+namespace {
+
+/// Appends GPS samples standing still at `p` from t0 for `duration` seconds
+/// (sampled every 10 s, noise-free).
+void AppendStay(Trajectory* traj, const Point& p, double t0, double duration) {
+  for (double t = t0; t <= t0 + duration; t += 10.0) {
+    traj->points.push_back(TrajPoint{p.x, p.y, t});
+  }
+}
+
+/// Appends a straight-line move ending just before `t_end`.
+void AppendTravel(Trajectory* traj, const Point& from, const Point& to,
+                  double t0, double t_end) {
+  for (double t = t0 + 10.0; t < t_end; t += 10.0) {
+    const double frac = (t - t0) / (t_end - t0);
+    traj->points.push_back(TrajPoint{from.x + frac * (to.x - from.x),
+                                     from.y + frac * (to.y - from.y), t});
+  }
+}
+
+constexpr Point kLocA{0, 0};
+constexpr Point kLocB{300, 0};
+constexpr Point kLocC{600, 0};
+
+/// World layout:
+///   building 0 (community 0): addresses 0, 1 — true location kLocA.
+///   building 1 (community 0): address 2      — true location kLocC.
+/// Trips:
+///   trip 0 (courier 0): stays A, B, C; delivers a0 (recorded at B's time,
+///     i.e. delayed) and a1 (recorded during C, heavily delayed).
+///   trip 1 (courier 0): stays A, B; delivers a0 (prompt confirmation).
+///   trip 2 (courier 1): stays B, C; delivers a2 (prompt).
+sim::World MakeTinyWorld() {
+  sim::World world;
+  world.name = "tiny";
+  world.station = Point{-100, -100};
+
+  sim::Community community;
+  community.id = 0;
+  community.center = Point{300, 0};
+  community.gate = Point{150, -50};
+  community.locker = Point{180, -40};
+  community.split = sim::Split::kTrain;
+  world.communities.push_back(community);
+
+  for (int b = 0; b < 2; ++b) {
+    sim::Building building;
+    building.id = b;
+    building.community_id = 0;
+    building.position = b == 0 ? kLocA : kLocC;
+    building.reception = building.position;
+    world.buildings.push_back(building);
+  }
+
+  auto add_address = [&](int64_t building_id, Point truth) {
+    sim::Address addr;
+    addr.id = static_cast<int64_t>(world.addresses.size());
+    addr.building_id = building_id;
+    addr.community_id = 0;
+    addr.true_delivery_location = truth;
+    addr.geocoded_location = truth;
+    addr.poi_category = 3;
+    addr.split = sim::Split::kTrain;
+    world.addresses.push_back(addr);
+  };
+  add_address(0, kLocA);
+  add_address(0, kLocA);
+  add_address(1, kLocC);
+
+  sim::Courier c0;
+  c0.id = 0;
+  sim::Courier c1;
+  c1.id = 1;
+  world.couriers = {c0, c1};
+
+  // --- Trip 0: A [0,60] -> B [200,260] -> C [400,460]. ---------------------
+  {
+    sim::DeliveryTrip trip;
+    trip.id = 0;
+    trip.courier_id = 0;
+    trip.start_time = 0;
+    trip.end_time = 500;
+    trip.trajectory.courier_id = 0;
+    AppendStay(&trip.trajectory, kLocA, 0, 60);
+    AppendTravel(&trip.trajectory, kLocA, kLocB, 60, 200);
+    AppendStay(&trip.trajectory, kLocB, 200, 60);
+    AppendTravel(&trip.trajectory, kLocB, kLocC, 260, 400);
+    AppendStay(&trip.trajectory, kLocC, 400, 60);
+    sim::Waybill w0;
+    w0.id = 0;
+    w0.address_id = 0;
+    w0.actual_delivery_time = 30;
+    w0.recorded_delivery_time = 230;  // Delayed: confirmed while at B.
+    sim::Waybill w1;
+    w1.id = 1;
+    w1.address_id = 1;
+    w1.actual_delivery_time = 40;
+    w1.recorded_delivery_time = 430;  // Heavily delayed: confirmed at C.
+    trip.waybills = {w0, w1};
+    world.trips.push_back(std::move(trip));
+  }
+  // --- Trip 1: A [0,60] -> B [200,260]. ------------------------------------
+  {
+    sim::DeliveryTrip trip;
+    trip.id = 1;
+    trip.courier_id = 0;
+    trip.start_time = 86400;
+    trip.end_time = 86700;
+    trip.trajectory.courier_id = 0;
+    AppendStay(&trip.trajectory, kLocA, 86400, 60);
+    AppendTravel(&trip.trajectory, kLocA, kLocB, 86460, 86600);
+    AppendStay(&trip.trajectory, kLocB, 86600, 60);
+    sim::Waybill w;
+    w.id = 2;
+    w.address_id = 0;
+    w.actual_delivery_time = 86430;
+    w.recorded_delivery_time = 86435;  // Prompt.
+    trip.waybills = {w};
+    world.trips.push_back(std::move(trip));
+  }
+  // --- Trip 2 (courier 1): B [0,60] -> C [200,260]. ------------------------
+  {
+    sim::DeliveryTrip trip;
+    trip.id = 2;
+    trip.courier_id = 1;
+    trip.start_time = 172800;
+    trip.end_time = 173100;
+    trip.trajectory.courier_id = 1;
+    AppendStay(&trip.trajectory, kLocB, 172800, 60);
+    AppendTravel(&trip.trajectory, kLocB, kLocC, 172860, 173000);
+    AppendStay(&trip.trajectory, kLocC, 173000, 60);
+    sim::Waybill w;
+    w.id = 3;
+    w.address_id = 2;
+    w.actual_delivery_time = 173030;
+    w.recorded_delivery_time = 173040;
+    trip.waybills = {w};
+    world.trips.push_back(std::move(trip));
+  }
+  return world;
+}
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  PipelineTest()
+      : world_(MakeTinyWorld()),
+        gen_(CandidateGeneration::Build(world_, {})) {}
+
+  int64_t CandidateAt(const Point& p) const {
+    for (const LocationCandidate& c : gen_.candidates()) {
+      if (Distance(c.location, p) < 1.0) return c.id;
+    }
+    return -1;
+  }
+
+  sim::World world_;
+  CandidateGeneration gen_;
+};
+
+TEST_F(PipelineTest, StayPointsDetectedAtPlannedLocations) {
+  // 3 + 2 + 2 stays across the three trips.
+  EXPECT_EQ(gen_.stay_points().size(), 7u);
+  EXPECT_GE(CandidateAt(kLocA), 0);
+  EXPECT_GE(CandidateAt(kLocB), 0);
+  EXPECT_GE(CandidateAt(kLocC), 0);
+  EXPECT_EQ(gen_.candidates().size(), 3u);
+}
+
+TEST_F(PipelineTest, TripVisitsAreChronological) {
+  ASSERT_EQ(gen_.trip_visits().size(), 3u);
+  EXPECT_EQ(gen_.trip_visits()[0].size(), 3u);
+  EXPECT_EQ(gen_.trip_visits()[1].size(), 2u);
+  EXPECT_EQ(gen_.trip_visits()[0][0].candidate_id, CandidateAt(kLocA));
+  EXPECT_EQ(gen_.trip_visits()[0][2].candidate_id, CandidateAt(kLocC));
+  EXPECT_NEAR(gen_.trip_visits()[0][0].time, 30.0, 1.0);
+  EXPECT_NEAR(gen_.trip_visits()[0][0].duration, 60.0, 1.0);
+}
+
+TEST_F(PipelineTest, RetrievalRespectsRecordedTimeUpperBound) {
+  // Address 0: trip 0 (t_d = 230: stays A@30, B@230 qualify; C@430 does not)
+  // union trip 1 (t_d = 86435: A@86430 qualifies, B@86630 does not).
+  std::vector<int64_t> got = gen_.Retrieve(0);
+  std::vector<int64_t> want = {CandidateAt(kLocA), CandidateAt(kLocB)};
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(got, want);
+
+  // Address 1: trip 0 only, t_d = 430 -> A and B qualify (C@430 == t_d).
+  got = gen_.Retrieve(1);
+  EXPECT_EQ(got.size(), 3u);  // C's stay time (430) == recorded time: kept.
+
+  // Address 2: trip 2, t_d = 173040 -> B@172830 and C@173030.
+  got = gen_.Retrieve(2);
+  want = {CandidateAt(kLocB), CandidateAt(kLocC)};
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(got, want);
+}
+
+TEST_F(PipelineTest, ProfilesAggregateStays) {
+  const LocationCandidate& b = gen_.candidate(CandidateAt(kLocB));
+  EXPECT_EQ(b.num_stay_points, 3);  // Trips 0, 1, 2.
+  EXPECT_EQ(b.profile.num_couriers, 2);
+  EXPECT_NEAR(b.profile.avg_duration_s, 60.0, 1.0);
+  // All stays fall in hour 0 of their day.
+  EXPECT_NEAR(b.profile.time_distribution[0], 1.0, 1e-9);
+
+  const LocationCandidate& a = gen_.candidate(CandidateAt(kLocA));
+  EXPECT_EQ(a.profile.num_couriers, 1);
+}
+
+TEST_F(PipelineTest, AddressTripsAndBuildingTrips) {
+  EXPECT_EQ(gen_.address_trips(0).size(), 2u);
+  EXPECT_EQ(gen_.address_trips(1).size(), 1u);
+  EXPECT_EQ(gen_.address_trips(99).size(), 0u);
+  EXPECT_EQ(gen_.trip_ids_of_address(0),
+            (std::vector<int64_t>{0, 1}));
+  // Building 0 hosts addresses 0 and 1 -> trips 0 and 1.
+  EXPECT_EQ(gen_.trips_of_building(0).size(), 2u);
+  EXPECT_EQ(gen_.trips_of_building(1).size(), 1u);
+}
+
+TEST_F(PipelineTest, TripCoverageMatchesEquation1) {
+  FeatureExtractor extractor(&world_, &gen_);
+  const AddressSample s = extractor.Extract(0, /*with_label=*/true);
+  ASSERT_EQ(s.candidate_ids.size(), 2u);
+  // Both A and B are passed by both of address 0's trips -> TC = 1 for both.
+  for (const CandidateFeatureVector& f : s.features) {
+    EXPECT_DOUBLE_EQ(f.trip_coverage, 1.0);
+  }
+}
+
+TEST_F(PipelineTest, LocationCommonalityMatchesEquation2) {
+  FeatureExtractor extractor(&world_, &gen_);
+  const AddressSample s = extractor.Extract(0, /*with_label=*/true);
+  // Trips not involving building 0: only trip 2. Trip 2 passes B and C but
+  // not A -> LC(A) = 0/1, LC(B) = 1/1.
+  const int index_a = s.candidate_ids[0] == CandidateAt(kLocA) ? 0 : 1;
+  const int index_b = 1 - index_a;
+  EXPECT_DOUBLE_EQ(s.features[index_a].location_commonality, 0.0);
+  EXPECT_DOUBLE_EQ(s.features[index_b].location_commonality, 1.0);
+}
+
+TEST_F(PipelineTest, AddressBasedLcAblationDiffers) {
+  FeatureConfig config;
+  config.lc_address_based = true;
+  FeatureExtractor extractor(&world_, &gen_, config);
+  const AddressSample s = extractor.Extract(1, /*with_label=*/true);
+  // Address 1 occurs only in trip 0; excluded = {0}; denominator = 2.
+  // B is passed by trips 1 and 2 -> LC_addr(B) = 1.0.
+  for (size_t i = 0; i < s.candidate_ids.size(); ++i) {
+    if (s.candidate_ids[i] == CandidateAt(kLocB)) {
+      EXPECT_DOUBLE_EQ(s.features[i].location_commonality, 1.0);
+    }
+  }
+}
+
+TEST_F(PipelineTest, LabelIsNearestCandidateToGroundTruth) {
+  FeatureExtractor extractor(&world_, &gen_);
+  const AddressSample s0 = extractor.Extract(0, /*with_label=*/true);
+  EXPECT_EQ(s0.candidate_ids[s0.label], CandidateAt(kLocA));
+  const AddressSample s2 = extractor.Extract(2, /*with_label=*/true);
+  EXPECT_EQ(s2.candidate_ids[s2.label], CandidateAt(kLocC));
+  const AddressSample unlabeled = extractor.Extract(0, /*with_label=*/false);
+  EXPECT_EQ(unlabeled.label, -1);
+}
+
+TEST_F(PipelineTest, DistanceFeatureLogCompressed) {
+  FeatureExtractor extractor(&world_, &gen_);
+  const AddressSample s = extractor.Extract(0, /*with_label=*/true);
+  for (size_t i = 0; i < s.candidate_ids.size(); ++i) {
+    if (s.candidate_ids[i] == CandidateAt(kLocB)) {
+      // log1p(300 m / 10).
+      EXPECT_NEAR(s.features[i].distance, std::log1p(30.0), 0.05);
+    }
+  }
+}
+
+TEST_F(PipelineTest, FeatureAblationsZeroTheRightColumns) {
+  FeatureConfig config;
+  config.use_trip_coverage = false;
+  config.use_profile = false;
+  FeatureExtractor extractor(&world_, &gen_, config);
+  const AddressSample s = extractor.Extract(0, /*with_label=*/true);
+  bool any_distance = false;
+  for (const CandidateFeatureVector& f : s.features) {
+    EXPECT_DOUBLE_EQ(f.trip_coverage, 0.0);
+    EXPECT_DOUBLE_EQ(f.avg_duration, 0.0);
+    EXPECT_DOUBLE_EQ(f.num_couriers, 0.0);
+    if (f.distance != 0.0) any_distance = true;
+  }
+  EXPECT_TRUE(any_distance);  // Distance feature still on.
+}
+
+TEST_F(PipelineTest, FlattenFeaturesLayout) {
+  FeatureExtractor extractor(&world_, &gen_);
+  const AddressSample s = extractor.Extract(0, /*with_label=*/true);
+  const ml::FeatureRow row = FlattenFeatures(s, 0);
+  ASSERT_EQ(static_cast<int>(row.size()), kFlatFeatureWidth);
+  EXPECT_DOUBLE_EQ(row[0], s.features[0].trip_coverage);
+  EXPECT_DOUBLE_EQ(row[kFlatFeatureWidth - 1], 3.0);  // POI category.
+}
+
+TEST_F(PipelineTest, BatchWindowDoesNotChangeWellSeparatedPool) {
+  // The tiny world's trips span three days; a small batch window forces the
+  // incremental (bi-weekly-style) path: per-batch clustering + merge. For
+  // well-separated locations the final pool must be identical to the
+  // one-shot pool.
+  CandidateGeneration::Options small_window;
+  small_window.batch_window_s = 12.0 * 3600.0;  // Half-day batches.
+  const CandidateGeneration incremental =
+      CandidateGeneration::Build(world_, small_window);
+  ASSERT_EQ(incremental.candidates().size(), gen_.candidates().size());
+  for (const LocationCandidate& c : incremental.candidates()) {
+    double best = 1e18;
+    for (const LocationCandidate& d : gen_.candidates()) {
+      best = std::min(best, Distance(c.location, d.location));
+    }
+    EXPECT_LT(best, 1e-6);
+  }
+}
+
+TEST_F(PipelineTest, GridMergeVariantProducesCandidates) {
+  CandidateGeneration::Options options;
+  options.use_grid_merge = true;
+  const CandidateGeneration grid_gen =
+      CandidateGeneration::Build(world_, options);
+  EXPECT_GE(grid_gen.candidates().size(), 3u);
+}
+
+TEST(MetricsTest, ComputesMaeP95Beta) {
+  // Errors: 10, 30, 100 meters.
+  const std::vector<Point> predicted = {{10, 0}, {0, 30}, {100, 0}};
+  const std::vector<Point> truth = {{0, 0}, {0, 0}, {0, 0}};
+  const EvalMetrics m = ComputeMetrics(predicted, truth, 50.0);
+  EXPECT_NEAR(m.mae_m, (10 + 30 + 100) / 3.0, 1e-9);
+  EXPECT_NEAR(m.beta50_pct, 200.0 / 3.0, 1e-9);
+  EXPECT_NEAR(m.p95_m, 93.0, 1e-9);  // Interpolated 95th percentile.
+  EXPECT_EQ(m.num_samples, 3);
+  EXPECT_FALSE(m.ToString().empty());
+}
+
+}  // namespace
+}  // namespace dlinfma
+}  // namespace dlinf

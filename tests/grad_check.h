@@ -1,0 +1,51 @@
+#ifndef DLINF_TESTS_GRAD_CHECK_H_
+#define DLINF_TESTS_GRAD_CHECK_H_
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "nn/tensor.h"
+
+namespace dlinf {
+namespace nn {
+
+/// Finite-difference gradient verification.
+///
+/// `loss_fn` must rebuild the scalar loss from scratch on every call (the
+/// tape is single-use). `inputs` are the leaf tensors whose analytic
+/// gradients are compared against central differences.
+inline void ExpectGradientsMatch(
+    const std::function<Tensor()>& loss_fn, std::vector<Tensor> inputs,
+    float epsilon = 1e-2f, float rtol = 2e-2f, float atol = 1e-3f) {
+  // Analytic gradients.
+  for (Tensor& t : inputs) t.ZeroGrad();
+  Tensor loss = loss_fn();
+  loss.Backward();
+  std::vector<std::vector<float>> analytic;
+  for (const Tensor& t : inputs) analytic.push_back(t.grad());
+
+  // Numerical gradients by central differences.
+  for (size_t ti = 0; ti < inputs.size(); ++ti) {
+    Tensor& t = inputs[ti];
+    for (int64_t i = 0; i < t.numel(); ++i) {
+      const float saved = t.data()[i];
+      t.data()[i] = saved + epsilon;
+      const float up = loss_fn().item();
+      t.data()[i] = saved - epsilon;
+      const float down = loss_fn().item();
+      t.data()[i] = saved;
+      const float numeric = (up - down) / (2.0f * epsilon);
+      const float exact = analytic[ti][i];
+      const float tol = atol + rtol * std::fabs(numeric);
+      EXPECT_NEAR(exact, numeric, tol)
+          << "input " << ti << " element " << i;
+    }
+  }
+}
+
+}  // namespace nn
+}  // namespace dlinf
+
+#endif  // DLINF_TESTS_GRAD_CHECK_H_

@@ -1,0 +1,100 @@
+// End-to-end integration test: the full DLInfMA pipeline on a synthetic
+// dataset must reproduce the paper's headline ordering — DLInfMA beats the
+// Geocoding and heuristic baselines on beta50 — and the delay-robustness
+// property of Table III (annotation-based methods degrade with p_d while
+// DLInfMA stays usable).
+
+#include <memory>
+
+#include "baselines/evaluation.h"
+#include "baselines/simple_baselines.h"
+#include "dlinfma/dlinfma_method.h"
+#include "gtest/gtest.h"
+#include "sim/generator.h"
+
+namespace dlinf {
+namespace {
+
+sim::SimConfig TestConfig() {
+  sim::SimConfig config = sim::SynDowBJConfig();
+  config.num_days = 14;
+  return config;
+}
+
+TEST(IntegrationTest, DlinfmaBeatsGeocodingAndHeuristics) {
+  const sim::World world = sim::GenerateWorld(TestConfig());
+  const dlinfma::Dataset data = dlinfma::BuildDataset(world, {});
+  const dlinfma::SampleSet samples =
+      dlinfma::ExtractSamples(data, dlinfma::FeatureConfig{});
+  ASSERT_GT(samples.train.size(), 50u);
+  ASSERT_GT(samples.test.size(), 30u);
+
+  baselines::GeocodingBaseline geocoding;
+  baselines::MaxTcBaseline max_tc;
+  baselines::MaxTcIlcBaseline max_tc_ilc;
+  dlinfma::TrainConfig train_config;
+  train_config.max_epochs = 60;  // Bounded for test runtime.
+  dlinfma::DlInfMaMethod dlinfma_method("DLInfMA", {}, train_config);
+
+  const auto r_geo = baselines::RunMethod(&geocoding, data, samples);
+  const auto r_tc = baselines::RunMethod(&max_tc, data, samples);
+  const auto r_ilc = baselines::RunMethod(&max_tc_ilc, data, samples);
+  const auto r_dlinfma = baselines::RunMethod(&dlinfma_method, data, samples);
+
+  // Paper Table II shape: DLInfMA best on beta50 and MAE; MaxTC worst.
+  EXPECT_GT(r_dlinfma.metrics.beta50_pct, r_geo.metrics.beta50_pct);
+  EXPECT_GT(r_dlinfma.metrics.beta50_pct, r_ilc.metrics.beta50_pct);
+  EXPECT_LT(r_dlinfma.metrics.mae_m, r_geo.metrics.mae_m);
+  EXPECT_LT(r_ilc.metrics.mae_m, r_tc.metrics.mae_m);
+  // Sanity on absolute quality: most addresses within 50 m.
+  EXPECT_GT(r_dlinfma.metrics.beta50_pct, 60.0);
+}
+
+TEST(IntegrationTest, AnnotationMethodsDegradeWithDelaysButPipelineDoesNot) {
+  sim::SimConfig config = TestConfig();
+  config.num_days = 10;
+
+  auto eval_at = [&](double p_delay) {
+    sim::World world = sim::GenerateWorld(config);
+    sim::ReinjectDelays(&world, 2, p_delay, /*seed=*/77);
+    const dlinfma::Dataset data = dlinfma::BuildDataset(world, {});
+    const dlinfma::SampleSet samples =
+        dlinfma::ExtractSamples(data, dlinfma::FeatureConfig{});
+    baselines::AnnotationBaseline annotation;
+    baselines::MaxTcIlcBaseline heuristic;
+    const auto r_ann = baselines::RunMethod(&annotation, data, samples);
+    const auto r_heu = baselines::RunMethod(&heuristic, data, samples);
+    return std::make_pair(r_ann.metrics.mae_m, r_heu.metrics.mae_m);
+  };
+
+  const auto [ann_low, heu_low] = eval_at(0.0);
+  const auto [ann_high, heu_high] = eval_at(1.0);
+  // Annotation collapses under full batch-delays (Table III).
+  EXPECT_GT(ann_high, ann_low * 1.5);
+  // The trajectory-based heuristic degrades less, both relatively and in
+  // absolute terms ("less sensitive", Section V-D).
+  EXPECT_LT(heu_high / heu_low, ann_high / ann_low);
+  EXPECT_LT(heu_high, ann_high);
+}
+
+TEST(IntegrationTest, PipelineParallelismMatchesSerial) {
+  // Stay-point extraction parallelized over trajectories (Section V-F) must
+  // produce identical candidates to the serial run.
+  sim::SimConfig config = TestConfig();
+  config.num_days = 4;
+  const sim::World world = sim::GenerateWorld(config);
+  ThreadPool pool(4);
+  const auto serial = dlinfma::CandidateGeneration::Build(world, {});
+  const auto parallel =
+      dlinfma::CandidateGeneration::Build(world, {}, &pool);
+  ASSERT_EQ(serial.stay_points().size(), parallel.stay_points().size());
+  ASSERT_EQ(serial.candidates().size(), parallel.candidates().size());
+  for (size_t i = 0; i < serial.candidates().size(); ++i) {
+    EXPECT_LT(Distance(serial.candidates()[i].location,
+                       parallel.candidates()[i].location),
+              1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace dlinf

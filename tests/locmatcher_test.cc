@@ -1,0 +1,178 @@
+#include "dlinfma/locmatcher.h"
+
+#include <cmath>
+
+#include "dlinfma/trainer.h"
+#include "gtest/gtest.h"
+
+namespace dlinf {
+namespace dlinfma {
+namespace {
+
+/// Synthetic samples where the positive candidate is identified by high TC
+/// and low LC (and a mild duration cue), mimicking the real feature signal.
+std::vector<AddressSample> MakeSyntheticSamples(int count, int max_candidates,
+                                                Rng* rng) {
+  std::vector<AddressSample> samples;
+  for (int s = 0; s < count; ++s) {
+    AddressSample sample;
+    sample.address_id = s;
+    const int n = static_cast<int>(rng->UniformInt(2, max_candidates));
+    sample.label = static_cast<int>(rng->UniformInt(0, n - 1));
+    for (int i = 0; i < n; ++i) {
+      CandidateFeatureVector f;
+      const bool positive = i == sample.label;
+      f.trip_coverage =
+          positive ? rng->Uniform(0.85, 1.0) : rng->Uniform(0.1, 0.9);
+      f.location_commonality =
+          positive ? rng->Uniform(0.0, 0.1) : rng->Uniform(0.0, 0.6);
+      f.distance = rng->Uniform(0.0, 3.0);
+      f.avg_duration = positive ? rng->Uniform(1.0, 2.5) : rng->Uniform(0.3, 2.0);
+      f.num_couriers = rng->Uniform(1.0, 3.0);
+      for (int h = 0; h < 24; ++h) f.time_distribution[h] = 0.0;
+      f.time_distribution[static_cast<int>(rng->UniformInt(8, 20))] = 1.0;
+      sample.features.push_back(f);
+      sample.candidate_ids.push_back(i);
+    }
+    sample.address.log_num_deliveries = rng->Uniform(0.5, 2.5);
+    sample.address.poi_category = static_cast<int>(rng->UniformInt(0, 20));
+    samples.push_back(std::move(sample));
+  }
+  return samples;
+}
+
+TEST(BatchTest, PadsToMaxCandidates) {
+  Rng rng(1);
+  std::vector<AddressSample> samples = MakeSyntheticSamples(3, 6, &rng);
+  samples[0].features.resize(2);
+  samples[0].candidate_ids.resize(2);
+  samples[0].label = 0;
+  std::vector<const AddressSample*> ptrs;
+  for (const auto& s : samples) ptrs.push_back(&s);
+  const LocMatcherBatch batch = MakeLocMatcherBatch(ptrs);
+  const int max_n = batch.scalar_features.dim(1);
+  EXPECT_EQ(batch.scalar_features.dim(0), 3);
+  EXPECT_EQ(batch.scalar_features.dim(2), kNumScalarCandidateFeatures);
+  EXPECT_EQ(batch.time_dist.shape(),
+            (nn::Shape{3, max_n, 24}));
+  EXPECT_EQ(batch.valid[0], 2);
+  // Padding slots are zero.
+  for (int j = 2; j < max_n; ++j) {
+    for (int f = 0; f < kNumScalarCandidateFeatures; ++f) {
+      EXPECT_EQ(
+          batch.scalar_features
+              .data()[(0 * max_n + j) * kNumScalarCandidateFeatures + f],
+          0.0f);
+    }
+  }
+}
+
+TEST(LocMatcherTest, ForwardShapeAndFiniteness) {
+  Rng rng(2);
+  LocMatcher model(LocMatcherConfig{}, &rng);
+  std::vector<AddressSample> samples = MakeSyntheticSamples(4, 8, &rng);
+  std::vector<const AddressSample*> ptrs;
+  for (const auto& s : samples) ptrs.push_back(&s);
+  const LocMatcherBatch batch = MakeLocMatcherBatch(ptrs);
+  nn::FwdCtx ctx;
+  const nn::Tensor logits = model.Forward(batch, ctx);
+  EXPECT_EQ(logits.dim(0), 4);
+  EXPECT_EQ(logits.dim(1), batch.scalar_features.dim(1));
+  for (float v : logits.data()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(LocMatcherTest, PaddingInvariance) {
+  // A sample's valid logits must not change when batched with a sample that
+  // forces padding (thanks to the attention padding mask).
+  Rng rng(3);
+  LocMatcher model(LocMatcherConfig{}, &rng);
+  std::vector<AddressSample> samples = MakeSyntheticSamples(2, 5, &rng);
+  samples[0].features.resize(3);
+  samples[0].candidate_ids.resize(3);
+  samples[0].label = 0;
+  // Alone (no padding).
+  const LocMatcherBatch solo = MakeLocMatcherBatch({&samples[0]});
+  nn::FwdCtx ctx;
+  const nn::Tensor solo_logits = model.Forward(solo, ctx);
+  // Batched with a bigger sample (padding to its size).
+  const LocMatcherBatch padded = MakeLocMatcherBatch({&samples[0], &samples[1]});
+  const nn::Tensor padded_logits = model.Forward(padded, ctx);
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_NEAR(solo_logits.data()[j],
+                padded_logits.data()[0 * padded_logits.dim(1) + j], 1e-4f);
+  }
+}
+
+TEST(LocMatcherTest, PredictIndicesRespectsValidPrefix) {
+  Rng rng(4);
+  LocMatcher model(LocMatcherConfig{}, &rng);
+  std::vector<AddressSample> samples = MakeSyntheticSamples(20, 7, &rng);
+  const std::vector<int> picks = model.PredictIndices(samples, /*batch=*/6);
+  ASSERT_EQ(picks.size(), samples.size());
+  for (size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_GE(picks[i], 0);
+    EXPECT_LT(picks[i], static_cast<int>(samples[i].features.size()));
+  }
+}
+
+TEST(LocMatcherTest, TrainingLearnsTheSyntheticRule) {
+  Rng rng(5);
+  std::vector<AddressSample> train = MakeSyntheticSamples(300, 10, &rng);
+  std::vector<AddressSample> val = MakeSyntheticSamples(60, 10, &rng);
+  std::vector<AddressSample> test = MakeSyntheticSamples(100, 10, &rng);
+
+  Rng model_rng(6);
+  LocMatcher model(LocMatcherConfig{}, &model_rng);
+  TrainConfig config;
+  config.max_epochs = 30;
+  config.early_stop_patience = 30;  // Fixed-budget run.
+  const TrainResult result = TrainLocMatcher(&model, train, val, config);
+  EXPECT_GT(result.epochs_run, 0);
+  EXPECT_LT(result.best_val_loss, 1.2);
+
+  const std::vector<int> picks = model.PredictIndices(test);
+  int correct = 0;
+  for (size_t i = 0; i < test.size(); ++i) {
+    if (picks[i] == test[i].label) ++correct;
+  }
+  // Signal is noisy by construction; well above the ~1/6 random baseline.
+  EXPECT_GT(correct, 55);
+}
+
+TEST(LocMatcherTest, EvaluateLossMatchesUniformAtInit) {
+  // With random init the loss should be around log(n) for n candidates.
+  Rng rng(7);
+  LocMatcher model(LocMatcherConfig{}, &rng);
+  std::vector<AddressSample> samples = MakeSyntheticSamples(50, 8, &rng);
+  const double loss = model.EvaluateLoss(samples);
+  EXPECT_GT(loss, 0.5);
+  EXPECT_LT(loss, 3.0);
+}
+
+TEST(LocMatcherTest, VariantConfigsConstructAndRun) {
+  Rng rng(8);
+  std::vector<AddressSample> samples = MakeSyntheticSamples(4, 6, &rng);
+
+  LocMatcherConfig no_context;
+  no_context.use_address_context = false;
+  LocMatcher na(no_context, &rng);
+  EXPECT_EQ(na.PredictIndices(samples).size(), samples.size());
+
+  LocMatcherConfig lstm;
+  lstm.encoder = LocMatcherConfig::EncoderKind::kLstm;
+  LocMatcher pn(lstm, &rng);
+  EXPECT_EQ(pn.PredictIndices(samples).size(), samples.size());
+}
+
+TEST(LocMatcherTest, ParameterCountsReflectConfig) {
+  Rng rng(9);
+  LocMatcher small(LocMatcherConfig{}, &rng);
+  LocMatcherConfig big;
+  big.num_layers = 5;
+  LocMatcher bigger(big, &rng);
+  EXPECT_GT(bigger.NumParameters(), small.NumParameters());
+}
+
+}  // namespace
+}  // namespace dlinfma
+}  // namespace dlinf

@@ -1,0 +1,227 @@
+#include <cmath>
+
+#include "common/random.h"
+#include "gtest/gtest.h"
+#include "ml/decision_tree.h"
+#include "ml/gbdt.h"
+#include "ml/pairwise.h"
+#include "ml/random_forest.h"
+
+namespace dlinf {
+namespace ml {
+namespace {
+
+/// Noisy two-feature dataset where class = (x0 > 0.5).
+void MakeThresholdData(int n, Rng* rng, std::vector<FeatureRow>* x,
+                       std::vector<double>* y) {
+  for (int i = 0; i < n; ++i) {
+    const double a = rng->Uniform(0, 1);
+    const double b = rng->Uniform(0, 1);
+    x->push_back({a, b});
+    y->push_back(a > 0.5 ? 1.0 : 0.0);
+  }
+}
+
+TEST(DecisionTreeTest, LearnsAxisThreshold) {
+  Rng rng(1);
+  std::vector<FeatureRow> x;
+  std::vector<double> y;
+  MakeThresholdData(200, &rng, &x, &y);
+  DecisionTree tree;
+  DecisionTree::Options options;
+  options.max_depth = 3;
+  tree.Fit(x, y, {}, options);
+  EXPECT_GT(tree.Predict({0.9, 0.5}), 0.9);
+  EXPECT_LT(tree.Predict({0.1, 0.5}), 0.1);
+}
+
+TEST(DecisionTreeTest, LearnsConjunction) {
+  std::vector<FeatureRow> x;
+  std::vector<double> y;
+  Rng rng(2);
+  for (int i = 0; i < 400; ++i) {
+    const double a = rng.Uniform(0, 1);
+    const double b = rng.Uniform(0, 1);
+    x.push_back({a, b});
+    y.push_back((a > 0.5) && (b > 0.5) ? 1.0 : 0.0);
+  }
+  DecisionTree tree;
+  DecisionTree::Options options;
+  options.max_depth = 4;
+  tree.Fit(x, y, {}, options);
+  EXPECT_GT(tree.Predict({0.9, 0.9}), 0.8);
+  EXPECT_LT(tree.Predict({0.9, 0.1}), 0.2);
+  EXPECT_LT(tree.Predict({0.1, 0.9}), 0.2);
+  EXPECT_LT(tree.Predict({0.1, 0.1}), 0.2);
+}
+
+TEST(DecisionTreeTest, MaxLeavesBound) {
+  Rng rng(3);
+  std::vector<FeatureRow> x;
+  std::vector<double> y;
+  for (int i = 0; i < 500; ++i) {
+    x.push_back({rng.Uniform(0, 1)});
+    y.push_back(rng.Bernoulli(0.5) ? 1.0 : 0.0);  // Pure noise: deep tree.
+  }
+  DecisionTree tree;
+  DecisionTree::Options options;
+  options.max_depth = 30;
+  options.max_leaves = 8;
+  tree.Fit(x, y, {}, options);
+  EXPECT_LE(tree.num_leaves(), 8);
+}
+
+TEST(DecisionTreeTest, PureNodeStaysLeaf) {
+  std::vector<FeatureRow> x = {{0.0}, {1.0}, {2.0}};
+  std::vector<double> y = {1.0, 1.0, 1.0};
+  DecisionTree tree;
+  tree.Fit(x, y, {}, DecisionTree::Options{});
+  EXPECT_EQ(tree.num_nodes(), 1);
+  EXPECT_DOUBLE_EQ(tree.Predict({5.0}), 1.0);
+}
+
+TEST(DecisionTreeTest, SampleWeightsShiftLeafValues) {
+  std::vector<FeatureRow> x = {{0.0}, {0.0}};
+  std::vector<double> y = {1.0, 0.0};
+  DecisionTree tree;
+  tree.Fit(x, y, {3.0, 1.0}, DecisionTree::Options{});
+  EXPECT_DOUBLE_EQ(tree.Predict({0.0}), 0.75);  // 3/(3+1).
+}
+
+TEST(DecisionTreeTest, RegressionFitsPiecewiseMean) {
+  std::vector<FeatureRow> x;
+  std::vector<double> y;
+  for (int i = 0; i < 100; ++i) {
+    const double v = i / 100.0;
+    x.push_back({v});
+    y.push_back(v < 0.5 ? 2.0 : 8.0);
+  }
+  DecisionTree tree;
+  DecisionTree::Options options;
+  options.task = DecisionTree::Task::kRegression;
+  options.max_depth = 2;
+  tree.Fit(x, y, {}, options);
+  EXPECT_NEAR(tree.Predict({0.2}), 2.0, 1e-9);
+  EXPECT_NEAR(tree.Predict({0.8}), 8.0, 1e-9);
+}
+
+TEST(DecisionTreeTest, ApplyAndSetLeafValue) {
+  std::vector<FeatureRow> x = {{0.0}, {1.0}};
+  std::vector<double> y = {0.0, 1.0};
+  DecisionTree tree;
+  tree.Fit(x, y, {}, DecisionTree::Options{});
+  const int leaf = tree.Apply({0.0});
+  tree.SetLeafValue(leaf, 42.0);
+  EXPECT_DOUBLE_EQ(tree.Predict({0.0}), 42.0);
+  EXPECT_DOUBLE_EQ(tree.Predict({1.0}), 1.0);
+}
+
+TEST(RandomForestTest, BeatsSingleStumpOnXor) {
+  Rng rng(5);
+  std::vector<FeatureRow> x;
+  std::vector<double> y;
+  for (int i = 0; i < 300; ++i) {
+    const double a = rng.Uniform(0, 1);
+    const double b = rng.Uniform(0, 1);
+    x.push_back({a, b, rng.Uniform(0, 1)});
+    y.push_back((a > 0.5) != (b > 0.5) ? 1.0 : 0.0);
+  }
+  RandomForest forest;
+  RandomForest::Options options;
+  options.num_trees = 30;
+  options.max_depth = 6;
+  forest.Fit(x, y, {}, options, &rng);
+  int correct = 0;
+  for (int i = 0; i < 300; ++i) {
+    if ((forest.PredictProba(x[i]) > 0.5) == (y[i] > 0.5)) ++correct;
+  }
+  EXPECT_GT(correct, 270);
+}
+
+TEST(GbdtTest, FitsNonlinearBoundary) {
+  Rng rng(6);
+  std::vector<FeatureRow> x;
+  std::vector<double> y;
+  for (int i = 0; i < 400; ++i) {
+    const double a = rng.Uniform(-1, 1);
+    const double b = rng.Uniform(-1, 1);
+    x.push_back({a, b});
+    y.push_back(a * a + b * b < 0.5 ? 1.0 : 0.0);  // Disc boundary.
+  }
+  GradientBoosting gbdt;
+  GradientBoosting::Options options;
+  options.num_stages = 60;
+  gbdt.Fit(x, y, {}, options);
+  EXPECT_GT(gbdt.PredictProba({0.0, 0.0}), 0.8);
+  EXPECT_LT(gbdt.PredictProba({0.9, 0.9}), 0.2);
+}
+
+TEST(GbdtTest, PositiveWeightsRaisePositiveScores) {
+  Rng rng(7);
+  std::vector<FeatureRow> x;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    x.push_back({rng.Uniform(0, 1)});
+    y.push_back(rng.Bernoulli(0.2) ? 1.0 : 0.0);
+  }
+  std::vector<double> w(y.size(), 1.0);
+  GradientBoosting plain, weighted;
+  GradientBoosting::Options options;
+  options.num_stages = 10;
+  plain.Fit(x, y, w, options);
+  for (size_t i = 0; i < y.size(); ++i) {
+    if (y[i] > 0.5) w[i] = 4.0;
+  }
+  weighted.Fit(x, y, w, options);
+  EXPECT_GT(weighted.PredictProba({0.5}), plain.PredictProba({0.5}));
+}
+
+TEST(PairwiseTest, RowDifference) {
+  EXPECT_EQ(RowDifference({3, 1}, {1, 4}), (FeatureRow{2, -3}));
+}
+
+TEST(PairwiseTest, TrainingSetHasSymmetricPairs) {
+  RankingGroup group;
+  group.rows = {{1, 0}, {2, 0}, {3, 0}};
+  group.positive_index = 1;
+  std::vector<FeatureRow> x;
+  std::vector<double> y;
+  Rng rng(8);
+  MakePairwiseTrainingSet({group}, 0, &rng, &x, &y);
+  ASSERT_EQ(x.size(), 4u);  // 2 negatives x 2 directions.
+  ASSERT_EQ(y.size(), 4u);
+  for (size_t i = 0; i < x.size(); i += 2) {
+    EXPECT_DOUBLE_EQ(y[i], 1.0);
+    EXPECT_DOUBLE_EQ(y[i + 1], 0.0);
+    EXPECT_DOUBLE_EQ(x[i][0], -x[i + 1][0]);  // Mirrored differences.
+  }
+}
+
+TEST(PairwiseTest, PairCapRespected) {
+  RankingGroup group;
+  for (int i = 0; i < 20; ++i) group.rows.push_back({static_cast<double>(i)});
+  group.positive_index = 0;
+  std::vector<FeatureRow> x;
+  std::vector<double> y;
+  Rng rng(9);
+  MakePairwiseTrainingSet({group}, 5, &rng, &x, &y);
+  EXPECT_EQ(x.size(), 10u);  // 5 pairs x 2 directions.
+}
+
+TEST(PairwiseTest, VoteSelectPicksDominantCandidate) {
+  // Score favors larger first feature.
+  const std::vector<FeatureRow> rows = {{1.0}, {5.0}, {3.0}};
+  const int winner = PairwiseVoteSelect(rows, [](const FeatureRow& diff) {
+    return diff[0] > 0 ? 1.0 : 0.0;
+  });
+  EXPECT_EQ(winner, 1);
+}
+
+TEST(PairwiseTest, VoteSelectSingleton) {
+  EXPECT_EQ(PairwiseVoteSelect({{1.0}}, [](const FeatureRow&) { return 1.0; }),
+            0);
+}
+
+}  // namespace
+}  // namespace ml
+}  // namespace dlinf

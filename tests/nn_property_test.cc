@@ -1,0 +1,182 @@
+// Parameterized property tests of the nn substrate: gradient correctness and
+// algebraic invariants across shape sweeps.
+
+#include <cmath>
+#include <tuple>
+
+#include "grad_check.h"
+#include "gtest/gtest.h"
+#include "nn/loss.h"
+#include "nn/module.h"
+#include "nn/ops.h"
+
+namespace dlinf {
+namespace nn {
+namespace {
+
+Tensor Randn(const Shape& shape, Rng* rng, float scale = 1.0f) {
+  std::vector<float> values(NumElements(shape));
+  for (float& v : values) v = static_cast<float>(rng->Normal(0.0, scale));
+  return Tensor::FromVector(shape, std::move(values), /*requires_grad=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// MatMul gradients across (batch, M, K, N) shapes.
+// ---------------------------------------------------------------------------
+
+class MatMulShapeTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(MatMulShapeTest, SharedWeightGradients) {
+  const auto [b, m, k, n] = GetParam();
+  Rng rng(static_cast<uint64_t>(b * 1000 + m * 100 + k * 10 + n));
+  Tensor a = b > 1 ? Randn({b, m, k}, &rng) : Randn({m, k}, &rng);
+  Tensor w = Randn({k, n}, &rng);
+  ExpectGradientsMatch(
+      [&] {
+        Tensor y = MatMul(a, w);
+        return Sum(Mul(y, y));
+      },
+      {a, w}, 1e-2f, 5e-2f, 5e-3f);
+}
+
+TEST_P(MatMulShapeTest, ForwardMatchesNaiveTripleLoop) {
+  const auto [b, m, k, n] = GetParam();
+  Rng rng(7);
+  Tensor a = Randn({b, m, k}, &rng);
+  Tensor w = Randn({b, k, n}, &rng);
+  Tensor y = MatMul(a, w);
+  for (int p = 0; p < b; ++p) {
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < n; ++j) {
+        double acc = 0.0;
+        for (int kk = 0; kk < k; ++kk) {
+          acc += static_cast<double>(
+                     a.data()[(p * m + i) * k + kk]) *
+                 w.data()[(p * k + kk) * n + j];
+        }
+        EXPECT_NEAR(y.data()[(p * m + i) * n + j], acc, 1e-3)
+            << p << "," << i << "," << j;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MatMulShapeTest,
+                         ::testing::Values(std::make_tuple(1, 2, 3, 4),
+                                           std::make_tuple(2, 1, 5, 1),
+                                           std::make_tuple(3, 4, 2, 3),
+                                           std::make_tuple(2, 3, 3, 2)));
+
+// ---------------------------------------------------------------------------
+// Softmax invariants across row widths.
+// ---------------------------------------------------------------------------
+
+class SoftmaxWidthTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SoftmaxWidthTest, RowsSumToOneAndShiftInvariant) {
+  const int n = GetParam();
+  Rng rng(n);
+  Tensor x = Randn({3, n}, &rng, 2.0f);
+  Tensor y = Softmax(x);
+  for (int r = 0; r < 3; ++r) {
+    float sum = 0.0f;
+    for (int j = 0; j < n; ++j) sum += y.data()[r * n + j];
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+  // Softmax(x + c) == Softmax(x).
+  Tensor shifted = Softmax(AddScalar(x, 7.5f));
+  for (int64_t i = 0; i < y.numel(); ++i) {
+    EXPECT_NEAR(shifted.data()[i], y.data()[i], 1e-5f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SoftmaxWidthTest,
+                         ::testing::Values(1, 2, 5, 17, 64));
+
+// ---------------------------------------------------------------------------
+// Masked cross-entropy equals manual computation for any valid prefix.
+// ---------------------------------------------------------------------------
+
+class MaskedCeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MaskedCeTest, MatchesManualLogSumExp) {
+  const int valid = GetParam();
+  Rng rng(valid + 100);
+  const int n = 8;
+  Tensor logits = Randn({1, n}, &rng, 2.0f);
+  const int label = valid / 2;
+  const float loss =
+      MaskedCrossEntropy(logits, {valid}, {label}).item();
+  double denom = 0.0;
+  for (int j = 0; j < valid; ++j) {
+    denom += std::exp(static_cast<double>(logits.data()[j]));
+  }
+  const double expected =
+      -(static_cast<double>(logits.data()[label]) - std::log(denom));
+  EXPECT_NEAR(loss, expected, 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Prefixes, MaskedCeTest,
+                         ::testing::Values(1, 2, 4, 8));
+
+// ---------------------------------------------------------------------------
+// Transformer encoder: permutation equivariance over the candidate axis
+// (no positional encoding — candidate sets are unordered, Section IV-B).
+// ---------------------------------------------------------------------------
+
+class TransformerPermutationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TransformerPermutationTest, EncoderIsPermutationEquivariant) {
+  const int n = GetParam();
+  Rng rng(n * 3 + 1);
+  TransformerEncoder encoder(2, 8, 2, 16, /*dropout=*/0.0f, &rng);
+  FwdCtx ctx;
+  Tensor x = Randn({1, n, 8}, &rng);
+  Tensor y = encoder.Forward(x, Tensor(), ctx);
+
+  // Reverse the candidate order; outputs must be reversed accordingly.
+  std::vector<float> reversed(x.numel());
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      reversed[i * 8 + j] = x.data()[(n - 1 - i) * 8 + j];
+    }
+  }
+  Tensor y_rev = encoder.Forward(
+      Tensor::FromVector({1, n, 8}, std::move(reversed)), Tensor(), ctx);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      EXPECT_NEAR(y.data()[i * 8 + j], y_rev.data()[(n - 1 - i) * 8 + j],
+                  1e-4f)
+          << "slot " << i << " dim " << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SetSizes, TransformerPermutationTest,
+                         ::testing::Values(2, 3, 7, 16));
+
+// ---------------------------------------------------------------------------
+// LayerNorm gradient check across widths.
+// ---------------------------------------------------------------------------
+
+class LayerNormWidthTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LayerNormWidthTest, Gradients) {
+  const int n = GetParam();
+  Rng rng(n + 55);
+  Tensor x = Randn({2, n}, &rng);
+  Tensor gamma = Randn({n}, &rng, 0.3f);
+  Tensor beta = Randn({n}, &rng, 0.3f);
+  Tensor mix = Randn({2, n}, &rng);
+  ExpectGradientsMatch(
+      [&] { return Sum(Mul(LayerNormOp(x, gamma, beta), mix)); },
+      {x, gamma, beta}, 1e-2f, 6e-2f, 6e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, LayerNormWidthTest,
+                         ::testing::Values(2, 5, 16));
+
+}  // namespace
+}  // namespace nn
+}  // namespace dlinf

@@ -1,0 +1,92 @@
+#include "cluster/optics.h"
+
+#include <set>
+
+#include "common/random.h"
+#include "gtest/gtest.h"
+
+namespace dlinf {
+namespace {
+
+std::vector<Point> TwoBlobsAndNoise(Rng* rng) {
+  std::vector<Point> points;
+  for (int i = 0; i < 25; ++i) {
+    points.push_back({rng->Uniform(-6, 6), rng->Uniform(-6, 6)});
+  }
+  for (int i = 0; i < 25; ++i) {
+    points.push_back({300 + rng->Uniform(-6, 6), rng->Uniform(-6, 6)});
+  }
+  points.push_back({150, 900});  // Isolated noise.
+  return points;
+}
+
+TEST(OpticsTest, OrderingIsAPermutation) {
+  Rng rng(1);
+  const std::vector<Point> points = TwoBlobsAndNoise(&rng);
+  const OpticsResult result = Optics(points, {40.0, 3});
+  std::set<int> seen(result.ordering.begin(), result.ordering.end());
+  EXPECT_EQ(seen.size(), points.size());
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), static_cast<int>(points.size()) - 1);
+}
+
+TEST(OpticsTest, ReachabilityLowInsideBlobsUndefinedForIsolated) {
+  Rng rng(2);
+  const std::vector<Point> points = TwoBlobsAndNoise(&rng);
+  const OpticsResult result = Optics(points, {40.0, 3});
+  // The isolated point is never reachable.
+  EXPECT_EQ(result.reachability.back(),
+            OpticsResult::kUndefinedReachability);
+  // Most blob points have small reachability.
+  int small = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (result.reachability[i] >= 0 && result.reachability[i] < 15.0) {
+      ++small;
+    }
+  }
+  EXPECT_GT(small, 40);
+}
+
+TEST(OpticsTest, DbscanExtractionFindsTwoClusters) {
+  Rng rng(3);
+  const std::vector<Point> points = TwoBlobsAndNoise(&rng);
+  const OpticsResult result = Optics(points, {60.0, 3});
+  const std::vector<int> labels = result.ExtractDbscanClusters(25.0);
+  // Blob 1 in one cluster, blob 2 in another, noise labeled -1.
+  std::set<int> blob1, blob2;
+  for (int i = 0; i < 25; ++i) blob1.insert(labels[i]);
+  for (int i = 25; i < 50; ++i) blob2.insert(labels[i]);
+  EXPECT_EQ(blob1.size(), 1u);
+  EXPECT_EQ(blob2.size(), 1u);
+  EXPECT_NE(*blob1.begin(), *blob2.begin());
+  EXPECT_NE(*blob1.begin(), -1);
+  EXPECT_EQ(labels.back(), -1);
+}
+
+TEST(OpticsTest, SmallerExtractionEpsNeverMergesMore) {
+  Rng rng(4);
+  std::vector<Point> points;
+  for (int i = 0; i < 120; ++i) {
+    points.push_back({rng.Uniform(0, 400), rng.Uniform(0, 400)});
+  }
+  const OpticsResult result = Optics(points, {120.0, 3});
+  auto count_clusters = [&](double eps) {
+    const std::vector<int> labels = result.ExtractDbscanClusters(eps);
+    std::set<int> distinct;
+    for (int l : labels) {
+      if (l >= 0) distinct.insert(l);
+    }
+    return distinct.size();
+  };
+  EXPECT_GE(count_clusters(30.0), count_clusters(100.0));
+}
+
+TEST(OpticsTest, EmptyAndSingleton) {
+  EXPECT_TRUE(Optics({}, {40.0, 2}).ordering.empty());
+  const OpticsResult one = Optics({{0, 0}}, {40.0, 2});
+  EXPECT_EQ(one.ordering.size(), 1u);
+  EXPECT_EQ(one.ExtractDbscanClusters(40.0)[0], -1);
+}
+
+}  // namespace
+}  // namespace dlinf

@@ -1,0 +1,220 @@
+// Parameterized property tests: invariants that must hold across whole
+// parameter sweeps, not just single configurations.
+
+#include <algorithm>
+#include <cmath>
+
+#include "cluster/hierarchical.h"
+#include "common/random.h"
+#include "geo/grid_index.h"
+#include "gtest/gtest.h"
+#include "sim/generator.h"
+#include "traj/stay_point.h"
+
+namespace dlinf {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Stay-point detection invariants over (D_max, T_min).
+// ---------------------------------------------------------------------------
+
+class StayPointPropertyTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(StayPointPropertyTest, DetectedStaysSatisfyDefinition4) {
+  const auto [d_max, t_min] = GetParam();
+  StayPointOptions options;
+  options.distance_threshold_m = d_max;
+  options.time_threshold_s = t_min;
+
+  // A random walk with planted dwell segments.
+  Rng rng(static_cast<uint64_t>(d_max * 100 + t_min));
+  Trajectory traj;
+  traj.courier_id = 1;
+  double t = 0.0;
+  Point pos{0, 0};
+  for (int segment = 0; segment < 12; ++segment) {
+    if (segment % 3 == 0) {
+      // Dwell: jitter around pos for 2-4 minutes.
+      const double duration = rng.Uniform(120, 240);
+      for (double dt = 0; dt < duration; dt += 12.0) {
+        traj.points.push_back(TrajPoint{pos.x + rng.Normal(0, 2),
+                                        pos.y + rng.Normal(0, 2), t + dt});
+      }
+      t += duration;
+    } else {
+      // Move ~200 m.
+      const Point next{pos.x + rng.Uniform(100, 250),
+                       pos.y + rng.Uniform(-100, 100)};
+      const double duration = Distance(pos, next) / 3.0;
+      for (double dt = 0; dt < duration; dt += 12.0) {
+        const double frac = dt / duration;
+        traj.points.push_back(TrajPoint{pos.x + frac * (next.x - pos.x),
+                                        pos.y + frac * (next.y - pos.y),
+                                        t + dt});
+      }
+      pos = next;
+      t += duration;
+    }
+  }
+
+  const std::vector<StayPoint> stays = DetectStayPoints(traj, options);
+  ASSERT_FALSE(stays.empty());
+  for (size_t i = 0; i < stays.size(); ++i) {
+    // Duration respects T_min.
+    EXPECT_GE(stays[i].Duration(), t_min);
+    // Chronological and non-overlapping.
+    if (i > 0) EXPECT_GE(stays[i].start_time, stays[i - 1].end_time);
+    // The centroid lies within D_max of every constituent sample time range:
+    // all trajectory points inside the stay window are within 2 * D_max of
+    // the centroid (anchor-based window: any two points are within 2*D_max).
+    for (const TrajPoint& p : traj.points) {
+      if (p.t >= stays[i].start_time && p.t <= stays[i].end_time) {
+        EXPECT_LE(Distance(p.position(), stays[i].location), 2.0 * d_max);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StayPointPropertyTest,
+    ::testing::Combine(::testing::Values(15.0, 20.0, 30.0, 50.0),
+                       ::testing::Values(30.0, 60.0, 90.0)));
+
+// ---------------------------------------------------------------------------
+// Hierarchical clustering invariants over the distance threshold D.
+// ---------------------------------------------------------------------------
+
+class ClusteringPropertyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ClusteringPropertyTest, FinalCentroidsSeparatedAndMembershipExact) {
+  const double d = GetParam();
+  Rng rng(static_cast<uint64_t>(d));
+  std::vector<Point> points;
+  for (int i = 0; i < 400; ++i) {
+    points.push_back({rng.Uniform(0, 600), rng.Uniform(0, 600)});
+  }
+  const std::vector<PointCluster> clusters = AgglomerateByDistance(points, d);
+
+  // (1) No two final centroids within D of each other.
+  for (size_t i = 0; i < clusters.size(); ++i) {
+    for (size_t j = i + 1; j < clusters.size(); ++j) {
+      EXPECT_GT(Distance(clusters[i].centroid, clusters[j].centroid), d);
+    }
+  }
+  // (2) Membership is a partition of the input.
+  std::vector<int64_t> all_members;
+  for (const PointCluster& c : clusters) {
+    EXPECT_DOUBLE_EQ(c.weight, static_cast<double>(c.members.size()));
+    all_members.insert(all_members.end(), c.members.begin(), c.members.end());
+    // (3) Centroid is the exact mean of members.
+    Point mean{0, 0};
+    for (int64_t m : c.members) {
+      mean.x += points[m].x;
+      mean.y += points[m].y;
+    }
+    mean.x /= static_cast<double>(c.members.size());
+    mean.y /= static_cast<double>(c.members.size());
+    EXPECT_LT(Distance(mean, c.centroid), 1e-6);
+  }
+  std::sort(all_members.begin(), all_members.end());
+  ASSERT_EQ(all_members.size(), points.size());
+  for (size_t i = 0; i < all_members.size(); ++i) {
+    EXPECT_EQ(all_members[i], static_cast<int64_t>(i));
+  }
+}
+
+TEST_P(ClusteringPropertyTest, LargerThresholdNeverYieldsMoreClusters) {
+  const double d = GetParam();
+  Rng rng(7);
+  std::vector<Point> points;
+  for (int i = 0; i < 300; ++i) {
+    points.push_back({rng.Uniform(0, 500), rng.Uniform(0, 500)});
+  }
+  const size_t at_d = AgglomerateByDistance(points, d).size();
+  const size_t at_2d = AgglomerateByDistance(points, 2 * d).size();
+  EXPECT_GE(at_d, at_2d);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ClusteringPropertyTest,
+                         ::testing::Values(10.0, 20.0, 40.0, 80.0));
+
+// ---------------------------------------------------------------------------
+// Grid-index / brute-force equivalence over cell sizes.
+// ---------------------------------------------------------------------------
+
+class GridIndexPropertyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(GridIndexPropertyTest, RadiusQueryEquivalentToBruteForce) {
+  const double cell = GetParam();
+  Rng rng(static_cast<uint64_t>(cell * 10));
+  GridIndex index(cell);
+  std::vector<Point> points;
+  for (int i = 0; i < 300; ++i) {
+    points.push_back({rng.Uniform(-400, 400), rng.Uniform(-400, 400)});
+    index.Insert(i, points.back());
+  }
+  for (int trial = 0; trial < 10; ++trial) {
+    const Point q{rng.Uniform(-450, 450), rng.Uniform(-450, 450)};
+    const double radius = rng.Uniform(1, 150);
+    std::vector<int64_t> got = index.RadiusQuery(q, radius);
+    std::sort(got.begin(), got.end());
+    std::vector<int64_t> want;
+    for (int i = 0; i < 300; ++i) {
+      if (Distance(points[i], q) <= radius) want.push_back(i);
+    }
+    EXPECT_EQ(got, want);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GridIndexPropertyTest,
+                         ::testing::Values(5.0, 20.0, 60.0, 200.0));
+
+// ---------------------------------------------------------------------------
+// Delay-injection invariants over p_d.
+// ---------------------------------------------------------------------------
+
+class DelayPropertyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(DelayPropertyTest, RecordedTimesNeverPrecedeActual) {
+  sim::SimConfig config = sim::SynDowBJConfig();
+  config.num_days = 4;
+  config.num_communities = 6;
+  config.p_delay = GetParam();
+  const sim::World world = sim::GenerateWorld(config);
+  for (const sim::DeliveryTrip& trip : world.trips) {
+    for (const sim::Waybill& w : trip.waybills) {
+      EXPECT_GE(w.recorded_delivery_time, w.actual_delivery_time);
+      // Delay is bounded by the trip horizon.
+      EXPECT_LE(w.recorded_delivery_time, trip.end_time + 60.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DelayPropertyTest,
+                         ::testing::Values(0.0, 0.2, 0.3, 0.6, 1.0));
+
+TEST(DelayMonotonicityTest, MeanDelayIncreasesWithProbability) {
+  sim::SimConfig config = sim::SynDowBJConfig();
+  config.num_days = 6;
+  config.num_communities = 8;
+  double previous_mean = -1.0;
+  for (double p : {0.0, 0.3, 0.6, 1.0}) {
+    sim::World world = sim::GenerateWorld(config);
+    sim::ReinjectDelays(&world, 2, p, /*seed=*/5);
+    double total = 0.0;
+    int64_t count = 0;
+    for (const sim::DeliveryTrip& trip : world.trips) {
+      for (const sim::Waybill& w : trip.waybills) {
+        total += w.recorded_delivery_time - w.actual_delivery_time;
+        ++count;
+      }
+    }
+    const double mean = total / static_cast<double>(count);
+    EXPECT_GT(mean, previous_mean);
+    previous_mean = mean;
+  }
+}
+
+}  // namespace
+}  // namespace dlinf

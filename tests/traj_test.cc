@@ -1,0 +1,152 @@
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "traj/noise_filter.h"
+#include "traj/stay_point.h"
+#include "traj/trajectory.h"
+
+namespace dlinf {
+namespace {
+
+Trajectory MakeTraj(std::vector<TrajPoint> points) {
+  Trajectory t;
+  t.courier_id = 7;
+  t.points = std::move(points);
+  return t;
+}
+
+TEST(TrajectoryTest, Chronological) {
+  EXPECT_TRUE(MakeTraj({{0, 0, 0}, {1, 1, 1}, {2, 2, 2}}).IsChronological());
+  EXPECT_FALSE(MakeTraj({{0, 0, 1}, {1, 1, 1}}).IsChronological());
+  EXPECT_FALSE(MakeTraj({{0, 0, 2}, {1, 1, 1}}).IsChronological());
+  EXPECT_TRUE(MakeTraj({}).IsChronological());
+}
+
+TEST(TrajectoryTest, PositionAtInterpolates) {
+  const Trajectory t = MakeTraj({{0, 0, 0}, {10, 0, 10}, {10, 20, 20}});
+  EXPECT_DOUBLE_EQ(t.PositionAt(5).x, 5.0);
+  EXPECT_DOUBLE_EQ(t.PositionAt(5).y, 0.0);
+  EXPECT_DOUBLE_EQ(t.PositionAt(15).y, 10.0);
+  // Clamps outside the time span.
+  EXPECT_DOUBLE_EQ(t.PositionAt(-5).x, 0.0);
+  EXPECT_DOUBLE_EQ(t.PositionAt(99).y, 20.0);
+}
+
+TEST(TrajectoryTest, PathLength) {
+  const Trajectory t = MakeTraj({{0, 0, 0}, {3, 4, 1}, {3, 4, 2}});
+  EXPECT_DOUBLE_EQ(t.PathLength(), 5.0);
+  EXPECT_DOUBLE_EQ(MakeTraj({}).PathLength(), 0.0);
+}
+
+TEST(NoiseFilterTest, DropsSpeedOutlier) {
+  // Sample every 10 s, walking 10 m per step, with one 500 m jump.
+  Trajectory t = MakeTraj({{0, 0, 0},
+                           {10, 0, 10},
+                           {500, 0, 20},  // 49 m/s: impossible.
+                           {20, 0, 30},
+                           {30, 0, 40}});
+  const Trajectory filtered = FilterNoise(t);
+  ASSERT_EQ(filtered.size(), 4u);
+  for (const TrajPoint& p : filtered.points) EXPECT_LT(p.x, 100.0);
+  EXPECT_EQ(filtered.courier_id, 7);
+}
+
+TEST(NoiseFilterTest, DropsDuplicateTimestamps) {
+  Trajectory t = MakeTraj({{0, 0, 0}, {1, 0, 0}, {2, 0, 10}});
+  const Trajectory filtered = FilterNoise(t);
+  ASSERT_EQ(filtered.size(), 2u);
+  EXPECT_TRUE(filtered.IsChronological());
+}
+
+TEST(NoiseFilterTest, ReanchorsAfterConsecutiveDrops) {
+  // A genuine relocation (e.g., GPS gap): all later points are far from the
+  // pre-gap anchor. The filter must not discard the rest of the track.
+  std::vector<TrajPoint> points = {{0, 0, 0}};
+  for (int i = 1; i <= 10; ++i) {
+    points.push_back({5000.0 + i * 10.0, 0, i * 10.0});
+  }
+  NoiseFilterOptions options;
+  options.max_consecutive_drops = 3;
+  const Trajectory filtered = FilterNoise(MakeTraj(points), options);
+  EXPECT_GE(filtered.size(), 7u);
+  EXPECT_GT(filtered.points.back().x, 5000.0);
+}
+
+TEST(StayPointTest, DetectsSingleStay) {
+  // 5 samples within 5 m over 60 s, then movement.
+  std::vector<TrajPoint> points;
+  for (int i = 0; i < 5; ++i) {
+    points.push_back({static_cast<double>(i), 0, i * 15.0});
+  }
+  for (int i = 0; i < 5; ++i) {
+    points.push_back({100.0 + i * 30.0, 0, 75.0 + i * 15.0});
+  }
+  const std::vector<StayPoint> stays = DetectStayPoints(MakeTraj(points));
+  ASSERT_EQ(stays.size(), 1u);
+  EXPECT_NEAR(stays[0].location.x, 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(stays[0].start_time, 0.0);
+  EXPECT_DOUBLE_EQ(stays[0].end_time, 60.0);
+  EXPECT_DOUBLE_EQ(stays[0].Time(), 30.0);
+  EXPECT_DOUBLE_EQ(stays[0].Duration(), 60.0);
+  EXPECT_EQ(stays[0].courier_id, 7);
+  EXPECT_EQ(stays[0].trip_id, -1);  // Caller attribution.
+}
+
+TEST(StayPointTest, NoStayWhenMoving) {
+  std::vector<TrajPoint> points;
+  for (int i = 0; i < 20; ++i) {
+    points.push_back({i * 30.0, 0, i * 15.0});  // 2 m/s, never within 20 m.
+  }
+  EXPECT_TRUE(DetectStayPoints(MakeTraj(points)).empty());
+}
+
+TEST(StayPointTest, NoStayBelowTimeThreshold) {
+  // Within distance but only 20 s < T_min = 30 s.
+  std::vector<TrajPoint> points = {{0, 0, 0}, {1, 0, 10}, {2, 0, 20},
+                                   {100, 0, 30}, {200, 0, 40}};
+  EXPECT_TRUE(DetectStayPoints(MakeTraj(points)).empty());
+}
+
+TEST(StayPointTest, DetectsTwoSeparateStays) {
+  std::vector<TrajPoint> points;
+  for (int i = 0; i < 4; ++i) points.push_back({0, 0, i * 15.0});
+  for (int i = 0; i < 3; ++i) {
+    points.push_back({100.0 + i * 40.0, 0, 60.0 + i * 15.0});
+  }
+  for (int i = 0; i < 4; ++i) {
+    points.push_back({300, 0, 105.0 + i * 15.0});
+  }
+  const std::vector<StayPoint> stays = DetectStayPoints(MakeTraj(points));
+  ASSERT_EQ(stays.size(), 2u);
+  EXPECT_NEAR(stays[0].location.x, 0.0, 1e-9);
+  EXPECT_NEAR(stays[1].location.x, 300.0, 1e-9);
+  EXPECT_LT(stays[0].end_time, stays[1].start_time);
+}
+
+TEST(StayPointTest, AnchorSemanticsOfDefinition4) {
+  // Points drift: each consecutive pair is within 20 m of the *anchor* until
+  // the 4th; the detector must break the window by anchor distance, not by
+  // consecutive distance.
+  std::vector<TrajPoint> points = {
+      {0, 0, 0}, {15, 0, 20}, {19, 0, 40}, {45, 0, 60}, {90, 0, 80}};
+  const std::vector<StayPoint> stays = DetectStayPoints(MakeTraj(points));
+  ASSERT_EQ(stays.size(), 1u);
+  // Stay = first three points (within 20 m of p0, spanning 40 s >= 30 s).
+  EXPECT_NEAR(stays[0].location.x, (0.0 + 15.0 + 19.0) / 3.0, 1e-9);
+}
+
+TEST(StayPointTest, RespectsCustomThresholds) {
+  std::vector<TrajPoint> points;
+  for (int i = 0; i < 5; ++i) points.push_back({i * 8.0, 0, i * 15.0});
+  // With D_max 20 the spread (32 m) breaks the window early; with 50 it fits.
+  StayPointOptions wide;
+  wide.distance_threshold_m = 50.0;
+  EXPECT_EQ(DetectStayPoints(MakeTraj(points), wide).size(), 1u);
+  StayPointOptions narrow;
+  narrow.distance_threshold_m = 20.0;
+  narrow.time_threshold_s = 40.0;
+  EXPECT_TRUE(DetectStayPoints(MakeTraj(points), narrow).empty());
+}
+
+}  // namespace
+}  // namespace dlinf

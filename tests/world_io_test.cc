@@ -1,0 +1,87 @@
+#include "sim/world_io.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "gtest/gtest.h"
+#include "sim/generator.h"
+
+namespace dlinf {
+namespace sim {
+namespace {
+
+TEST(WorldIoTest, SaveLoadRoundTrip) {
+  SimConfig config = SynDowBJConfig();
+  config.num_days = 3;
+  config.num_communities = 6;
+  const World original = GenerateWorld(config);
+
+  const std::string dir = testing::TempDir() + "/world_io_test";
+  ASSERT_TRUE(SaveWorldCsv(original, dir));
+  const std::optional<World> loaded = LoadWorldCsv(dir);
+  ASSERT_TRUE(loaded.has_value());
+
+  EXPECT_EQ(loaded->name, original.name);
+  EXPECT_NEAR(loaded->station.x, original.station.x, 1e-4);
+  ASSERT_EQ(loaded->communities.size(), original.communities.size());
+  ASSERT_EQ(loaded->buildings.size(), original.buildings.size());
+  ASSERT_EQ(loaded->addresses.size(), original.addresses.size());
+  ASSERT_EQ(loaded->couriers.size(), original.couriers.size());
+  ASSERT_EQ(loaded->trips.size(), original.trips.size());
+  EXPECT_EQ(loaded->TotalWaybills(), original.TotalWaybills());
+  EXPECT_EQ(loaded->TotalTrajectoryPoints(),
+            original.TotalTrajectoryPoints());
+
+  for (size_t i = 0; i < original.addresses.size(); ++i) {
+    const Address& a = original.addresses[i];
+    const Address& b = loaded->addresses[i];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.building_id, b.building_id);
+    EXPECT_EQ(a.mode, b.mode);
+    EXPECT_EQ(a.split, b.split);
+    EXPECT_EQ(a.poi_category, b.poi_category);
+    EXPECT_NEAR(a.true_delivery_location.x, b.true_delivery_location.x, 1e-4);
+    EXPECT_NEAR(a.geocoded_location.y, b.geocoded_location.y, 1e-4);
+    EXPECT_EQ(a.text, b.text);
+  }
+  const DeliveryTrip& trip_a = original.trips[0];
+  const DeliveryTrip& trip_b = loaded->trips[0];
+  EXPECT_EQ(trip_a.courier_id, trip_b.courier_id);
+  ASSERT_EQ(trip_a.waybills.size(), trip_b.waybills.size());
+  EXPECT_NEAR(trip_a.waybills[0].recorded_delivery_time,
+              trip_b.waybills[0].recorded_delivery_time, 1e-4);
+  ASSERT_EQ(trip_a.planned_stays.size(), trip_b.planned_stays.size());
+  EXPECT_EQ(trip_a.planned_stays[1].delivered_address_ids,
+            trip_b.planned_stays[1].delivered_address_ids);
+  ASSERT_EQ(trip_a.trajectory.size(), trip_b.trajectory.size());
+  EXPECT_NEAR(trip_a.trajectory.points[5].t, trip_b.trajectory.points[5].t,
+              1e-4);
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(WorldIoTest, LoadMissingDirectoryFails) {
+  EXPECT_FALSE(LoadWorldCsv("/nonexistent/dir").has_value());
+}
+
+TEST(WorldIoTest, LoadRejectsCorruptRows) {
+  SimConfig config = SynDowBJConfig();
+  config.num_days = 2;
+  config.num_communities = 4;
+  const World world = GenerateWorld(config);
+  const std::string dir = testing::TempDir() + "/world_io_corrupt";
+  ASSERT_TRUE(SaveWorldCsv(world, dir));
+  // Corrupt a numeric field in addresses.csv.
+  {
+    std::ofstream out(dir + "/addresses.csv");
+    out << "id,building_id,community_id,truth_x,truth_y,mode,geocode_x,"
+           "geocode_y,poi,rate,split,text\n";
+    out << "0,0,0,not_a_number,1,0,1,1,0,1,0,foo\n";
+  }
+  EXPECT_FALSE(LoadWorldCsv(dir).has_value());
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace dlinf

@@ -1,0 +1,70 @@
+#include "sim/world_stats.h"
+
+#include "gtest/gtest.h"
+#include "sim/generator.h"
+
+namespace dlinf {
+namespace sim {
+namespace {
+
+TEST(WorldStatsTest, CountsMatchWorldAccessors) {
+  SimConfig config = SynDowBJConfig();
+  config.num_days = 4;
+  config.num_communities = 6;
+  const World world = GenerateWorld(config);
+  const WorldStats stats = ComputeWorldStats(world);
+  EXPECT_EQ(stats.num_communities,
+            static_cast<int64_t>(world.communities.size()));
+  EXPECT_EQ(stats.num_buildings, static_cast<int64_t>(world.buildings.size()));
+  EXPECT_EQ(stats.num_addresses, static_cast<int64_t>(world.addresses.size()));
+  EXPECT_EQ(stats.num_delivered_addresses,
+            static_cast<int64_t>(world.DeliveredAddressIds().size()));
+  EXPECT_EQ(stats.num_waybills, world.TotalWaybills());
+  EXPECT_EQ(stats.num_gps_points, world.TotalTrajectoryPoints());
+  EXPECT_NEAR(stats.mean_waybills_per_trip,
+              static_cast<double>(world.TotalWaybills()) / world.trips.size(),
+              1e-9);
+}
+
+TEST(WorldStatsTest, LocationsPerBuildingIsADistribution) {
+  SimConfig config = SynDowBJConfig();
+  config.num_days = 3;
+  const World world = GenerateWorld(config);
+  const WorldStats stats = ComputeWorldStats(world);
+  double total = 0.0;
+  double multi = 0.0;
+  for (const auto& [count, fraction] : stats.locations_per_building) {
+    EXPECT_GE(count, 1);
+    total += fraction;
+    if (count > 1) multi += fraction;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_NEAR(stats.frac_buildings_multi_location, multi, 1e-9);
+  // The Fig. 9(a) calibration target: a modest minority of buildings.
+  EXPECT_GT(stats.frac_buildings_multi_location, 0.02);
+  EXPECT_LT(stats.frac_buildings_multi_location, 0.5);
+}
+
+TEST(WorldStatsTest, ConfirmationDelayTracksInjection) {
+  SimConfig config = SynDowBJConfig();
+  config.num_days = 3;
+  config.num_communities = 6;
+  config.p_delay = 0.0;
+  const WorldStats prompt = ComputeWorldStats(GenerateWorld(config));
+  config.p_delay = 1.0;
+  const WorldStats delayed = ComputeWorldStats(GenerateWorld(config));
+  EXPECT_GT(prompt.mean_confirmation_delay_s, 0.0);  // Jitter floor.
+  EXPECT_GT(delayed.mean_confirmation_delay_s,
+            prompt.mean_confirmation_delay_s * 2.0);
+}
+
+TEST(WorldStatsTest, MedianBelowMeanUnderSkewedDemand) {
+  // Order rates are log-normal: heavy right tail implies median < mean.
+  const WorldStats stats = ComputeWorldStats(GenerateWorld(SynDowBJConfig()));
+  EXPECT_LT(stats.median_deliveries_per_address,
+            stats.mean_deliveries_per_address);
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace dlinf

@@ -1,0 +1,215 @@
+// dlinf_cli — command-line driver for the DLInfMA pipeline.
+//
+//   dlinf_cli generate --preset dowbj|subbj [--days N] [--seed S] --out DIR
+//       Synthesize a dataset and save it as CSV (see sim/world_io.h; the
+//       same files are the interchange format for real waybill/GPS data).
+//
+//   dlinf_cli stats --world DIR
+//       Print dataset statistics (Table I style).
+//
+//   dlinf_cli train --world DIR --model FILE
+//       Run candidate generation + feature extraction, train LocMatcher on
+//       the train/val splits, report test metrics, save the checkpoint.
+//
+//   dlinf_cli infer --world DIR --model FILE --out FILE.csv
+//       Load a checkpoint and write the inferred delivery location of every
+//       delivered address as CSV (address_id,x,y).
+//
+//   dlinf_cli evaluate --world DIR [--quick]
+//       Compare DLInfMA against the heuristic baselines on the test split.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "baselines/evaluation.h"
+#include "baselines/simple_baselines.h"
+#include "common/csv.h"
+#include "common/string_util.h"
+#include "common/logging.h"
+#include "dlinfma/dlinfma_method.h"
+#include "dlinfma/inferrer.h"
+#include "sim/generator.h"
+#include "sim/world_io.h"
+
+namespace {
+
+using namespace dlinf;
+
+std::map<std::string, std::string> ParseFlags(int argc, char** argv) {
+  std::map<std::string, std::string> flags;
+  for (int i = 2; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) continue;
+    key = key.substr(2);
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      flags[key] = argv[++i];
+    } else {
+      flags[key] = "true";
+    }
+  }
+  return flags;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: dlinf_cli <generate|stats|train|infer|evaluate> "
+               "[--flags]\n(see the header comment of tools/dlinf_cli.cc)\n");
+  return 2;
+}
+
+int CmdGenerate(const std::map<std::string, std::string>& flags) {
+  sim::SimConfig config = sim::SynDowBJConfig();
+  auto preset = flags.find("preset");
+  if (preset != flags.end() && preset->second == "subbj") {
+    config = sim::SynSubBJConfig();
+  }
+  if (auto it = flags.find("days"); it != flags.end()) {
+    config.num_days = std::stoi(it->second);
+  }
+  if (auto it = flags.find("seed"); it != flags.end()) {
+    config.seed = std::stoull(it->second);
+  }
+  auto out = flags.find("out");
+  if (out == flags.end()) return Usage();
+  const sim::World world = sim::GenerateWorld(config);
+  if (!sim::SaveWorldCsv(world, out->second)) {
+    std::fprintf(stderr, "error: cannot write %s\n", out->second.c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %zu addresses, %zu trips, %lld waybills\n",
+              out->second.c_str(), world.addresses.size(), world.trips.size(),
+              static_cast<long long>(world.TotalWaybills()));
+  return 0;
+}
+
+std::optional<sim::World> LoadWorldFlag(
+    const std::map<std::string, std::string>& flags) {
+  auto it = flags.find("world");
+  if (it == flags.end()) return std::nullopt;
+  std::optional<sim::World> world = sim::LoadWorldCsv(it->second);
+  if (!world) {
+    std::fprintf(stderr, "error: cannot load world from %s\n",
+                 it->second.c_str());
+  }
+  return world;
+}
+
+int CmdStats(const std::map<std::string, std::string>& flags) {
+  const auto world = LoadWorldFlag(flags);
+  if (!world) return 1;
+  const dlinfma::Dataset data = dlinfma::BuildDataset(*world, {});
+  std::printf("dataset %s\n", world->name.c_str());
+  std::printf("  communities        %zu\n", world->communities.size());
+  std::printf("  buildings          %zu\n", world->buildings.size());
+  std::printf("  addresses          %zu (delivered %zu)\n",
+              world->addresses.size(), world->DeliveredAddressIds().size());
+  std::printf("  trips              %zu\n", world->trips.size());
+  std::printf("  waybills           %lld\n",
+              static_cast<long long>(world->TotalWaybills()));
+  std::printf("  GPS points         %lld\n",
+              static_cast<long long>(world->TotalTrajectoryPoints()));
+  std::printf("  stay points        %zu\n", data.gen->stay_points().size());
+  std::printf("  candidates         %zu\n", data.gen->candidates().size());
+  std::printf("  split train/val/test  %zu/%zu/%zu\n", data.train_ids.size(),
+              data.val_ids.size(), data.test_ids.size());
+  return 0;
+}
+
+int CmdTrain(const std::map<std::string, std::string>& flags) {
+  const auto world = LoadWorldFlag(flags);
+  auto model_path = flags.find("model");
+  if (!world || model_path == flags.end()) return Usage();
+  const dlinfma::Dataset data = dlinfma::BuildDataset(*world, {});
+  const dlinfma::SampleSet samples = dlinfma::ExtractSamples(data, {});
+
+  dlinfma::DlInfMaMethod method;
+  baselines::MethodResult result = baselines::RunMethod(&method, data, samples);
+  std::printf("trained %d epochs in %.1fs; test %s\n",
+              method.train_result().epochs_run, result.fit_seconds,
+              result.metrics.ToString().c_str());
+  if (!method.SaveModel(model_path->second)) {
+    std::fprintf(stderr, "error: cannot save model to %s\n",
+                 model_path->second.c_str());
+    return 1;
+  }
+  std::printf("checkpoint: %s\n", model_path->second.c_str());
+  return 0;
+}
+
+int CmdInfer(const std::map<std::string, std::string>& flags) {
+  const auto world = LoadWorldFlag(flags);
+  auto model_path = flags.find("model");
+  auto out = flags.find("out");
+  if (!world || model_path == flags.end() || out == flags.end()) {
+    return Usage();
+  }
+  const dlinfma::Dataset data = dlinfma::BuildDataset(*world, {});
+  dlinfma::FeatureExtractor extractor(&*world, data.gen.get());
+  const std::vector<dlinfma::AddressSample> samples =
+      extractor.ExtractAll(world->DeliveredAddressIds(), /*with_labels=*/true);
+
+  dlinfma::DlInfMaMethod method;
+  if (!method.LoadModel(model_path->second)) {
+    std::fprintf(stderr, "error: cannot load model from %s\n",
+                 model_path->second.c_str());
+    return 1;
+  }
+  const std::vector<Point> locations = method.InferAll(data, samples);
+
+  CsvTable table;
+  table.header = {"address_id", "x", "y"};
+  for (size_t i = 0; i < samples.size(); ++i) {
+    table.rows.push_back({std::to_string(samples[i].address_id),
+                          StrPrintf("%.2f", locations[i].x),
+                          StrPrintf("%.2f", locations[i].y)});
+  }
+  if (!WriteCsv(out->second, table)) {
+    std::fprintf(stderr, "error: cannot write %s\n", out->second.c_str());
+    return 1;
+  }
+  std::printf("inferred %zu delivery locations -> %s\n", samples.size(),
+              out->second.c_str());
+  return 0;
+}
+
+int CmdEvaluate(const std::map<std::string, std::string>& flags) {
+  const auto world = LoadWorldFlag(flags);
+  if (!world) return 1;
+  const dlinfma::Dataset data = dlinfma::BuildDataset(*world, {});
+  const dlinfma::SampleSet samples = dlinfma::ExtractSamples(data, {});
+
+  std::vector<baselines::MethodResult> results;
+  baselines::GeocodingBaseline geocoding;
+  results.push_back(baselines::RunMethod(&geocoding, data, samples));
+  baselines::MinDistBaseline min_dist;
+  results.push_back(baselines::RunMethod(&min_dist, data, samples));
+  baselines::MaxTcIlcBaseline max_tc_ilc;
+  results.push_back(baselines::RunMethod(&max_tc_ilc, data, samples));
+
+  dlinfma::TrainConfig train_config;
+  if (flags.count("quick") > 0) {
+    train_config.max_epochs = 20;
+    train_config.early_stop_patience = 5;
+  }
+  dlinfma::DlInfMaMethod method("DLInfMA", {}, train_config);
+  results.push_back(baselines::RunMethod(&method, data, samples));
+  baselines::PrintResultsTable("evaluate (" + world->name + ")", results);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SetMinLogLevel(LogLevel::kWarning);
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const auto flags = ParseFlags(argc, argv);
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "stats") return CmdStats(flags);
+  if (command == "train") return CmdTrain(flags);
+  if (command == "infer") return CmdInfer(flags);
+  if (command == "evaluate") return CmdEvaluate(flags);
+  return Usage();
+}
