@@ -43,7 +43,8 @@ void Report(const char* name, const std::vector<Point>& pool,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string metrics_path = bench::ParseMetricsFlag(&argc, argv);
   SetMinLogLevel(LogLevel::kWarning);
   std::printf("== Ablation: candidate-pool clustering (SynDowBJ) ==\n");
   std::printf("%-22s %10s %12s %12s %10s\n", "method", "pool", "oracleMAE(m)",
@@ -115,5 +116,6 @@ int main() {
     for (const auto& c : clusters) pool.push_back(c.centroid);
     Report("grid merge 40m", pool, secs, world);
   }
+  bench::DumpMetrics(metrics_path);
   return 0;
 }

@@ -1,16 +1,55 @@
 #ifndef DLINF_BENCH_BENCH_UTIL_H_
 #define DLINF_BENCH_BENCH_UTIL_H_
 
+#include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "dlinfma/inferrer.h"
+#include "obs/metrics.h"
 #include "sim/generator.h"
 
 namespace dlinf {
 namespace bench {
+
+/// Parses the shared bench flags `--metrics [PATH]` (dump a metrics JSON
+/// snapshot when the run finishes; default path `metrics.json` next to the
+/// results) and `--no-metrics` (disable collection entirely, for overhead
+/// baselines). Consumed flags are removed from argv so downstream parsers
+/// (e.g. google-benchmark's) never see them. Returns the dump path, empty
+/// when no dump was requested.
+inline std::string ParseMetricsFlag(int* argc, char** argv) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--no-metrics") == 0) {
+      obs::SetMetricsEnabled(false);
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      if (i + 1 < *argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        path = argv[++i];
+      } else {
+        path = "metrics.json";
+      }
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return path;
+}
+
+/// Dumps the global registry snapshot to `path` (no-op when empty).
+inline void DumpMetrics(const std::string& path) {
+  if (path.empty()) return;
+  if (obs::MetricsRegistry::Global().DumpJson(path)) {
+    std::printf("metrics snapshot -> %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "error: cannot write metrics to %s\n", path.c_str());
+  }
+}
 
 /// A dataset bundle whose world outlives the Dataset's pointer to it.
 struct BenchData {

@@ -12,8 +12,9 @@
 #include "common/logging.h"
 #include "dlinfma/dlinfma_method.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dlinf;
+  const std::string metrics_path = bench::ParseMetricsFlag(&argc, argv);
   SetMinLogLevel(LogLevel::kWarning);
 
   std::printf("== Figure 10(a): MAE vs clustering distance D ==\n");
@@ -38,5 +39,6 @@ int main() {
                 cands[0], cands[1]);
     std::fflush(stdout);
   }
+  bench::DumpMetrics(metrics_path);
   return 0;
 }

@@ -19,8 +19,9 @@
 #include "common/stats.h"
 #include "dlinfma/dlinfma_method.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dlinf;
+  const std::string metrics_path = bench::ParseMetricsFlag(&argc, argv);
   SetMinLogLevel(LogLevel::kWarning);
 
   bench::BenchData bundle = bench::MakeBenchData(sim::SynDowBJConfig());
@@ -64,5 +65,6 @@ int main() {
                 Mean(errors[0]), Mean(errors[1]), Mean(errors[2]));
     std::fflush(stdout);
   }
+  bench::DumpMetrics(metrics_path);
   return 0;
 }

@@ -103,4 +103,14 @@ BENCHMARK(BM_DLInfMA)->Arg(100)->Arg(200)->Arg(400)->Unit(benchmark::kMillisecon
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN() expanded so the run can honour --metrics [PATH].
+int main(int argc, char** argv) {
+  const std::string metrics_path =
+      dlinf::bench::ParseMetricsFlag(&argc, argv);
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  dlinf::bench::DumpMetrics(metrics_path);
+  return 0;
+}

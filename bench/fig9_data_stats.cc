@@ -123,7 +123,8 @@ void Fig9d(const std::vector<bench::BenchData>& bundles) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string metrics_path = bench::ParseMetricsFlag(&argc, argv);
   SetMinLogLevel(LogLevel::kWarning);
   std::printf("== Figure 9: dataset distributions ==\n");
   std::vector<bench::BenchData> bundles;
@@ -134,5 +135,6 @@ int main() {
   Fig9b(bundles);
   Fig9c(bundles);
   Fig9d(bundles);
+  bench::DumpMetrics(metrics_path);
   return 0;
 }

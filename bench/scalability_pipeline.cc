@@ -15,8 +15,9 @@
 #include "common/thread_pool.h"
 #include "dlinfma/dlinfma_method.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dlinf;
+  const std::string metrics_path = bench::ParseMetricsFlag(&argc, argv);
   SetMinLogLevel(LogLevel::kWarning);
   std::printf("== Section V-F: pipeline scalability ==\n");
 
@@ -82,5 +83,6 @@ int main() {
                 watch.ElapsedSeconds(),
                 dlinfma_method.train_result().epochs_run);
   }
+  bench::DumpMetrics(metrics_path);
   return 0;
 }

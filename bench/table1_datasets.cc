@@ -9,8 +9,9 @@
 #include "bench_util.h"
 #include "common/logging.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dlinf;
+  const std::string metrics_path = bench::ParseMetricsFlag(&argc, argv);
   SetMinLogLevel(LogLevel::kWarning);
 
   std::printf("== Table I: dataset statistics ==\n");
@@ -65,5 +66,6 @@ int main() {
   row("test addresses", [](const bench::BenchData& b) {
     return b.samples.test.size();
   });
+  bench::DumpMetrics(metrics_path);
   return 0;
 }

@@ -90,6 +90,7 @@ void RunDataset(const sim::SimConfig& base_config) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string metrics_path = bench::ParseMetricsFlag(&argc, argv);
   SetMinLogLevel(LogLevel::kWarning);
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) g_quick = true;
@@ -97,5 +98,6 @@ int main(int argc, char** argv) {
   for (const sim::SimConfig& config : bench::PaperConfigs()) {
     RunDataset(config);
   }
+  bench::DumpMetrics(metrics_path);
   return 0;
 }

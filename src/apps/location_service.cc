@@ -3,9 +3,51 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
 
 namespace dlinf {
 namespace apps {
+
+namespace {
+
+/// Per-tier hit counters + query latency (DESIGN.md §5). Pointers are
+/// stable for the process lifetime, so cache them once.
+struct ServiceMetrics {
+  obs::Counter* address_hits;
+  obs::Counter* building_hits;
+  obs::Counter* geocode_hits;
+  obs::Histogram* query_seconds;
+
+  static const ServiceMetrics& Get() {
+    static const ServiceMetrics metrics = [] {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+      return ServiceMetrics{
+          registry.GetCounter("service.query.hits.address"),
+          registry.GetCounter("service.query.hits.building"),
+          registry.GetCounter("service.query.hits.geocode"),
+          registry.GetHistogram("service.query.latency_seconds")};
+    }();
+    return metrics;
+  }
+};
+
+void CountTierHit(DeliveryLocationService::Source source) {
+  const ServiceMetrics& metrics = ServiceMetrics::Get();
+  switch (source) {
+    case DeliveryLocationService::Source::kAddress:
+      metrics.address_hits->Add(1);
+      break;
+    case DeliveryLocationService::Source::kBuilding:
+      metrics.building_hits->Add(1);
+      break;
+    case DeliveryLocationService::Source::kGeocode:
+      metrics.geocode_hits->Add(1);
+      break;
+  }
+}
+
+}  // namespace
 
 DeliveryLocationService DeliveryLocationService::Build(
     const sim::World& world,
@@ -39,15 +81,34 @@ DeliveryLocationService DeliveryLocationService::Build(
 
 DeliveryLocationService::Answer DeliveryLocationService::Query(
     int64_t address_id) const {
+  const bool timed = obs::MetricsEnabled();
+  Stopwatch watch;
+  Answer answer;
   auto it = address_kv_.find(address_id);
   if (it != address_kv_.end()) {
-    return Answer{it->second, Source::kAddress};
+    answer = Answer{it->second, Source::kAddress};
+  } else {
+    const sim::Address& addr = world_->address(address_id);
+    answer = LookupBuilding(addr.building_id, addr.geocoded_location);
   }
-  const sim::Address& addr = world_->address(address_id);
-  return QueryByBuilding(addr.building_id, addr.geocoded_location);
+  CountTierHit(answer.source);
+  if (timed) ServiceMetrics::Get().query_seconds->Observe(
+      watch.ElapsedSeconds());
+  return answer;
 }
 
 DeliveryLocationService::Answer DeliveryLocationService::QueryByBuilding(
+    int64_t building_id, const Point& geocode) const {
+  const bool timed = obs::MetricsEnabled();
+  Stopwatch watch;
+  const Answer answer = LookupBuilding(building_id, geocode);
+  CountTierHit(answer.source);
+  if (timed) ServiceMetrics::Get().query_seconds->Observe(
+      watch.ElapsedSeconds());
+  return answer;
+}
+
+DeliveryLocationService::Answer DeliveryLocationService::LookupBuilding(
     int64_t building_id, const Point& geocode) const {
   auto it = building_kv_.find(building_id);
   if (it != building_kv_.end()) {

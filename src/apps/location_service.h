@@ -17,6 +17,10 @@ namespace apps {
 /// (covering addresses that never appeared in history); Geocoding is the
 /// final fallback. Queries walk that 3-tier chain, exactly as the paper's
 /// online API does.
+///
+/// Every query feeds the global metrics `service.query.hits.{address,
+/// building,geocode}` (one hit on the answering tier per query) and the
+/// `service.query.latency_seconds` histogram (see DESIGN.md §5).
 class DeliveryLocationService {
  public:
   /// Where a query answer came from (the tier that matched).
@@ -46,6 +50,10 @@ class DeliveryLocationService {
 
  private:
   explicit DeliveryLocationService(const sim::World* world) : world_(world) {}
+
+  /// Tiers 2-3 without metric counting (shared by both public queries, each
+  /// of which counts exactly one tier hit).
+  Answer LookupBuilding(int64_t building_id, const Point& geocode) const;
 
   const sim::World* world_;
   std::unordered_map<int64_t, Point> address_kv_;

@@ -3,10 +3,18 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
 
 namespace dlinf {
 
 ThreadPool::ThreadPool(int num_threads) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  tasks_submitted_ = registry.GetCounter("threadpool.tasks_submitted");
+  tasks_executed_ = registry.GetCounter("threadpool.tasks_executed");
+  queue_depth_ = registry.GetGauge("threadpool.queue_depth");
+  task_seconds_ = registry.GetHistogram("threadpool.task_seconds");
+
   num_threads = std::max(1, num_threads);
   workers_.reserve(num_threads);
   for (int i = 0; i < num_threads; ++i) {
@@ -29,7 +37,9 @@ void ThreadPool::Submit(std::function<void()> task) {
     CHECK(!shutting_down_);
     tasks_.push(std::move(task));
     ++in_flight_;
+    queue_depth_->Set(static_cast<double>(tasks_.size()));
   }
+  tasks_submitted_->Add(1);
   task_ready_.notify_one();
 }
 
@@ -40,7 +50,10 @@ void ThreadPool::Wait() {
 
 void ThreadPool::ParallelFor(int64_t count,
                              const std::function<void(int64_t)>& fn) {
-  if (count <= 0) return;
+  CHECK_GE(count, 0) << "ParallelFor over a negative range";
+  if (count == 0) return;
+  // Up to 4 blocks per worker for load balancing; never more blocks than
+  // items, so count < num_threads degenerates to one index per block.
   const int64_t num_blocks =
       std::min<int64_t>(count, static_cast<int64_t>(workers_.size()) * 4);
   const int64_t block = (count + num_blocks - 1) / num_blocks;
@@ -63,8 +76,16 @@ void ThreadPool::WorkerLoop() {
       if (tasks_.empty()) return;  // Shutting down with no work left.
       task = std::move(tasks_.front());
       tasks_.pop();
+      queue_depth_->Set(static_cast<double>(tasks_.size()));
     }
-    task();
+    if (obs::MetricsEnabled()) {
+      Stopwatch watch;
+      task();
+      task_seconds_->Observe(watch.ElapsedSeconds());
+    } else {
+      task();
+    }
+    tasks_executed_->Add(1);
     {
       std::unique_lock<std::mutex> lock(mu_);
       --in_flight_;

@@ -10,15 +10,28 @@
 
 namespace dlinf {
 
+namespace obs {
+class Counter;
+class Gauge;
+class Histogram;
+}  // namespace obs
+
 /// Fixed-size worker pool.
 ///
 /// The paper parallelizes stay-point extraction at trajectory level and
 /// candidate-pool construction at station level (Section V-F); this pool is
 /// the substrate for both. Tasks may not throw (library code is
 /// exception-free).
+///
+/// Instrumentation (see DESIGN.md §5): every pool feeds the global metrics
+/// `threadpool.tasks_submitted` / `threadpool.tasks_executed` (counters),
+/// `threadpool.queue_depth` (gauge) and `threadpool.task_seconds`
+/// (histogram; its sum is total busy time, so utilisation =
+/// sum / (wall-clock x num_threads)).
 class ThreadPool {
  public:
-  /// Starts `num_threads` workers (at least 1).
+  /// Starts `num_threads` workers. Zero or negative requests are clamped to
+  /// one worker — the pool is always usable.
   explicit ThreadPool(int num_threads);
 
   ThreadPool(const ThreadPool&) = delete;
@@ -36,7 +49,9 @@ class ThreadPool {
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
   /// Runs fn(i) for i in [0, count) across the pool and waits for completion.
-  /// Work is distributed in contiguous blocks.
+  /// Work is distributed in contiguous blocks; when count < num_threads each
+  /// index gets its own block, so small ranges still use every worker.
+  /// count == 0 is a no-op; a negative count is a programmer error (CHECK).
   void ParallelFor(int64_t count, const std::function<void(int64_t)>& fn);
 
  private:
@@ -49,6 +64,12 @@ class ThreadPool {
   std::condition_variable all_done_;
   int64_t in_flight_ = 0;
   bool shutting_down_ = false;
+
+  // Global-registry metrics (shared across pools; pointers are stable).
+  obs::Counter* tasks_submitted_;
+  obs::Counter* tasks_executed_;
+  obs::Gauge* queue_depth_;
+  obs::Histogram* task_seconds_;
 };
 
 }  // namespace dlinf

@@ -8,6 +8,8 @@
 #include "cluster/grid_merge.h"
 #include "cluster/hierarchical.h"
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dlinf {
 namespace dlinfma {
@@ -125,13 +127,24 @@ CandidateProfile BuildProfile(const PointCluster& cluster,
 CandidateGeneration CandidateGeneration::Build(const sim::World& world,
                                                const Options& options,
                                                ThreadPool* pool) {
+  obs::Span span("candidate_generation");
   CandidateGeneration gen;
   gen.num_trips_ = static_cast<int64_t>(world.trips.size());
-  gen.stay_points_ = ExtractStayPoints(world, options, pool);
+  {
+    obs::Span stage("stay_point_extraction");
+    gen.stay_points_ = ExtractStayPoints(world, options, pool);
+  }
+  obs::MetricsRegistry::Global()
+      .GetCounter("pipeline.stay_points_extracted")
+      ->Add(static_cast<int64_t>(gen.stay_points_.size()));
 
-  const std::vector<PointCluster> clusters =
-      ClusterStayPoints(gen.stay_points_, options);
+  std::vector<PointCluster> clusters;
+  {
+    obs::Span stage("clustering");
+    clusters = ClusterStayPoints(gen.stay_points_, options);
+  }
 
+  obs::Span stage("candidate_index");
   // Candidates + the stay->candidate assignment.
   std::vector<int64_t> candidate_of_stay(gen.stay_points_.size(), -1);
   gen.candidates_.reserve(clusters.size());
@@ -146,6 +159,9 @@ CandidateGeneration CandidateGeneration::Build(const sim::World& world,
     }
     gen.candidates_.push_back(std::move(candidate));
   }
+  obs::MetricsRegistry::Global()
+      .GetCounter("pipeline.candidates_generated")
+      ->Add(static_cast<int64_t>(gen.candidates_.size()));
 
   // Per-trip chronological candidate visits.
   gen.trip_visits_.assign(world.trips.size(), {});

@@ -5,6 +5,8 @@
 
 #include "common/check.h"
 #include "nn/serialize.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dlinf {
 namespace dlinfma {
@@ -58,6 +60,10 @@ bool DlInfMaMethod::LoadModel(const std::string& path) {
 std::vector<Point> DlInfMaMethod::InferAll(
     const Dataset& data, const std::vector<AddressSample>& samples) {
   CHECK(!models_.empty()) << "Fit must run before InferAll";
+  obs::Span span("locmatcher_scoring");
+  obs::MetricsRegistry::Global()
+      .GetCounter("locmatcher.samples_scored")
+      ->Add(static_cast<int64_t>(samples.size()));
 
   std::vector<int> indices;
   if (models_.size() == 1) {

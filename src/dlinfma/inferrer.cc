@@ -3,6 +3,8 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dlinf {
 namespace dlinfma {
@@ -10,6 +12,7 @@ namespace dlinfma {
 Dataset BuildDataset(const sim::World& world,
                      const CandidateGeneration::Options& options,
                      ThreadPool* pool) {
+  obs::Span span("build_dataset");
   Dataset data;
   data.world = &world;
   data.gen = std::make_unique<CandidateGeneration>(
@@ -32,11 +35,16 @@ Dataset BuildDataset(const sim::World& world,
 
 SampleSet ExtractSamples(const Dataset& data, const FeatureConfig& config) {
   CHECK(data.world != nullptr && data.gen != nullptr);
+  obs::Span span("feature_extraction");
   FeatureExtractor extractor(data.world, data.gen.get(), config);
   SampleSet samples;
   samples.train = extractor.ExtractAll(data.train_ids, /*with_labels=*/true);
   samples.val = extractor.ExtractAll(data.val_ids, /*with_labels=*/true);
   samples.test = extractor.ExtractAll(data.test_ids, /*with_labels=*/true);
+  obs::MetricsRegistry::Global()
+      .GetCounter("pipeline.samples_extracted")
+      ->Add(static_cast<int64_t>(samples.train.size() + samples.val.size() +
+                                 samples.test.size()));
   return samples;
 }
 

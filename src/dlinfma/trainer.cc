@@ -8,6 +8,8 @@
 #include "common/stopwatch.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dlinf {
 namespace dlinfma {
@@ -20,6 +22,12 @@ TrainResult TrainLocMatcher(LocMatcher* model,
   CHECK(!train.empty());
   CHECK(!val.empty());
   for (const AddressSample& sample : train) CHECK_GE(sample.label, 0);
+
+  obs::Span span("train_locmatcher");
+  obs::Histogram* epoch_seconds =
+      obs::MetricsRegistry::Global().GetHistogram("locmatcher.epoch_seconds");
+  obs::Counter* epochs_run =
+      obs::MetricsRegistry::Global().GetCounter("locmatcher.train_epochs");
 
   Stopwatch watch;
   Rng rng(config.seed);
@@ -36,6 +44,8 @@ TrainResult TrainLocMatcher(LocMatcher* model,
   std::vector<std::vector<float>> best_params;
 
   for (int epoch = 0; epoch < config.max_epochs; ++epoch) {
+    obs::ScopedTimer epoch_timer(epoch_seconds);
+    epochs_run->Add(1);
     rng.Shuffle(&order);
     double epoch_loss = 0.0;
     int num_batches = 0;

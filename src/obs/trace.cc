@@ -1,0 +1,54 @@
+#include "obs/trace.h"
+
+#include <chrono>
+
+namespace dlinf {
+namespace obs {
+
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string& ThreadPath() {
+  thread_local std::string path;
+  return path;
+}
+
+}  // namespace
+
+ScopedTimer::ScopedTimer(Histogram* histogram)
+    : histogram_(MetricsEnabled() ? histogram : nullptr) {
+  if (histogram_ != nullptr) start_seconds_ = NowSeconds();
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (histogram_ != nullptr) {
+    histogram_->Observe(NowSeconds() - start_seconds_);
+  }
+}
+
+Span::Span(const std::string& name) : active_(MetricsEnabled()) {
+  if (!active_) return;
+  std::string& path = ThreadPath();
+  parent_length_ = path.size();
+  if (!path.empty()) path += '/';
+  path += name;
+  start_seconds_ = NowSeconds();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  const double elapsed = NowSeconds() - start_seconds_;
+  std::string& path = ThreadPath();
+  MetricsRegistry::Global().RecordSpan(path, elapsed);
+  path.resize(parent_length_);
+}
+
+const std::string& Span::CurrentPath() { return ThreadPath(); }
+
+}  // namespace obs
+}  // namespace dlinf

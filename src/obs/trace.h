@@ -1,0 +1,57 @@
+#ifndef DLINF_OBS_TRACE_H_
+#define DLINF_OBS_TRACE_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+/// \file
+/// RAII stage timers. `ScopedTimer` records one duration into a Histogram;
+/// `Span` additionally nests: spans opened while another span is live on the
+/// same thread record under a slash-joined path, so the registry snapshot
+/// carries a stage-level trace tree ("build_dataset/candidate_generation/
+/// stay_point_extraction"). Spans are for coarse pipeline stages — each
+/// completion takes the registry mutex once — not for per-item inner loops
+/// (use a Histogram + ScopedTimer there).
+
+namespace dlinf {
+namespace obs {
+
+/// Records the scope's wall-clock duration (seconds) into a histogram.
+/// A null histogram or disabled metrics makes it a no-op.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram);
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer();
+
+ private:
+  Histogram* histogram_;
+  double start_seconds_ = 0.0;
+};
+
+/// One node of the per-thread trace tree. Construction pushes `name` onto
+/// the calling thread's span stack; destruction records the elapsed seconds
+/// for the full path into `MetricsRegistry::Global()` and pops.
+class Span {
+ public:
+  explicit Span(const std::string& name);
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span();
+
+  /// The slash-joined path of the innermost live span on this thread
+  /// ("" when none) — exposed for tests and log annotation.
+  static const std::string& CurrentPath();
+
+ private:
+  bool active_;  ///< False when metrics were disabled at construction.
+  size_t parent_length_ = 0;  ///< Path prefix length to restore on close.
+  double start_seconds_ = 0.0;
+};
+
+}  // namespace obs
+}  // namespace dlinf
+
+#endif  // DLINF_OBS_TRACE_H_

@@ -140,6 +140,80 @@ TEST(LocationServiceTest, BuildingTierUsesModalLocation) {
   EXPECT_LT(Distance(answer.location, Point{0.5, 0.5}), 2.0);
 }
 
+// A minimal world: `addresses_per_building[b]` addresses in building b,
+// sequential ids, all in community 0.
+sim::World TinyWorld(const std::vector<int>& addresses_per_building) {
+  sim::World world;
+  sim::Community community;
+  community.id = 0;
+  world.communities.push_back(community);
+  int64_t next_address = 0;
+  for (size_t b = 0; b < addresses_per_building.size(); ++b) {
+    sim::Building building;
+    building.id = static_cast<int64_t>(b);
+    building.community_id = 0;
+    world.buildings.push_back(building);
+    for (int i = 0; i < addresses_per_building[b]; ++i) {
+      sim::Address address;
+      address.id = next_address++;
+      address.building_id = static_cast<int64_t>(b);
+      address.community_id = 0;
+      address.geocoded_location = Point{1000.0 + 10.0 * address.id, 500.0};
+      world.addresses.push_back(address);
+    }
+  }
+  return world;
+}
+
+TEST(LocationServiceTest, AnswerSourceCoversAllThreeTiers) {
+  // Building 0: address 0 inferred, address 1 not. Building 1: address 2,
+  // nothing inferred anywhere in the building.
+  const sim::World world = TinyWorld({2, 1});
+  const std::unordered_map<int64_t, Point> inferred = {{0, {7, 7}}};
+  const auto service = DeliveryLocationService::Build(world, inferred);
+
+  // Tier 1: the address itself was inferred.
+  const auto tier1 = service.Query(0);
+  EXPECT_EQ(tier1.source, DeliveryLocationService::Source::kAddress);
+  EXPECT_EQ(tier1.location, (Point{7, 7}));
+
+  // Tier 2: new address, but a sibling in the same building was inferred.
+  const auto tier2 = service.Query(1);
+  EXPECT_EQ(tier2.source, DeliveryLocationService::Source::kBuilding);
+  EXPECT_EQ(tier2.location, (Point{7, 7}));
+
+  // Tier 3: no history for the address or its building -> geocode.
+  const auto tier3 = service.Query(2);
+  EXPECT_EQ(tier3.source, DeliveryLocationService::Source::kGeocode);
+  EXPECT_EQ(tier3.location, world.address(2).geocoded_location);
+}
+
+TEST(LocationServiceTest, BuildingTierTenMeterToleranceEdge) {
+  // Two locations exactly 10 m apart count as the same modal location
+  // (<= 10 m tolerance), so the pair beats the lone outlier.
+  const sim::World world = TinyWorld({3});
+  const std::unordered_map<int64_t, Point> inferred = {
+      {0, {0, 0}}, {1, {10, 0}}, {2, {50, 50}}};
+  const auto service = DeliveryLocationService::Build(world, inferred);
+  const auto answer = service.QueryByBuilding(0, Point{});
+  EXPECT_EQ(answer.source, DeliveryLocationService::Source::kBuilding);
+  // Either member of the 10 m pair is an acceptable mode; the outlier is not.
+  EXPECT_TRUE(answer.location == (Point{0, 0}) ||
+              answer.location == (Point{10, 0}));
+}
+
+TEST(LocationServiceTest, BuildingTierBeyondToleranceSplitsTheMode) {
+  // Just over 10 m apart: the two near points no longer pool, so the
+  // duplicated far location (two identical votes) wins.
+  const sim::World world = TinyWorld({4});
+  const std::unordered_map<int64_t, Point> inferred = {
+      {0, {0, 0}}, {1, {10.5, 0}}, {2, {50, 50}}, {3, {50, 50}}};
+  const auto service = DeliveryLocationService::Build(world, inferred);
+  const auto answer = service.QueryByBuilding(0, Point{});
+  EXPECT_EQ(answer.source, DeliveryLocationService::Source::kBuilding);
+  EXPECT_EQ(answer.location, (Point{50, 50}));
+}
+
 TEST(AvailabilityTest, ProfileHistogramNormalizes) {
   // Two deliveries Monday 9am (day 0), one Tuesday 14pm (day 1).
   const std::vector<double> times = {9 * 3600.0, 9.5 * 3600.0,

@@ -1,0 +1,108 @@
+// Determinism regression: the candidate pipeline and feature extraction
+// must produce bit-identical results regardless of the thread count used
+// for the parallel stages (Section V-F parallelizes stay-point extraction
+// at trajectory level). Guards future parallelism PRs against silently
+// introducing thread-count-dependent output.
+
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "dlinfma/inferrer.h"
+#include "gtest/gtest.h"
+#include "sim/generator.h"
+
+namespace dlinf {
+namespace dlinfma {
+namespace {
+
+sim::World SmallWorld() {
+  sim::SimConfig config = sim::SynDowBJConfig();
+  config.num_days = 3;
+  config.num_communities = 6;
+  return sim::GenerateWorld(config);
+}
+
+/// Exact (bit-identical) equality over every field of a sample, doubles
+/// compared with ==.
+void ExpectSamplesIdentical(const std::vector<AddressSample>& a,
+                            const std::vector<AddressSample>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE("sample " + std::to_string(i));
+    EXPECT_EQ(a[i].address_id, b[i].address_id);
+    EXPECT_EQ(a[i].candidate_ids, b[i].candidate_ids);
+    EXPECT_EQ(a[i].label, b[i].label);
+    EXPECT_EQ(a[i].address.log_num_deliveries, b[i].address.log_num_deliveries);
+    EXPECT_EQ(a[i].address.poi_category, b[i].address.poi_category);
+    ASSERT_EQ(a[i].features.size(), b[i].features.size());
+    for (size_t j = 0; j < a[i].features.size(); ++j) {
+      const CandidateFeatureVector& fa = a[i].features[j];
+      const CandidateFeatureVector& fb = b[i].features[j];
+      EXPECT_EQ(fa.trip_coverage, fb.trip_coverage);
+      EXPECT_EQ(fa.location_commonality, fb.location_commonality);
+      EXPECT_EQ(fa.distance, fb.distance);
+      EXPECT_EQ(fa.avg_duration, fb.avg_duration);
+      EXPECT_EQ(fa.num_couriers, fb.num_couriers);
+      EXPECT_EQ(fa.time_distribution, fb.time_distribution);
+    }
+  }
+}
+
+void ExpectSampleSetsIdentical(const SampleSet& a, const SampleSet& b) {
+  {
+    SCOPED_TRACE("train");
+    ExpectSamplesIdentical(a.train, b.train);
+  }
+  {
+    SCOPED_TRACE("val");
+    ExpectSamplesIdentical(a.val, b.val);
+  }
+  {
+    SCOPED_TRACE("test");
+    ExpectSamplesIdentical(a.test, b.test);
+  }
+}
+
+TEST(DeterminismTest, PipelineIsThreadCountInvariant) {
+  const sim::World world = SmallWorld();
+
+  ThreadPool pool1(1);
+  const Dataset data1 = BuildDataset(world, {}, &pool1);
+  const SampleSet samples1 = ExtractSamples(data1, {});
+
+  ThreadPool pool8(8);
+  const Dataset data8 = BuildDataset(world, {}, &pool8);
+  const SampleSet samples8 = ExtractSamples(data8, {});
+
+  EXPECT_EQ(data1.train_ids, data8.train_ids);
+  EXPECT_EQ(data1.val_ids, data8.val_ids);
+  EXPECT_EQ(data1.test_ids, data8.test_ids);
+  EXPECT_EQ(data1.gen->stay_points().size(), data8.gen->stay_points().size());
+  EXPECT_EQ(data1.gen->candidates().size(), data8.gen->candidates().size());
+  ExpectSampleSetsIdentical(samples1, samples8);
+}
+
+TEST(DeterminismTest, ParallelMatchesSerialPipeline) {
+  const sim::World world = SmallWorld();
+
+  const Dataset serial = BuildDataset(world, {}, /*pool=*/nullptr);
+  const SampleSet serial_samples = ExtractSamples(serial, {});
+
+  ThreadPool pool(8);
+  const Dataset parallel = BuildDataset(world, {}, &pool);
+  const SampleSet parallel_samples = ExtractSamples(parallel, {});
+
+  ExpectSampleSetsIdentical(serial_samples, parallel_samples);
+}
+
+TEST(DeterminismTest, RepeatedRunsAreIdentical) {
+  const sim::World world = SmallWorld();
+  ThreadPool pool(4);
+  const Dataset a = BuildDataset(world, {}, &pool);
+  const Dataset b = BuildDataset(world, {}, &pool);
+  ExpectSampleSetsIdentical(ExtractSamples(a, {}), ExtractSamples(b, {}));
+}
+
+}  // namespace
+}  // namespace dlinfma
+}  // namespace dlinf

@@ -1,0 +1,280 @@
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace dlinf {
+namespace obs {
+namespace {
+
+TEST(CounterTest, AddAndReset) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0);
+  counter.Add();
+  counter.Add(41);
+  EXPECT_EQ(counter.value(), 42);
+  counter.Reset();
+  EXPECT_EQ(counter.value(), 0);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge gauge;
+  gauge.Set(3.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 3.5);
+  gauge.Add(-1.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 2.0);
+  gauge.Set(0.25);
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.25);
+}
+
+TEST(MetricsEnabledTest, DisabledUpdatesAreDropped) {
+  Counter counter;
+  Gauge gauge;
+  Histogram histogram;
+  SetMetricsEnabled(false);
+  counter.Add(5);
+  gauge.Set(9.0);
+  histogram.Observe(1.0);
+  SetMetricsEnabled(true);
+  EXPECT_EQ(counter.value(), 0);
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+  EXPECT_EQ(histogram.count(), 0);
+  counter.Add(5);
+  EXPECT_EQ(counter.value(), 5);
+}
+
+TEST(HistogramTest, EmptyHistogramReportsZeros) {
+  Histogram histogram;
+  EXPECT_EQ(histogram.count(), 0);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.min(), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.max(), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, CountSumMinMaxAreExact) {
+  Histogram histogram;
+  const std::vector<double> values = {0.001, 0.25, 0.5, 2.0, 10.0};
+  double sum = 0.0;
+  for (double v : values) {
+    histogram.Observe(v);
+    sum += v;
+  }
+  EXPECT_EQ(histogram.count(), static_cast<int64_t>(values.size()));
+  EXPECT_DOUBLE_EQ(histogram.sum(), sum);
+  EXPECT_DOUBLE_EQ(histogram.min(), 0.001);
+  EXPECT_DOUBLE_EQ(histogram.max(), 10.0);
+}
+
+TEST(HistogramTest, QuantilesWithinBucketResolution) {
+  Histogram histogram;
+  // 1..1000 milliseconds, uniformly.
+  for (int i = 1; i <= 1000; ++i) histogram.Observe(i * 1e-3);
+  // Bucket growth is ~1.56x, so estimates are within that factor above the
+  // true quantile (the estimate is the containing bucket's upper bound).
+  const double p50 = histogram.Quantile(0.50);
+  const double p95 = histogram.Quantile(0.95);
+  const double p99 = histogram.Quantile(0.99);
+  EXPECT_GE(p50, 0.500);
+  EXPECT_LE(p50, 0.500 * Histogram::kGrowth);
+  EXPECT_GE(p95, 0.950);
+  EXPECT_LE(p95, 0.950 * Histogram::kGrowth);
+  EXPECT_GE(p99, 0.990);
+  EXPECT_LE(p99, 0.990 * Histogram::kGrowth);
+  // Monotone in q, and q=1 hits the exact max.
+  EXPECT_LE(histogram.Quantile(0.0), p50);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(1.0), 1.0);
+}
+
+TEST(HistogramTest, SingleObservationQuantiles) {
+  Histogram histogram;
+  histogram.Observe(0.125);
+  // Every quantile clamps to the one observed value (bucket bound clamped
+  // to the observed max).
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.0), 0.125);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 0.125);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(1.0), 0.125);
+}
+
+TEST(HistogramTest, OutOfRangeValuesLandInEdgeBuckets) {
+  Histogram histogram;
+  histogram.Observe(0.0);    // Below kMinBound: bucket 0.
+  histogram.Observe(1e9);    // Beyond the last bound: last bucket.
+  EXPECT_EQ(histogram.count(), 2);
+  EXPECT_DOUBLE_EQ(histogram.min(), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.max(), 1e9);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(1.0), 1e9);
+}
+
+TEST(RegistryTest, GetterReturnsStablePointersPerName) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("test.counter");
+  EXPECT_EQ(registry.GetCounter("test.counter"), counter);
+  EXPECT_NE(registry.GetCounter("test.other"), counter);
+  Histogram* histogram = registry.GetHistogram("test.hist");
+  EXPECT_EQ(registry.GetHistogram("test.hist"), histogram);
+}
+
+TEST(RegistryTest, SnapshotTextRoundTrip) {
+  MetricsRegistry registry;
+  registry.GetCounter("rt.queries")->Add(17);
+  registry.GetCounter("rt.errors")->Add(2);
+  registry.GetGauge("rt.depth")->Set(4);
+  registry.GetHistogram("rt.latency")->Observe(0.5);
+  registry.RecordSpan("rt_stage", 1.5);
+
+  // Parse the text snapshot back: `kind name value...` lines, sorted.
+  std::map<std::string, std::string> parsed;
+  std::istringstream lines(registry.SnapshotText());
+  std::string line;
+  while (std::getline(lines, line)) {
+    std::istringstream fields(line);
+    std::string kind, name, rest;
+    fields >> kind >> name;
+    std::getline(fields, rest);
+    parsed[kind + " " + name] = rest;
+  }
+  EXPECT_EQ(parsed.size(), 5u);
+  EXPECT_EQ(parsed["counter rt.queries"], " 17");
+  EXPECT_EQ(parsed["counter rt.errors"], " 2");
+  EXPECT_EQ(parsed["gauge rt.depth"], " 4");
+  EXPECT_NE(parsed["histogram rt.latency"].find("count=1"), std::string::npos);
+  EXPECT_NE(parsed["histogram rt.latency"].find("sum=0.5"), std::string::npos);
+  EXPECT_NE(parsed["span rt_stage"].find("total_seconds=1.5"),
+            std::string::npos);
+}
+
+TEST(RegistryTest, SnapshotJsonCarriesAllSectionsAndValues) {
+  MetricsRegistry registry;
+  registry.GetCounter("js.count")->Add(7);
+  registry.GetGauge("js.gauge")->Set(2.5);
+  Histogram* histogram = registry.GetHistogram("js.hist");
+  for (int i = 0; i < 10; ++i) histogram->Observe(0.01);
+  registry.RecordSpan("stage_a", 0.25);
+  registry.RecordSpan("stage_a/inner", 0.125);
+
+  const std::string json = registry.SnapshotJson();
+  EXPECT_NE(json.find("\"js.count\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"js.gauge\": 2.5"), std::string::npos);
+  EXPECT_NE(json.find("\"js.hist\": {\"count\": 10"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p95\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+  EXPECT_NE(json.find("\"stage_a\": {\"count\": 1, \"total_seconds\": 0.25"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"stage_a/inner\""), std::string::npos);
+
+  // Snapshotting is read-only and deterministic.
+  EXPECT_EQ(registry.SnapshotJson(), json);
+}
+
+TEST(RegistryTest, ResetForTestZeroesWithoutInvalidatingPointers) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("reset.counter");
+  Histogram* histogram = registry.GetHistogram("reset.hist");
+  counter->Add(9);
+  histogram->Observe(1.0);
+  registry.ResetForTest();
+  EXPECT_EQ(counter->value(), 0);
+  EXPECT_EQ(histogram->count(), 0);
+  EXPECT_EQ(registry.GetCounter("reset.counter"), counter);
+  counter->Add(1);
+  EXPECT_EQ(counter->value(), 1);
+}
+
+TEST(RegistryTest, ConcurrentCounterIncrementsAreLossless) {
+  // N threads x M increments driven through ThreadPool == N*M.
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 25000;
+  Counter* counter =
+      MetricsRegistry::Global().GetCounter("test.concurrent_counter");
+  counter->Reset();
+  {
+    ThreadPool pool(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      pool.Submit([counter] {
+        for (int i = 0; i < kIncrements; ++i) counter->Add(1);
+      });
+    }
+    pool.Wait();
+  }
+  EXPECT_EQ(counter->value(), static_cast<int64_t>(kThreads) * kIncrements);
+}
+
+TEST(RegistryTest, ConcurrentHistogramObservationsAreLossless) {
+  constexpr int kThreads = 4;
+  constexpr int kObservations = 5000;
+  Histogram* histogram =
+      MetricsRegistry::Global().GetHistogram("test.concurrent_hist");
+  histogram->Reset();
+  {
+    ThreadPool pool(kThreads);
+    pool.ParallelFor(kThreads * kObservations,
+                     [histogram](int64_t i) {
+                       histogram->Observe(1e-3 * static_cast<double>(i % 100));
+                     });
+  }
+  EXPECT_EQ(histogram->count(),
+            static_cast<int64_t>(kThreads) * kObservations);
+}
+
+TEST(ScopedTimerTest, RecordsOneObservation) {
+  Histogram histogram;
+  { ScopedTimer timer(&histogram); }
+  EXPECT_EQ(histogram.count(), 1);
+  EXPECT_GE(histogram.sum(), 0.0);
+}
+
+TEST(ScopedTimerTest, NullHistogramIsNoop) {
+  ScopedTimer timer(nullptr);  // Must not crash on destruction.
+}
+
+TEST(SpanTest, NestedSpansBuildSlashPaths) {
+  MetricsRegistry::Global().ResetForTest();
+  EXPECT_EQ(Span::CurrentPath(), "");
+  {
+    Span outer("outer_stage");
+    EXPECT_EQ(Span::CurrentPath(), "outer_stage");
+    {
+      Span inner("inner_stage");
+      EXPECT_EQ(Span::CurrentPath(), "outer_stage/inner_stage");
+    }
+    EXPECT_EQ(Span::CurrentPath(), "outer_stage");
+  }
+  EXPECT_EQ(Span::CurrentPath(), "");
+  const std::string text = MetricsRegistry::Global().SnapshotText();
+  EXPECT_NE(text.find("span outer_stage "), std::string::npos);
+  EXPECT_NE(text.find("span outer_stage/inner_stage "), std::string::npos);
+}
+
+TEST(SpanTest, RepeatedSpansAggregate) {
+  MetricsRegistry::Global().ResetForTest();
+  for (int i = 0; i < 3; ++i) {
+    Span span("repeated_stage");
+  }
+  const std::string text = MetricsRegistry::Global().SnapshotText();
+  EXPECT_NE(text.find("span repeated_stage count=3"), std::string::npos);
+}
+
+TEST(SpanTest, DisabledMetricsSkipSpans) {
+  MetricsRegistry::Global().ResetForTest();
+  SetMetricsEnabled(false);
+  {
+    Span span("disabled_stage");
+    EXPECT_EQ(Span::CurrentPath(), "");
+  }
+  SetMetricsEnabled(true);
+  EXPECT_EQ(MetricsRegistry::Global().SnapshotText().find("disabled_stage"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace dlinf

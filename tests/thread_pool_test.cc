@@ -1,0 +1,100 @@
+// ThreadPool edge cases: constructor clamping, ParallelFor boundary ranges,
+// and the documented CHECK-abort on negative ranges (check_death_test.cc
+// style). The happy-path coverage lives in common_test.cc.
+
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+
+namespace dlinf {
+namespace {
+
+TEST(ThreadPoolEdgeTest, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::atomic<int> ran{0};
+  pool.Submit([&ran] { ran.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPoolEdgeTest, NegativeThreadsClampsToOne) {
+  ThreadPool pool(-7);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::atomic<int> sum{0};
+  pool.ParallelFor(10, [&sum](int64_t i) {
+    sum.fetch_add(static_cast<int>(i));
+  });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPoolEdgeTest, ParallelForZeroCountIsNoop) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(0, [&calls](int64_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+  // The pool stays usable afterwards.
+  pool.ParallelFor(5, [&calls](int64_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 5);
+}
+
+TEST(ThreadPoolEdgeTest, ParallelForCountSmallerThanThreads) {
+  // count < num_threads: every index must still run exactly once.
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.ParallelFor(3, [&hits](int64_t i) { hits[i].fetch_add(1); });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPoolEdgeTest, ParallelForSingleElement) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  std::atomic<int64_t> seen{-1};
+  pool.ParallelFor(1, [&](int64_t i) {
+    calls.fetch_add(1);
+    seen.store(i);
+  });
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(seen.load(), 0);
+}
+
+TEST(ThreadPoolEdgeTest, ParallelForReusableAcrossCalls) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 5; ++round) {
+    std::vector<std::atomic<int>> hits(17);
+    pool.ParallelFor(17, [&hits](int64_t i) { hits[i].fetch_add(1); });
+    for (const auto& hit : hits) ASSERT_EQ(hit.load(), 1);
+  }
+}
+
+TEST(ThreadPoolDeathTest, ParallelForNegativeCountAborts) {
+  EXPECT_DEATH(
+      {
+        ThreadPool pool(2);
+        pool.ParallelFor(-1, [](int64_t) {});
+      },
+      "ParallelFor over a negative range");
+}
+
+TEST(ThreadPoolMetricsTest, TaskCountersTrackSubmissions) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::Counter* submitted = registry.GetCounter("threadpool.tasks_submitted");
+  obs::Counter* executed = registry.GetCounter("threadpool.tasks_executed");
+  const int64_t submitted_before = submitted->value();
+  const int64_t executed_before = executed->value();
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 10; ++i) pool.Submit([] {});
+    pool.Wait();
+  }
+  EXPECT_EQ(submitted->value() - submitted_before, 10);
+  EXPECT_EQ(executed->value() - executed_before, 10);
+  EXPECT_GE(registry.GetHistogram("threadpool.task_seconds")->count(), 10);
+}
+
+}  // namespace
+}  // namespace dlinf

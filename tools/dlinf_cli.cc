@@ -17,6 +17,11 @@
 //
 //   dlinf_cli evaluate --world DIR [--quick]
 //       Compare DLInfMA against the heuristic baselines on the test split.
+//
+//   Any command additionally accepts --metrics [FILE]: after the command
+//   finishes, dump the process metrics registry (pipeline stage timers,
+//   service tier hits, thread-pool stats; see DESIGN.md §6) as JSON to FILE,
+//   or to stdout when no FILE is given.
 
 #include <cstdio>
 #include <cstring>
@@ -30,6 +35,7 @@
 #include "common/logging.h"
 #include "dlinfma/dlinfma_method.h"
 #include "dlinfma/inferrer.h"
+#include "obs/metrics.h"
 #include "sim/generator.h"
 #include "sim/world_io.h"
 
@@ -206,10 +212,31 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
   const auto flags = ParseFlags(argc, argv);
-  if (command == "generate") return CmdGenerate(flags);
-  if (command == "stats") return CmdStats(flags);
-  if (command == "train") return CmdTrain(flags);
-  if (command == "infer") return CmdInfer(flags);
-  if (command == "evaluate") return CmdEvaluate(flags);
-  return Usage();
+
+  int status = 2;
+  if (command == "generate") {
+    status = CmdGenerate(flags);
+  } else if (command == "stats") {
+    status = CmdStats(flags);
+  } else if (command == "train") {
+    status = CmdTrain(flags);
+  } else if (command == "infer") {
+    status = CmdInfer(flags);
+  } else if (command == "evaluate") {
+    status = CmdEvaluate(flags);
+  } else {
+    return Usage();
+  }
+
+  if (auto it = flags.find("metrics"); it != flags.end()) {
+    const obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    if (it->second == "true") {
+      std::fputs(registry.SnapshotJson().c_str(), stdout);
+    } else if (!registry.DumpJson(it->second)) {
+      std::fprintf(stderr, "error: cannot write metrics to %s\n",
+                   it->second.c_str());
+      if (status == 0) status = 1;
+    }
+  }
+  return status;
 }
