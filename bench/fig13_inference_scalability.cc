@@ -21,25 +21,31 @@ namespace {
 
 using namespace dlinf;
 
+/// Set by --quick (see main): shrink the fixture's world and epoch counts to
+/// CI size. Must be decided before the first GetFixture() call.
+bool g_quick = false;
+
 /// Shared fixture: one dataset, every method fitted once. Inference-only
 /// timing happens in the benchmark loops.
 struct Fixture {
   Fixture() {
     SetMinLogLevel(LogLevel::kWarning);
     sim::SimConfig config = sim::SynDowBJConfig();
+    if (g_quick) config.num_days = 10;
     bundle = bench::MakeBenchData(config);
 
     geocloud.Fit(bundle.data, bundle.samples);
     georank.Fit(bundle.data, bundle.samples);
     dlinfma::TrainConfig quick_train;
-    quick_train.max_epochs = 30;  // Inference speed is what's measured.
+    // Inference speed is what's measured, so cap the training budget.
+    quick_train.max_epochs = g_quick ? 10 : 30;
     dlinfma_method =
         std::make_unique<dlinfma::DlInfMaMethod>("DLInfMA",
                                                  dlinfma::LocMatcherConfig{},
                                                  quick_train);
     dlinfma_method->Fit(bundle.data, bundle.samples);
     baselines::UnetBaseline::Options unet_options;
-    unet_options.max_epochs = 5;
+    unet_options.max_epochs = g_quick ? 2 : 5;
     unet = std::make_unique<baselines::UnetBaseline>(unet_options);
     unet->Fit(bundle.data, bundle.samples);
   }
@@ -101,16 +107,47 @@ BENCHMARK(BM_GeoRank)->Arg(100)->Arg(200)->Arg(400)->Unit(benchmark::kMillisecon
 BENCHMARK(BM_UnetBased)->Arg(100)->Arg(200)->Arg(400)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_DLInfMA)->Arg(100)->Arg(200)->Arg(400)->Unit(benchmark::kMillisecond);
 
+/// Console reporter that additionally records every per-iteration real time
+/// (seconds) into a BenchResults, keyed `fig13.BM_Method/N`, so the run can
+/// contribute to the flat JSON results file the regression gate compares.
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonCaptureReporter(bench::BenchResults* results)
+      : results_(results) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred ||
+          run.iterations <= 0) {
+        continue;
+      }
+      results_->Add("fig13." + run.benchmark_name(),
+                    run.real_accumulated_time /
+                        static_cast<double>(run.iterations));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  bench::BenchResults* results_;
+};
+
 }  // namespace
 
-// BENCHMARK_MAIN() expanded so the run can honour --metrics [PATH].
+// BENCHMARK_MAIN() expanded so the run can honour --metrics [PATH],
+// --json PATH, and --quick (see bench_util.h).
 int main(int argc, char** argv) {
   const std::string metrics_path =
       dlinf::bench::ParseMetricsFlag(&argc, argv);
+  const std::string json_path = dlinf::bench::ParseJsonFlag(&argc, argv);
+  g_quick = dlinf::bench::ParseQuickFlag(&argc, argv);
   ::benchmark::Initialize(&argc, argv);
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  ::benchmark::RunSpecifiedBenchmarks();
+  dlinf::bench::BenchResults results;
+  JsonCaptureReporter reporter(&results);
+  ::benchmark::RunSpecifiedBenchmarks(&reporter);
   ::benchmark::Shutdown();
   dlinf::bench::DumpMetrics(metrics_path);
+  if (!results.WriteJson(json_path)) return 1;
   return 0;
 }

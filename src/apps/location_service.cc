@@ -18,6 +18,8 @@ struct ServiceMetrics {
   obs::Counter* building_hits;
   obs::Counter* geocode_hits;
   obs::Histogram* query_seconds;
+  obs::Histogram* batch_seconds;
+  obs::Histogram* batch_size;
 
   static const ServiceMetrics& Get() {
     static const ServiceMetrics metrics = [] {
@@ -26,7 +28,9 @@ struct ServiceMetrics {
           registry.GetCounter("service.query.hits.address"),
           registry.GetCounter("service.query.hits.building"),
           registry.GetCounter("service.query.hits.geocode"),
-          registry.GetHistogram("service.query.latency_seconds")};
+          registry.GetHistogram("service.query.latency_seconds"),
+          registry.GetHistogram("service.query.batch_latency_seconds"),
+          registry.GetHistogram("service.query.batch_size")};
     }();
     return metrics;
   }
@@ -79,22 +83,72 @@ DeliveryLocationService DeliveryLocationService::Build(
   return service;
 }
 
+DeliveryLocationService DeliveryLocationService::BuildFromInferrer(
+    const sim::World& world, const dlinfma::Dataset& data,
+    const std::vector<dlinfma::AddressSample>& samples,
+    dlinfma::Inferrer* method) {
+  CHECK(method != nullptr);
+  const std::vector<Point> locations = method->InferAll(data, samples);
+  CHECK_EQ(locations.size(), samples.size());
+  std::unordered_map<int64_t, Point> inferred;
+  inferred.reserve(samples.size());
+  for (size_t i = 0; i < samples.size(); ++i) {
+    inferred[samples[i].address_id] = locations[i];
+  }
+  return Build(world, inferred);
+}
+
 DeliveryLocationService::Answer DeliveryLocationService::Query(
     int64_t address_id) const {
   const bool timed = obs::MetricsEnabled();
   Stopwatch watch;
-  Answer answer;
-  auto it = address_kv_.find(address_id);
-  if (it != address_kv_.end()) {
-    answer = Answer{it->second, Source::kAddress};
-  } else {
-    const sim::Address& addr = world_->address(address_id);
-    answer = LookupBuilding(addr.building_id, addr.geocoded_location);
-  }
+  const Answer answer = Lookup(address_id);
   CountTierHit(answer.source);
   if (timed) ServiceMetrics::Get().query_seconds->Observe(
       watch.ElapsedSeconds());
   return answer;
+}
+
+std::vector<DeliveryLocationService::Answer>
+DeliveryLocationService::QueryBatch(const std::vector<int64_t>& address_ids,
+                                    ThreadPool* pool) const {
+  const bool timed = obs::MetricsEnabled();
+  Stopwatch watch;
+  std::vector<Answer> answers(address_ids.size());
+  auto answer_one = [&](int64_t i) { answers[i] = Lookup(address_ids[i]); };
+  if (pool != nullptr) {
+    pool->ParallelFor(static_cast<int64_t>(address_ids.size()), answer_one);
+  } else {
+    for (int64_t i = 0; i < static_cast<int64_t>(address_ids.size()); ++i) {
+      answer_one(i);
+    }
+  }
+
+  // One counter update per tier per batch (not per query) keeps the hot
+  // path free of shared-cacheline traffic at large batch sizes.
+  int64_t hits[3] = {0, 0, 0};
+  for (const Answer& answer : answers) {
+    ++hits[static_cast<int>(answer.source)];
+  }
+  const ServiceMetrics& metrics = ServiceMetrics::Get();
+  if (hits[0] > 0) metrics.address_hits->Add(hits[0]);
+  if (hits[1] > 0) metrics.building_hits->Add(hits[1]);
+  if (hits[2] > 0) metrics.geocode_hits->Add(hits[2]);
+  if (timed) {
+    metrics.batch_seconds->Observe(watch.ElapsedSeconds());
+    metrics.batch_size->Observe(static_cast<double>(address_ids.size()));
+  }
+  return answers;
+}
+
+DeliveryLocationService::Answer DeliveryLocationService::Lookup(
+    int64_t address_id) const {
+  auto it = address_kv_.find(address_id);
+  if (it != address_kv_.end()) {
+    return Answer{it->second, Source::kAddress};
+  }
+  const sim::Address& addr = world_->address(address_id);
+  return LookupBuilding(addr.building_id, addr.geocoded_location);
 }
 
 DeliveryLocationService::Answer DeliveryLocationService::QueryByBuilding(

@@ -3,7 +3,10 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
+#include "common/thread_pool.h"
+#include "dlinfma/inferrer.h"
 #include "geo/point.h"
 #include "sim/world.h"
 
@@ -38,8 +41,27 @@ class DeliveryLocationService {
       const sim::World& world,
       const std::unordered_map<int64_t, Point>& inferred);
 
+  /// Warm-start path: builds the service directly from a preloaded (trained
+  /// or artifact-restored) inference method by scoring `samples` — the
+  /// delivered-address inventory — and feeding the results through Build.
+  /// This is what `dlinf_cli serve` runs after loading a bundle; no
+  /// retraining or re-mining happens here.
+  static DeliveryLocationService BuildFromInferrer(
+      const sim::World& world, const dlinfma::Dataset& data,
+      const std::vector<dlinfma::AddressSample>& samples,
+      dlinfma::Inferrer* method);
+
   /// Answers a query for a known address id.
   Answer Query(int64_t address_id) const;
+
+  /// Answers N waybill queries in one call — the online API's batched
+  /// entry point. Answers are positionally aligned with `address_ids` and
+  /// exactly equal to N sequential Query calls; with a pool the lookups are
+  /// parallelized in contiguous blocks. Each batch records one observation
+  /// in `service.query.batch_latency_seconds` and `service.query.batch_size`
+  /// and counts every per-answer tier hit (DESIGN.md §5).
+  std::vector<Answer> QueryBatch(const std::vector<int64_t>& address_ids,
+                                 ThreadPool* pool = nullptr) const;
 
   /// Answers a query for a *new* address known only by building (the
   /// real-time case of Section VI-A where the address never appeared).
@@ -50,6 +72,11 @@ class DeliveryLocationService {
 
  private:
   explicit DeliveryLocationService(const sim::World* world) : world_(world) {}
+
+  /// The full 3-tier chain without metric counting (shared by Query and
+  /// QueryBatch so batched and sequential answers are identical by
+  /// construction).
+  Answer Lookup(int64_t address_id) const;
 
   /// Tiers 2-3 without metric counting (shared by both public queries, each
   /// of which counts exactly one tier hit).

@@ -1,0 +1,38 @@
+#ifndef DLINF_COMMON_FLAT_JSON_H_
+#define DLINF_COMMON_FLAT_JSON_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+/// \file
+/// Flat string->number JSON documents — the interchange format of the bench
+/// regression gate (`bench/baselines/BENCH_baseline.json`, `BENCH_pr.json`;
+/// see DESIGN.md §7). Only the single shape `{"key": 1.25, ...}` is
+/// supported: no nesting, no arrays, no non-numeric values. Serialization is
+/// deterministic (keys sorted, shortest round-trip numbers) so committed
+/// baselines diff cleanly.
+
+namespace dlinf {
+
+/// Serializes `values` as a flat JSON object, keys sorted, one entry per
+/// line. Keys must not contain `"` or `\` (CHECK).
+std::string FlatJsonSerialize(const std::map<std::string, double>& values);
+
+/// Parses a flat JSON object. Returns nullopt on any syntax error, nesting,
+/// or non-numeric value.
+std::optional<std::map<std::string, double>> FlatJsonParse(
+    std::string_view text);
+
+/// Reads and parses `path`; nullopt if the file is missing or malformed.
+std::optional<std::map<std::string, double>> FlatJsonLoad(
+    const std::string& path);
+
+/// Serializes `values` to `path`; false on I/O failure.
+bool FlatJsonSave(const std::string& path,
+                  const std::map<std::string, double>& values);
+
+}  // namespace dlinf
+
+#endif  // DLINF_COMMON_FLAT_JSON_H_

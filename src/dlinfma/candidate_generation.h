@@ -13,6 +13,11 @@
 #include "traj/stay_point.h"
 
 namespace dlinf {
+
+namespace io {
+class CandidateGenerationCodec;
+}  // namespace io
+
 namespace dlinfma {
 
 /// Aggregate profile of a location candidate, mined from the stay points in
@@ -112,6 +117,11 @@ class CandidateGeneration {
 
  private:
   CandidateGeneration() = default;
+
+  /// The artifact serialization layer (src/io) persists and restores the
+  /// full mined state — including the retrieval indexes — so warm-started
+  /// serving never re-runs the mining pass.
+  friend class dlinf::io::CandidateGenerationCodec;
 
   std::vector<StayPoint> stay_points_;
   std::vector<LocationCandidate> candidates_;

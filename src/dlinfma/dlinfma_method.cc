@@ -57,6 +57,22 @@ bool DlInfMaMethod::LoadModel(const std::string& path) {
   return true;
 }
 
+std::string DlInfMaMethod::ExportParameters() const {
+  if (models_.size() != 1) return std::string();
+  return nn::EncodeParameters(models_.front()->Parameters());
+}
+
+bool DlInfMaMethod::RestoreModel(const std::string& parameter_blob) {
+  if (ensemble_size_ != 1) return false;
+  Rng rng(train_config_.seed);
+  auto fresh = std::make_unique<LocMatcher>(model_config_, &rng);
+  std::vector<nn::Tensor> params = fresh->Parameters();
+  if (!nn::DecodeParameters(parameter_blob, &params)) return false;
+  models_.clear();
+  models_.push_back(std::move(fresh));
+  return true;
+}
+
 std::vector<Point> DlInfMaMethod::InferAll(
     const Dataset& data, const std::vector<AddressSample>& samples) {
   CHECK(!models_.empty()) << "Fit must run before InferAll";

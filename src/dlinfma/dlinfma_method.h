@@ -43,6 +43,22 @@ class DlInfMaMethod : public Inferrer {
     return models_.empty() ? nullptr : models_.front().get();
   }
   int ensemble_size() const { return ensemble_size_; }
+  const LocMatcherConfig& model_config() const { return model_config_; }
+  const TrainConfig& train_config() const { return train_config_; }
+
+  /// Whether the method can infer right now (Fit ran or a model was loaded).
+  bool has_model() const { return !models_.empty(); }
+
+  /// Serializes the trained model's parameters to an in-memory blob (see
+  /// nn::EncodeParameters); empty on ensembles or before training. The
+  /// artifact layer (src/io) embeds this blob in model artifacts.
+  std::string ExportParameters() const;
+
+  /// Warm-start path: replaces the model with a freshly constructed one and
+  /// installs `parameter_blob` (an ExportParameters/nn::EncodeParameters
+  /// blob). After success the method infers without Fit. Returns false on
+  /// ensemble methods or any shape mismatch in the blob.
+  bool RestoreModel(const std::string& parameter_blob);
 
   /// Persists the trained model's parameters (binary, see nn/serialize.h).
   /// Only supported for single-model methods (ensemble_size == 1); returns

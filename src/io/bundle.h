@@ -1,0 +1,67 @@
+#ifndef DLINF_IO_BUNDLE_H_
+#define DLINF_IO_BUNDLE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dlinfma/dlinfma_method.h"
+#include "dlinfma/inferrer.h"
+#include "sim/world.h"
+
+/// \file
+/// Artifact bundles: one directory holding everything the online service
+/// needs to warm-start — the dataset, the mined candidate pool with its
+/// retrieval indexes, the extracted feature tensors, and the trained model
+/// — as four checksummed artifacts plus a manifest that ties them together:
+///
+///   <dir>/manifest.art     cross-file counts (consistency check on load)
+///   <dir>/world.art        the sim::World
+///   <dir>/candidates.art   CandidateGeneration state
+///   <dir>/samples.art      SampleSet feature tensors
+///   <dir>/model.art        model + train config and trained weights
+///
+/// `dlinf_cli train` writes a bundle at the end of the offline pipeline;
+/// `dlinf_cli serve` / `infer` load it in milliseconds instead of re-running
+/// stay-point extraction, clustering, feature extraction, and training.
+
+namespace dlinf {
+namespace io {
+
+/// A fully rehydrated offline pipeline: everything InferAll and the query
+/// service need, with no retraining or re-mining. `data.world` points at
+/// `world`; keep the bundle alive as long as either is used.
+struct WarmBundle {
+  std::unique_ptr<sim::World> world;
+  dlinfma::Dataset data;
+  dlinfma::SampleSet samples;
+  std::unique_ptr<dlinfma::DlInfMaMethod> method;
+};
+
+/// Concatenates a sample set's splits (train, val, test order): the serving
+/// inventory of every delivered address.
+std::vector<dlinfma::AddressSample> AllSamples(
+    const dlinfma::SampleSet& samples);
+
+/// Writes the four artifacts + manifest into `dir` (created if missing).
+/// The method must hold a trained single model. Returns false (with a
+/// reason in `error`) on any failure.
+bool SaveBundle(const std::string& dir, const sim::World& world,
+                const dlinfma::Dataset& data,
+                const dlinfma::SampleSet& samples,
+                const dlinfma::DlInfMaMethod& method,
+                std::string* error = nullptr);
+
+/// Loads a bundle written by SaveBundle: validates the manifest, every
+/// artifact's envelope (magic/version/kind/CRC), and cross-artifact
+/// consistency, then rebuilds the Dataset splits from the world's split
+/// tags (the same rule BuildDataset applies). Returns nullopt with a clean
+/// error message on any mismatch.
+std::optional<WarmBundle> LoadBundle(const std::string& dir,
+                                     std::string* error = nullptr);
+
+}  // namespace io
+}  // namespace dlinf
+
+#endif  // DLINF_IO_BUNDLE_H_

@@ -5,6 +5,7 @@
 #include "apps/route_planner.h"
 #include "common/random.h"
 #include "gtest/gtest.h"
+#include "obs/metrics.h"
 #include "sim/generator.h"
 
 namespace dlinf {
@@ -212,6 +213,55 @@ TEST(LocationServiceTest, BuildingTierBeyondToleranceSplitsTheMode) {
   const auto answer = service.QueryByBuilding(0, Point{});
   EXPECT_EQ(answer.source, DeliveryLocationService::Source::kBuilding);
   EXPECT_EQ(answer.location, (Point{50, 50}));
+}
+
+TEST(LocationServiceTest, QueryBatchMatchesSequentialQueries) {
+  // Batched answers must be exactly N sequential Query() calls, for empty,
+  // single, and large batches, serial or pool-backed.
+  const sim::World world = TinyWorld({2, 1, 3});
+  const std::unordered_map<int64_t, Point> inferred = {{0, {7, 7}},
+                                                       {3, {21, 4}}};
+  const auto service = DeliveryLocationService::Build(world, inferred);
+  ThreadPool pool(4);
+
+  for (const size_t batch_size : {size_t{0}, size_t{1}, size_t{1000}}) {
+    std::vector<int64_t> ids;
+    for (size_t i = 0; i < batch_size; ++i) {
+      ids.push_back(static_cast<int64_t>(i % world.addresses.size()));
+    }
+    for (ThreadPool* maybe_pool : {static_cast<ThreadPool*>(nullptr), &pool}) {
+      const std::vector<DeliveryLocationService::Answer> batched =
+          service.QueryBatch(ids, maybe_pool);
+      ASSERT_EQ(batched.size(), ids.size());
+      for (size_t i = 0; i < ids.size(); ++i) {
+        const auto sequential = service.Query(ids[i]);
+        EXPECT_EQ(batched[i].source, sequential.source) << "i=" << i;
+        EXPECT_EQ(batched[i].location, sequential.location) << "i=" << i;
+      }
+    }
+  }
+}
+
+TEST(LocationServiceTest, QueryBatchCountsTierHitsOncePerQuery) {
+  const sim::World world = TinyWorld({2, 1});
+  const std::unordered_map<int64_t, Point> inferred = {{0, {7, 7}}};
+  const auto service = DeliveryLocationService::Build(world, inferred);
+
+  obs::Counter* address_hits =
+      obs::MetricsRegistry::Global().GetCounter("service.query.hits.address");
+  obs::Counter* building_hits =
+      obs::MetricsRegistry::Global().GetCounter("service.query.hits.building");
+  obs::Counter* geocode_hits =
+      obs::MetricsRegistry::Global().GetCounter("service.query.hits.geocode");
+  const int64_t address_before = address_hits->value();
+  const int64_t building_before = building_hits->value();
+  const int64_t geocode_before = geocode_hits->value();
+
+  // Address 0 -> tier 1, address 1 -> tier 2 (sibling), address 2 -> tier 3.
+  service.QueryBatch({0, 0, 1, 2, 2, 2});
+  EXPECT_EQ(address_hits->value() - address_before, 2);
+  EXPECT_EQ(building_hits->value() - building_before, 1);
+  EXPECT_EQ(geocode_hits->value() - geocode_before, 3);
 }
 
 TEST(AvailabilityTest, ProfileHistogramNormalizes) {

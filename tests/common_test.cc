@@ -1,8 +1,11 @@
 #include <atomic>
 #include <cstdio>
+#include <map>
 #include <set>
+#include <string>
 
 #include "common/csv.h"
+#include "common/flat_json.h"
 #include "common/random.h"
 #include "common/stats.h"
 #include "common/stopwatch.h"
@@ -138,6 +141,48 @@ TEST(StopwatchTest, MeasuresElapsed) {
   EXPECT_GE(watch.ElapsedSeconds(), 0.0);
   watch.Reset();
   EXPECT_LT(watch.ElapsedMillis(), 1000.0);
+}
+
+TEST(FlatJsonTest, SerializeParseRoundTrips) {
+  const std::map<std::string, double> values = {
+      {"_calibration", 0.0123}, {"pipeline.train.dlinfma", 4.5},
+      {"fig13.BM_DLInfMA/100", 3.25e-2}};
+  const std::string text = FlatJsonSerialize(values);
+  const auto parsed = FlatJsonParse(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, values);
+  // Deterministic: serializing the parse reproduces the text byte-for-byte.
+  EXPECT_EQ(FlatJsonSerialize(*parsed), text);
+}
+
+TEST(FlatJsonTest, ParsesEmptyObjectAndWhitespace) {
+  const auto empty = FlatJsonParse("  { }  ");
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_TRUE(empty->empty());
+  const auto spaced = FlatJsonParse("{\n  \"a\" : 1e-3 ,\n \"b\": -2\n}");
+  ASSERT_TRUE(spaced.has_value());
+  EXPECT_DOUBLE_EQ(spaced->at("a"), 1e-3);
+  EXPECT_DOUBLE_EQ(spaced->at("b"), -2.0);
+}
+
+TEST(FlatJsonTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(FlatJsonParse("").has_value());
+  EXPECT_FALSE(FlatJsonParse("[1, 2]").has_value());
+  EXPECT_FALSE(FlatJsonParse("{\"a\": 1").has_value());          // Unclosed.
+  EXPECT_FALSE(FlatJsonParse("{\"a\": \"str\"}").has_value());   // Non-number.
+  EXPECT_FALSE(FlatJsonParse("{\"a\": {\"b\": 1}}").has_value());  // Nested.
+  EXPECT_FALSE(FlatJsonParse("{\"a\": 1,}").has_value());  // Trailing comma.
+  EXPECT_FALSE(FlatJsonParse("{\"a\": 1} x").has_value());  // Trailing junk.
+}
+
+TEST(FlatJsonTest, FileRoundTripAndMissingFile) {
+  const std::string path = testing::TempDir() + "/flat_json_test.json";
+  const std::map<std::string, double> values = {{"k", 2.0}};
+  ASSERT_TRUE(FlatJsonSave(path, values));
+  const auto loaded = FlatJsonLoad(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, values);
+  EXPECT_FALSE(FlatJsonLoad(path + ".does_not_exist").has_value());
 }
 
 }  // namespace

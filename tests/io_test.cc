@@ -1,0 +1,422 @@
+// Round-trip, corruption, and warm-start-equivalence tests for the artifact
+// serialization layer (src/io): every artifact type survives save/load
+// bit-exactly, inference is bit-identical before and after a reload, and
+// corrupted / truncated / mismatched files fail with a clean error instead
+// of crashing or feeding garbage downstream.
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dlinfma/dlinfma_method.h"
+#include "gtest/gtest.h"
+#include "io/artifact.h"
+#include "io/bundle.h"
+#include "io/codecs.h"
+#include "sim/generator.h"
+
+namespace dlinf {
+namespace io {
+namespace {
+
+using ::testing::TempDir;
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out) << path;
+  out << bytes;
+}
+
+/// Flips one byte of the file at `path`.
+void CorruptByteAt(const std::string& path, size_t offset) {
+  std::string bytes = ReadFileBytes(path);
+  ASSERT_LT(offset, bytes.size());
+  bytes[offset] = static_cast<char>(bytes[offset] ^ 0x5a);
+  WriteFileBytes(path, bytes);
+}
+
+/// One small trained pipeline, built once: training is the expensive part
+/// and every test only needs *a* model, not a good one.
+struct PipelineFixture {
+  PipelineFixture() {
+    sim::SimConfig config = sim::SynDowBJConfig();
+    config.num_days = 3;
+    config.num_communities = 6;
+    world = sim::GenerateWorld(config);
+    data = dlinfma::BuildDataset(world, {});
+    samples = dlinfma::ExtractSamples(data, {});
+    dlinfma::TrainConfig train_config;
+    train_config.max_epochs = 3;
+    train_config.early_stop_patience = 2;
+    method = std::make_unique<dlinfma::DlInfMaMethod>("DLInfMA",
+                                                      dlinfma::LocMatcherConfig{},
+                                                      train_config);
+    method->Fit(data, samples);
+  }
+
+  sim::World world;
+  dlinfma::Dataset data;
+  dlinfma::SampleSet samples;
+  std::unique_ptr<dlinfma::DlInfMaMethod> method;
+};
+
+PipelineFixture& Fixture() {
+  static PipelineFixture* fixture = new PipelineFixture();
+  return *fixture;
+}
+
+std::string TestPath(const std::string& name) {
+  return TempDir() + "/io_test_" + name;
+}
+
+// --- Envelope -------------------------------------------------------------
+
+TEST(ArtifactEnvelopeTest, PrimitivesRoundTrip) {
+  const std::string path = TestPath("primitives.art");
+  ArtifactWriter writer(ArtifactKind::kManifest);
+  writer.WriteU32(0xdeadbeefu);
+  writer.WriteU64(1ull << 52);
+  writer.WriteI32(-42);
+  writer.WriteI64(-(1ll << 40));
+  writer.WriteFloat(2.5f);
+  writer.WriteDouble(-1e100);
+  writer.WriteBool(true);
+  writer.WriteString("stay point");
+  writer.WriteFloats({1.0f, -2.0f});
+  writer.WriteDoubles({3.5});
+  writer.WriteI64s({7, 8, 9});
+  ASSERT_TRUE(writer.Finish(path));
+
+  std::string error;
+  auto reader = ArtifactReader::Open(path, ArtifactKind::kManifest, &error);
+  ASSERT_TRUE(reader.has_value()) << error;
+  EXPECT_EQ(reader->ReadU32(), 0xdeadbeefu);
+  EXPECT_EQ(reader->ReadU64(), 1ull << 52);
+  EXPECT_EQ(reader->ReadI32(), -42);
+  EXPECT_EQ(reader->ReadI64(), -(1ll << 40));
+  EXPECT_EQ(reader->ReadFloat(), 2.5f);
+  EXPECT_EQ(reader->ReadDouble(), -1e100);
+  EXPECT_TRUE(reader->ReadBool());
+  EXPECT_EQ(reader->ReadString(), "stay point");
+  EXPECT_EQ(reader->ReadFloats(), (std::vector<float>{1.0f, -2.0f}));
+  EXPECT_EQ(reader->ReadDoubles(), (std::vector<double>{3.5}));
+  EXPECT_EQ(reader->ReadI64s(), (std::vector<int64_t>{7, 8, 9}));
+  EXPECT_TRUE(reader->AtEnd());
+}
+
+TEST(ArtifactEnvelopeTest, KindMismatchRejected) {
+  const std::string path = TestPath("kind.art");
+  ArtifactWriter writer(ArtifactKind::kWorld);
+  writer.WriteU32(1);
+  ASSERT_TRUE(writer.Finish(path));
+
+  std::string error;
+  EXPECT_FALSE(
+      ArtifactReader::Open(path, ArtifactKind::kModel, &error).has_value());
+  EXPECT_NE(error.find("kind"), std::string::npos) << error;
+}
+
+TEST(ArtifactEnvelopeTest, BadMagicRejected) {
+  const std::string path = TestPath("magic.art");
+  ArtifactWriter writer(ArtifactKind::kWorld);
+  writer.WriteU32(1);
+  ASSERT_TRUE(writer.Finish(path));
+  CorruptByteAt(path, 0);
+
+  std::string error;
+  EXPECT_FALSE(
+      ArtifactReader::Open(path, ArtifactKind::kWorld, &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ArtifactEnvelopeTest, WrongFormatVersionRejected) {
+  const std::string path = TestPath("version.art");
+  ArtifactWriter writer(ArtifactKind::kWorld);
+  writer.WriteU32(1);
+  ASSERT_TRUE(writer.Finish(path));
+  // The version field is bytes [4, 8) of the header.
+  CorruptByteAt(path, 5);
+
+  std::string error;
+  EXPECT_FALSE(
+      ArtifactReader::Open(path, ArtifactKind::kWorld, &error).has_value());
+  EXPECT_NE(error.find("version"), std::string::npos) << error;
+}
+
+TEST(ArtifactEnvelopeTest, CorruptedPayloadFailsChecksum) {
+  const std::string path = TestPath("corrupt.art");
+  ArtifactWriter writer(ArtifactKind::kSamples);
+  writer.WriteString("some payload that will be corrupted");
+  ASSERT_TRUE(writer.Finish(path));
+  // First payload byte lives right after the 20-byte header.
+  CorruptByteAt(path, 24);
+
+  std::string error;
+  EXPECT_FALSE(
+      ArtifactReader::Open(path, ArtifactKind::kSamples, &error).has_value());
+  EXPECT_NE(error.find("checksum"), std::string::npos) << error;
+}
+
+TEST(ArtifactEnvelopeTest, TruncatedFileRejected) {
+  const std::string path = TestPath("truncated.art");
+  ArtifactWriter writer(ArtifactKind::kCandidates);
+  writer.WriteI64s({1, 2, 3, 4, 5});
+  ASSERT_TRUE(writer.Finish(path));
+  const std::string bytes = ReadFileBytes(path);
+  // Every proper prefix must be rejected cleanly, whether the cut hits the
+  // header, the payload, or the trailing CRC.
+  for (const size_t keep : {size_t{0}, size_t{7}, size_t{20}, size_t{30},
+                            bytes.size() - 1}) {
+    WriteFileBytes(path, bytes.substr(0, keep));
+    std::string error;
+    EXPECT_FALSE(ArtifactReader::Open(path, ArtifactKind::kCandidates, &error)
+                     .has_value())
+        << "kept " << keep << " bytes";
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(ArtifactEnvelopeTest, MissingFileReportsError) {
+  std::string error;
+  EXPECT_FALSE(ArtifactReader::Open(TestPath("does_not_exist.art"),
+                                    ArtifactKind::kWorld, &error)
+                   .has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ArtifactEnvelopeTest, ReadPastEndIsStickyNotFatal) {
+  const std::string path = TestPath("pastend.art");
+  ArtifactWriter writer(ArtifactKind::kManifest);
+  writer.WriteU32(5);
+  ASSERT_TRUE(writer.Finish(path));
+
+  auto reader = ArtifactReader::Open(path, ArtifactKind::kManifest);
+  ASSERT_TRUE(reader.has_value());
+  EXPECT_EQ(reader->ReadU32(), 5u);
+  EXPECT_TRUE(reader->ok());
+  EXPECT_EQ(reader->ReadU64(), 0u);  // Past the end: zero value, no crash.
+  EXPECT_FALSE(reader->ok());
+  EXPECT_EQ(reader->ReadString(), "");  // Still failed, still no crash.
+  EXPECT_FALSE(reader->AtEnd());
+}
+
+TEST(ArtifactEnvelopeTest, OversizedLengthPrefixRejected) {
+  // A length prefix larger than the remaining payload must fail cleanly
+  // instead of allocating or reading out of bounds.
+  const std::string path = TestPath("oversized.art");
+  ArtifactWriter writer(ArtifactKind::kManifest);
+  writer.WriteU64(~0ull);  // Claims ~2^64 following elements.
+  ASSERT_TRUE(writer.Finish(path));
+
+  auto reader = ArtifactReader::Open(path, ArtifactKind::kManifest);
+  ASSERT_TRUE(reader.has_value());
+  EXPECT_TRUE(reader->ReadI64s().empty());
+  EXPECT_FALSE(reader->ok());
+}
+
+// --- Dataset artifacts ----------------------------------------------------
+
+TEST(IoCodecsTest, WorldArtifactRoundTripsByteIdentically) {
+  const PipelineFixture& fixture = Fixture();
+  const std::string path = TestPath("world.art");
+  ASSERT_TRUE(SaveWorldArtifact(fixture.world, path));
+
+  std::string error;
+  std::optional<sim::World> loaded = LoadWorldArtifact(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+
+  EXPECT_EQ(loaded->name, fixture.world.name);
+  ASSERT_EQ(loaded->addresses.size(), fixture.world.addresses.size());
+  ASSERT_EQ(loaded->trips.size(), fixture.world.trips.size());
+  EXPECT_EQ(loaded->TotalWaybills(), fixture.world.TotalWaybills());
+  EXPECT_EQ(loaded->TotalTrajectoryPoints(),
+            fixture.world.TotalTrajectoryPoints());
+  for (size_t i = 0; i < fixture.world.addresses.size(); ++i) {
+    EXPECT_EQ(loaded->addresses[i].geocoded_location,
+              fixture.world.addresses[i].geocoded_location);
+    EXPECT_EQ(loaded->addresses[i].split, fixture.world.addresses[i].split);
+  }
+
+  // save -> load -> save is byte-identical: serialization is deterministic
+  // and nothing is lost in flight.
+  const std::string resaved = TestPath("world2.art");
+  ASSERT_TRUE(SaveWorldArtifact(*loaded, resaved));
+  EXPECT_EQ(ReadFileBytes(path), ReadFileBytes(resaved));
+}
+
+TEST(IoCodecsTest, StayPointsArtifactRoundTrips) {
+  const PipelineFixture& fixture = Fixture();
+  const std::vector<StayPoint>& stay_points =
+      fixture.data.gen->stay_points();
+  ASSERT_FALSE(stay_points.empty());
+  const std::string path = TestPath("staypoints.art");
+  ASSERT_TRUE(SaveStayPointsArtifact(stay_points, path));
+
+  std::string error;
+  auto loaded = LoadStayPointsArtifact(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  ASSERT_EQ(loaded->size(), stay_points.size());
+  for (size_t i = 0; i < stay_points.size(); ++i) {
+    EXPECT_EQ((*loaded)[i].location, stay_points[i].location);
+    EXPECT_EQ((*loaded)[i].start_time, stay_points[i].start_time);
+    EXPECT_EQ((*loaded)[i].end_time, stay_points[i].end_time);
+    EXPECT_EQ((*loaded)[i].courier_id, stay_points[i].courier_id);
+    EXPECT_EQ((*loaded)[i].trip_id, stay_points[i].trip_id);
+  }
+}
+
+TEST(IoCodecsTest, CandidatesArtifactRoundTripsByteIdentically) {
+  const PipelineFixture& fixture = Fixture();
+  const std::string path = TestPath("candidates.art");
+  ASSERT_TRUE(SaveCandidatesArtifact(*fixture.data.gen, path));
+
+  std::string error;
+  auto loaded = LoadCandidatesArtifact(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  ASSERT_EQ(loaded->candidates().size(), fixture.data.gen->candidates().size());
+  ASSERT_EQ(loaded->stay_points().size(),
+            fixture.data.gen->stay_points().size());
+
+  // The loaded pool must answer retrieval queries identically (the indexes
+  // are part of the artifact, not re-mined).
+  for (const sim::Address& address : fixture.world.addresses) {
+    const auto original = fixture.data.gen->Retrieve(address.id);
+    const auto restored = loaded->Retrieve(address.id);
+    ASSERT_EQ(original.size(), restored.size()) << address.id;
+    for (size_t i = 0; i < original.size(); ++i) {
+      EXPECT_EQ(original[i], restored[i]) << address.id;
+    }
+  }
+
+  const std::string resaved = TestPath("candidates2.art");
+  ASSERT_TRUE(SaveCandidatesArtifact(*loaded, resaved));
+  EXPECT_EQ(ReadFileBytes(path), ReadFileBytes(resaved));
+}
+
+TEST(IoCodecsTest, SamplesArtifactRoundTripsByteIdentically) {
+  const PipelineFixture& fixture = Fixture();
+  const std::string path = TestPath("samples.art");
+  ASSERT_TRUE(SaveSamplesArtifact(fixture.samples, path));
+
+  std::string error;
+  auto loaded = LoadSamplesArtifact(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  ASSERT_EQ(loaded->train.size(), fixture.samples.train.size());
+  ASSERT_EQ(loaded->val.size(), fixture.samples.val.size());
+  ASSERT_EQ(loaded->test.size(), fixture.samples.test.size());
+  ASSERT_FALSE(fixture.samples.train.empty());
+  const dlinfma::AddressSample& original = fixture.samples.train.front();
+  const dlinfma::AddressSample& restored = loaded->train.front();
+  EXPECT_EQ(restored.address_id, original.address_id);
+  EXPECT_EQ(restored.candidate_ids, original.candidate_ids);
+  EXPECT_EQ(restored.label, original.label);
+
+  const std::string resaved = TestPath("samples2.art");
+  ASSERT_TRUE(SaveSamplesArtifact(*loaded, resaved));
+  EXPECT_EQ(ReadFileBytes(path), ReadFileBytes(resaved));
+}
+
+// --- Model + bundle -------------------------------------------------------
+
+TEST(IoCodecsTest, ModelArtifactReloadsToBitIdenticalInference) {
+  PipelineFixture& fixture = Fixture();
+  const std::string path = TestPath("model.art");
+  ASSERT_TRUE(SaveModelArtifact(*fixture.method, path));
+
+  std::string error;
+  std::unique_ptr<dlinfma::DlInfMaMethod> loaded =
+      LoadModelArtifact(path, &error);
+  ASSERT_NE(loaded, nullptr) << error;
+  EXPECT_TRUE(loaded->has_model());
+  EXPECT_EQ(loaded->name(), fixture.method->name());
+
+  const std::vector<dlinfma::AddressSample> all = AllSamples(fixture.samples);
+  const std::vector<Point> before =
+      fixture.method->InferAll(fixture.data, all);
+  const std::vector<Point> after = loaded->InferAll(fixture.data, all);
+  ASSERT_EQ(before.size(), after.size());
+  for (size_t i = 0; i < before.size(); ++i) {
+    // Bit-identical, not approximately equal: the warm-started model is the
+    // trained model.
+    EXPECT_EQ(before[i], after[i]) << "sample " << i;
+  }
+}
+
+TEST(IoCodecsTest, CorruptedModelArtifactFailsCleanly) {
+  PipelineFixture& fixture = Fixture();
+  const std::string path = TestPath("model_corrupt.art");
+  ASSERT_TRUE(SaveModelArtifact(*fixture.method, path));
+  CorruptByteAt(path, ReadFileBytes(path).size() / 2);
+
+  std::string error;
+  EXPECT_EQ(LoadModelArtifact(path, &error), nullptr);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(IoBundleTest, BundleRoundTripsToBitIdenticalInference) {
+  PipelineFixture& fixture = Fixture();
+  const std::string dir = TestPath("bundle");
+  std::string error;
+  ASSERT_TRUE(SaveBundle(dir, fixture.world, fixture.data, fixture.samples,
+                         *fixture.method, &error))
+      << error;
+
+  std::optional<WarmBundle> bundle = LoadBundle(dir, &error);
+  ASSERT_TRUE(bundle.has_value()) << error;
+  EXPECT_EQ(bundle->world->name, fixture.world.name);
+  EXPECT_EQ(bundle->data.train_ids, fixture.data.train_ids);
+  EXPECT_EQ(bundle->data.val_ids, fixture.data.val_ids);
+  EXPECT_EQ(bundle->data.test_ids, fixture.data.test_ids);
+
+  const std::vector<dlinfma::AddressSample> all = AllSamples(fixture.samples);
+  const std::vector<Point> before =
+      fixture.method->InferAll(fixture.data, all);
+  const std::vector<Point> after =
+      bundle->method->InferAll(bundle->data, AllSamples(bundle->samples));
+  ASSERT_EQ(before.size(), after.size());
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before[i], after[i]) << "sample " << i;
+  }
+}
+
+TEST(IoBundleTest, MissingArtifactFailsCleanly) {
+  PipelineFixture& fixture = Fixture();
+  const std::string dir = TestPath("bundle_missing");
+  std::string error;
+  ASSERT_TRUE(SaveBundle(dir, fixture.world, fixture.data, fixture.samples,
+                         *fixture.method, &error))
+      << error;
+  std::filesystem::remove(dir + "/candidates.art");
+
+  EXPECT_FALSE(LoadBundle(dir, &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(IoBundleTest, CorruptedBundleArtifactFailsCleanly) {
+  PipelineFixture& fixture = Fixture();
+  const std::string dir = TestPath("bundle_corrupt");
+  std::string error;
+  ASSERT_TRUE(SaveBundle(dir, fixture.world, fixture.data, fixture.samples,
+                         *fixture.method, &error))
+      << error;
+  CorruptByteAt(dir + "/samples.art", 100);
+
+  EXPECT_FALSE(LoadBundle(dir, &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace io
+}  // namespace dlinf

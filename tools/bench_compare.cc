@@ -1,0 +1,147 @@
+// bench_compare — the CI benchmark-regression gate.
+//
+//   bench_compare --baseline FILE --pr FILE [--threshold 0.25]
+//                 [--min-seconds 0.001]
+//
+// Both files are flat {"name": seconds} JSON produced by the bench binaries'
+// --json flag (bench/bench_util.h). Every benchmark present in the baseline
+// must be present in the PR results and must not be more than `threshold`
+// (default 25%) slower; exit status 1 otherwise. Benchmarks whose baseline
+// time is below `min-seconds` (default 1 ms) must still be present but are
+// exempt from the ratio check — timer noise dominates a 25% band at
+// microsecond scale.
+//
+// Machine differences: each results file carries a `_calibration` entry —
+// the wall time of a fixed CPU-bound workload on the machine that produced
+// it. When both files have one, comparisons use calibration-normalized
+// times (seconds scaled by baseline_calibration / pr_calibration), so a
+// baseline committed from a faster or slower machine than the CI runner
+// still gates correctly. Without calibration entries, raw seconds are
+// compared.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/flat_json.h"
+
+namespace {
+
+/// The calibration key is metadata, not a benchmark.
+constexpr char kCalibrationKey[] = "_calibration";
+
+struct Options {
+  std::string baseline_path;
+  std::string pr_path;
+  double threshold = 0.25;
+  double min_seconds = 0.001;
+};
+
+std::optional<Options> ParseArgs(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--baseline" && has_value) {
+      options.baseline_path = argv[++i];
+    } else if (arg == "--pr" && has_value) {
+      options.pr_path = argv[++i];
+    } else if (arg == "--threshold" && has_value) {
+      options.threshold = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--min-seconds" && has_value) {
+      options.min_seconds = std::strtod(argv[++i], nullptr);
+    } else {
+      std::fprintf(stderr, "unknown or valueless argument: %s\n", arg.c_str());
+      return std::nullopt;
+    }
+  }
+  if (options.baseline_path.empty() || options.pr_path.empty() ||
+      options.threshold <= 0.0) {
+    std::fprintf(stderr,
+                 "usage: bench_compare --baseline FILE --pr FILE "
+                 "[--threshold 0.25]\n");
+    return std::nullopt;
+  }
+  return options;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::optional<Options> options = ParseArgs(argc, argv);
+  if (!options) return 2;
+
+  auto baseline = dlinf::FlatJsonLoad(options->baseline_path);
+  if (!baseline) {
+    std::fprintf(stderr, "error: cannot read baseline %s\n",
+                 options->baseline_path.c_str());
+    return 2;
+  }
+  auto pr = dlinf::FlatJsonLoad(options->pr_path);
+  if (!pr) {
+    std::fprintf(stderr, "error: cannot read PR results %s\n",
+                 options->pr_path.c_str());
+    return 2;
+  }
+
+  // Normalization factor applied to PR seconds before comparing.
+  double scale = 1.0;
+  const auto base_cal = baseline->find(kCalibrationKey);
+  const auto pr_cal = pr->find(kCalibrationKey);
+  if (base_cal != baseline->end() && pr_cal != pr->end() &&
+      base_cal->second > 0.0 && pr_cal->second > 0.0) {
+    scale = base_cal->second / pr_cal->second;
+    std::printf(
+        "calibration: baseline %.4fs, pr %.4fs -> scaling pr times by "
+        "%.3f\n",
+        base_cal->second, pr_cal->second, scale);
+  } else {
+    std::printf("calibration: absent in one side; comparing raw seconds\n");
+  }
+
+  int regressions = 0;
+  int missing = 0;
+  std::printf("%-40s %12s %12s %8s\n", "benchmark", "baseline(s)", "pr(s)",
+              "ratio");
+  for (const auto& [name, base_seconds] : *baseline) {
+    if (name == kCalibrationKey) continue;
+    const auto it = pr->find(name);
+    if (it == pr->end()) {
+      std::printf("%-40s %12.4f %12s %8s  MISSING\n", name.c_str(),
+                  base_seconds, "-", "-");
+      ++missing;
+      continue;
+    }
+    const double pr_seconds = it->second * scale;
+    const double ratio =
+        base_seconds > 0.0 ? pr_seconds / base_seconds : 1.0;
+    const bool below_floor = base_seconds < options->min_seconds;
+    const bool regressed =
+        !below_floor && ratio > 1.0 + options->threshold;
+    std::printf("%-40s %12.4f %12.4f %8.3f%s\n", name.c_str(), base_seconds,
+                pr_seconds, ratio,
+                regressed ? "  REGRESSION"
+                          : (below_floor ? "  (below floor, not gated)"
+                                         : ""));
+    if (regressed) ++regressions;
+  }
+  for (const auto& [name, pr_seconds] : *pr) {
+    if (name != kCalibrationKey && baseline->count(name) == 0) {
+      std::printf("%-40s %12s %12.4f %8s  (new, no baseline)\n",
+                  name.c_str(), "-", pr_seconds * scale, "-");
+    }
+  }
+
+  if (regressions > 0 || missing > 0) {
+    std::fprintf(stderr,
+                 "FAIL: %d regression(s) beyond +%.0f%%, %d missing "
+                 "benchmark(s)\n",
+                 regressions, options->threshold * 100.0, missing);
+    return 1;
+  }
+  std::printf("OK: all benchmarks within +%.0f%% of baseline\n",
+              options->threshold * 100.0);
+  return 0;
+}

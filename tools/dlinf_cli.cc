@@ -7,13 +7,27 @@
 //   dlinf_cli stats --world DIR
 //       Print dataset statistics (Table I style).
 //
-//   dlinf_cli train --world DIR --model FILE
-//       Run candidate generation + feature extraction, train LocMatcher on
-//       the train/val splits, report test metrics, save the checkpoint.
+//   dlinf_cli train --world DIR --bundle DIR [--model FILE] [--quick]
+//       The offline pipeline: candidate generation + feature extraction,
+//       train LocMatcher on the train/val splits, report test metrics, then
+//       persist the full artifact bundle (world, candidate pool + retrieval
+//       indexes, feature tensors, model weights; see io/bundle.h) so that
+//       serve/infer warm-start without retraining. --model additionally
+//       writes a bare nn checkpoint (legacy format).
 //
-//   dlinf_cli infer --world DIR --model FILE --out FILE.csv
-//       Load a checkpoint and write the inferred delivery location of every
-//       delivered address as CSV (address_id,x,y).
+//   dlinf_cli serve --bundle DIR [--queries N] [--batch B] [--threads T]
+//       The online service: warm-start from the bundle (milliseconds, no
+//       retraining), score every delivered address, build the 3-tier
+//       delivery-location service, then answer N address queries (default
+//       10000) in batches of B (default 256) on T pool threads (default 4)
+//       through the QueryBatch API, reporting warm-start and per-batch
+//       latency.
+//
+//   dlinf_cli infer (--bundle DIR | --world DIR --model FILE) --out FILE.csv
+//       Write the inferred delivery location of every delivered address as
+//       CSV (address_id,x,y). With --bundle the whole pipeline state is
+//       warm-started from artifacts; the legacy --world/--model path
+//       re-mines candidates and only loads the checkpoint.
 //
 //   dlinf_cli evaluate --world DIR [--quick]
 //       Compare DLInfMA against the heuristic baselines on the test split.
@@ -23,18 +37,23 @@
 //   service tier hits, thread-pool stats; see DESIGN.md §6) as JSON to FILE,
 //   or to stdout when no FILE is given.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <string>
 
+#include "apps/location_service.h"
 #include "baselines/evaluation.h"
 #include "baselines/simple_baselines.h"
 #include "common/csv.h"
+#include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "dlinfma/dlinfma_method.h"
 #include "dlinfma/inferrer.h"
+#include "io/bundle.h"
 #include "obs/metrics.h"
 #include "sim/generator.h"
 #include "sim/world_io.h"
@@ -60,9 +79,15 @@ std::map<std::string, std::string> ParseFlags(int argc, char** argv) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: dlinf_cli <generate|stats|train|infer|evaluate> "
+               "usage: dlinf_cli <generate|stats|train|serve|infer|evaluate> "
                "[--flags]\n(see the header comment of tools/dlinf_cli.cc)\n");
   return 2;
+}
+
+int IntFlag(const std::map<std::string, std::string>& flags,
+            const std::string& key, int fallback) {
+  auto it = flags.find(key);
+  return it == flags.end() ? fallback : std::stoi(it->second);
 }
 
 int CmdGenerate(const std::map<std::string, std::string>& flags) {
@@ -125,32 +150,105 @@ int CmdStats(const std::map<std::string, std::string>& flags) {
 
 int CmdTrain(const std::map<std::string, std::string>& flags) {
   const auto world = LoadWorldFlag(flags);
+  auto bundle_dir = flags.find("bundle");
   auto model_path = flags.find("model");
-  if (!world || model_path == flags.end()) return Usage();
+  if (!world || (bundle_dir == flags.end() && model_path == flags.end())) {
+    return Usage();
+  }
   const dlinfma::Dataset data = dlinfma::BuildDataset(*world, {});
   const dlinfma::SampleSet samples = dlinfma::ExtractSamples(data, {});
 
-  dlinfma::DlInfMaMethod method;
+  dlinfma::TrainConfig train_config;
+  if (flags.count("quick") > 0) {
+    train_config.max_epochs = 20;
+    train_config.early_stop_patience = 5;
+  }
+  dlinfma::DlInfMaMethod method("DLInfMA", {}, train_config);
   baselines::MethodResult result = baselines::RunMethod(&method, data, samples);
   std::printf("trained %d epochs in %.1fs; test %s\n",
               method.train_result().epochs_run, result.fit_seconds,
               result.metrics.ToString().c_str());
-  if (!method.SaveModel(model_path->second)) {
-    std::fprintf(stderr, "error: cannot save model to %s\n",
-                 model_path->second.c_str());
-    return 1;
+
+  if (bundle_dir != flags.end()) {
+    std::string error;
+    if (!io::SaveBundle(bundle_dir->second, *world, data, samples, method,
+                        &error)) {
+      std::fprintf(stderr, "error: cannot save bundle: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("artifact bundle: %s\n", bundle_dir->second.c_str());
   }
-  std::printf("checkpoint: %s\n", model_path->second.c_str());
+  if (model_path != flags.end()) {
+    if (!method.SaveModel(model_path->second)) {
+      std::fprintf(stderr, "error: cannot save model to %s\n",
+                   model_path->second.c_str());
+      return 1;
+    }
+    std::printf("checkpoint: %s\n", model_path->second.c_str());
+  }
   return 0;
 }
 
+/// Loads the artifact bundle named by --bundle, reporting the warm-start
+/// time. Returns nullopt (after printing the reason) on failure.
+std::optional<io::WarmBundle> LoadBundleFlag(
+    const std::map<std::string, std::string>& flags) {
+  auto it = flags.find("bundle");
+  if (it == flags.end()) return std::nullopt;
+  Stopwatch watch;
+  std::string error;
+  std::optional<io::WarmBundle> bundle = io::LoadBundle(it->second, &error);
+  if (!bundle) {
+    std::fprintf(stderr, "error: cannot load bundle: %s\n", error.c_str());
+    return std::nullopt;
+  }
+  std::printf(
+      "warm-start: bundle %s loaded in %.1f ms (%zu addresses, %zu "
+      "candidates, %lld model parameters; no retraining)\n",
+      it->second.c_str(), watch.ElapsedSeconds() * 1e3,
+      bundle->world->addresses.size(), bundle->data.gen->candidates().size(),
+      static_cast<long long>(bundle->method->model()->NumParameters()));
+  return bundle;
+}
+
+bool WriteLocationsCsv(const std::string& path,
+                       const std::vector<dlinfma::AddressSample>& samples,
+                       const std::vector<Point>& locations) {
+  CsvTable table;
+  table.header = {"address_id", "x", "y"};
+  for (size_t i = 0; i < samples.size(); ++i) {
+    table.rows.push_back({std::to_string(samples[i].address_id),
+                          StrPrintf("%.2f", locations[i].x),
+                          StrPrintf("%.2f", locations[i].y)});
+  }
+  return WriteCsv(path, table);
+}
+
 int CmdInfer(const std::map<std::string, std::string>& flags) {
+  auto out = flags.find("out");
+  if (out == flags.end()) return Usage();
+
+  if (flags.count("bundle") > 0) {
+    // Warm path: every pipeline artifact comes from the bundle.
+    std::optional<io::WarmBundle> bundle = LoadBundleFlag(flags);
+    if (!bundle) return 1;
+    const std::vector<dlinfma::AddressSample> samples =
+        io::AllSamples(bundle->samples);
+    const std::vector<Point> locations =
+        bundle->method->InferAll(bundle->data, samples);
+    if (!WriteLocationsCsv(out->second, samples, locations)) {
+      std::fprintf(stderr, "error: cannot write %s\n", out->second.c_str());
+      return 1;
+    }
+    std::printf("inferred %zu delivery locations -> %s\n", samples.size(),
+                out->second.c_str());
+    return 0;
+  }
+
+  // Legacy path: CSV world + bare checkpoint; re-mines candidates.
   const auto world = LoadWorldFlag(flags);
   auto model_path = flags.find("model");
-  auto out = flags.find("out");
-  if (!world || model_path == flags.end() || out == flags.end()) {
-    return Usage();
-  }
+  if (!world || model_path == flags.end()) return Usage();
   const dlinfma::Dataset data = dlinfma::BuildDataset(*world, {});
   dlinfma::FeatureExtractor extractor(&*world, data.gen.get());
   const std::vector<dlinfma::AddressSample> samples =
@@ -163,20 +261,80 @@ int CmdInfer(const std::map<std::string, std::string>& flags) {
     return 1;
   }
   const std::vector<Point> locations = method.InferAll(data, samples);
-
-  CsvTable table;
-  table.header = {"address_id", "x", "y"};
-  for (size_t i = 0; i < samples.size(); ++i) {
-    table.rows.push_back({std::to_string(samples[i].address_id),
-                          StrPrintf("%.2f", locations[i].x),
-                          StrPrintf("%.2f", locations[i].y)});
-  }
-  if (!WriteCsv(out->second, table)) {
+  if (!WriteLocationsCsv(out->second, samples, locations)) {
     std::fprintf(stderr, "error: cannot write %s\n", out->second.c_str());
     return 1;
   }
   std::printf("inferred %zu delivery locations -> %s\n", samples.size(),
               out->second.c_str());
+  return 0;
+}
+
+int CmdServe(const std::map<std::string, std::string>& flags) {
+  if (flags.count("bundle") == 0) return Usage();
+  std::optional<io::WarmBundle> bundle = LoadBundleFlag(flags);
+  if (!bundle) return 1;
+
+  // Score every delivered address with the preloaded model and stand up
+  // the 3-tier service.
+  Stopwatch watch;
+  const std::vector<dlinfma::AddressSample> samples =
+      io::AllSamples(bundle->samples);
+  const apps::DeliveryLocationService service =
+      apps::DeliveryLocationService::BuildFromInferrer(
+          *bundle->world, bundle->data, samples, bundle->method.get());
+  std::printf(
+      "service up in %.2f s: %zu address entries, %zu building entries\n",
+      watch.ElapsedSeconds(), service.address_entries(),
+      service.building_entries());
+
+  // Drive a batched query load through the pool-backed QueryBatch API.
+  const int num_queries = IntFlag(flags, "queries", 10000);
+  const int batch_size = std::max(1, IntFlag(flags, "batch", 256));
+  const int num_threads = IntFlag(flags, "threads", 4);
+  ThreadPool pool(num_threads);
+  const std::vector<sim::Address>& addresses = bundle->world->addresses;
+  if (addresses.empty()) {
+    std::fprintf(stderr, "error: bundle world has no addresses\n");
+    return 1;
+  }
+
+  watch.Reset();
+  int64_t answered = 0;
+  int64_t tier_hits[3] = {0, 0, 0};
+  std::vector<int64_t> batch;
+  batch.reserve(batch_size);
+  for (int q = 0; q < num_queries;) {
+    batch.clear();
+    for (; q < num_queries && static_cast<int>(batch.size()) < batch_size;
+         ++q) {
+      batch.push_back(addresses[q % addresses.size()].id);
+    }
+    for (const auto& answer : service.QueryBatch(batch, &pool)) {
+      ++tier_hits[static_cast<int>(answer.source)];
+      ++answered;
+    }
+  }
+  const double elapsed = watch.ElapsedSeconds();
+  std::printf(
+      "answered %lld queries in %.3f s (%.0f queries/s, batch=%d, "
+      "threads=%d)\n",
+      static_cast<long long>(answered), elapsed,
+      elapsed > 0 ? static_cast<double>(answered) / elapsed : 0.0, batch_size,
+      num_threads);
+  std::printf("tier hits: address %lld, building %lld, geocode %lld\n",
+              static_cast<long long>(tier_hits[0]),
+              static_cast<long long>(tier_hits[1]),
+              static_cast<long long>(tier_hits[2]));
+  const obs::Histogram* batch_latency =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "service.query.batch_latency_seconds");
+  if (batch_latency->count() > 0) {
+    std::printf("batch latency: p50 %.0f us, p95 %.0f us, max %.0f us\n",
+                batch_latency->Quantile(0.5) * 1e6,
+                batch_latency->Quantile(0.95) * 1e6,
+                batch_latency->max() * 1e6);
+  }
   return 0;
 }
 
@@ -220,6 +378,8 @@ int main(int argc, char** argv) {
     status = CmdStats(flags);
   } else if (command == "train") {
     status = CmdTrain(flags);
+  } else if (command == "serve") {
+    status = CmdServe(flags);
   } else if (command == "infer") {
     status = CmdInfer(flags);
   } else if (command == "evaluate") {
