@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/stopwatch.h"
+#include "fault/fault.h"
 #include "obs/metrics.h"
 
 namespace dlinf {
@@ -11,8 +12,9 @@ namespace apps {
 
 namespace {
 
-/// Per-tier hit counters + query latency (DESIGN.md §5). Pointers are
-/// stable for the process lifetime, so cache them once.
+/// Per-tier hit counters + query latency (DESIGN.md §5), plus the
+/// degradation counters of DESIGN.md §8. Pointers are stable for the
+/// process lifetime, so cache them once.
 struct ServiceMetrics {
   obs::Counter* address_hits;
   obs::Counter* building_hits;
@@ -20,6 +22,11 @@ struct ServiceMetrics {
   obs::Histogram* query_seconds;
   obs::Histogram* batch_seconds;
   obs::Histogram* batch_size;
+  obs::Counter* address_failures;
+  obs::Counter* building_failures;
+  obs::Counter* retries;
+  obs::Counter* fallbacks;
+  obs::Counter* degraded;
 
   static const ServiceMetrics& Get() {
     static const ServiceMetrics metrics = [] {
@@ -30,11 +37,59 @@ struct ServiceMetrics {
           registry.GetCounter("service.query.hits.geocode"),
           registry.GetHistogram("service.query.latency_seconds"),
           registry.GetHistogram("service.query.batch_latency_seconds"),
-          registry.GetHistogram("service.query.batch_size")};
+          registry.GetHistogram("service.query.batch_size"),
+          registry.GetCounter("service.tier.failures.address"),
+          registry.GetCounter("service.tier.failures.building"),
+          registry.GetCounter("service.tier.retries"),
+          registry.GetCounter("service.query.fallbacks"),
+          registry.GetCounter("service.query.degraded")};
     }();
     return metrics;
   }
 };
+
+/// Static identity of one KV tier: its fault points and failure counter.
+/// The geocode tier is a pure computation on the query itself, so it has no
+/// failure mode and never appears here.
+struct TierFaults {
+  const char* fail_point;
+  const char* latency_point;
+  obs::Counter* ServiceMetrics::* failures;
+};
+
+constexpr TierFaults kAddressTier = {"service.tier.address.fail",
+                                     "service.tier.address.latency",
+                                     &ServiceMetrics::address_failures};
+constexpr TierFaults kBuildingTier = {"service.tier.building.fail",
+                                      "service.tier.building.latency",
+                                      &ServiceMetrics::building_failures};
+
+/// One tier's availability decision under the armed fault plan: deadline +
+/// bounded retry with doubling backoff (the degradation contract in the
+/// class comment). Returns true when the tier may be consulted, false when
+/// it is exhausted and the query must fall back.
+bool AttemptTier(const TierFaults& tier,
+                 const DeliveryLocationService::DegradePolicy& policy) {
+  const ServiceMetrics& metrics = ServiceMetrics::Get();
+  double backoff_ms = policy.backoff_ms;
+  for (int attempt = 0; attempt <= policy.max_retries; ++attempt) {
+    if (attempt > 0) {
+      metrics.retries->Add(1);
+      fault::SleepForMs(backoff_ms);
+      backoff_ms *= 2.0;
+    }
+    Stopwatch watch;
+    if (const auto fire = fault::Hit(tier.latency_point)) {
+      fault::SleepForMs(fire->latency_ms);
+    }
+    const bool failed = fault::Hit(tier.fail_point).has_value();
+    const bool deadline_exceeded =
+        watch.ElapsedSeconds() * 1e3 > policy.tier_deadline_ms;
+    if (!failed && !deadline_exceeded) return true;
+    (metrics.*(tier.failures))->Add(1);
+  }
+  return false;
+}
 
 void CountTierHit(DeliveryLocationService::Source source) {
   const ServiceMetrics& metrics = ServiceMetrics::Get();
@@ -143,6 +198,7 @@ DeliveryLocationService::QueryBatch(const std::vector<int64_t>& address_ids,
 
 DeliveryLocationService::Answer DeliveryLocationService::Lookup(
     int64_t address_id) const {
+  if (fault::Armed()) return DegradableLookup(address_id);
   auto it = address_kv_.find(address_id);
   if (it != address_kv_.end()) {
     return Answer{it->second, Source::kAddress};
@@ -163,12 +219,58 @@ DeliveryLocationService::Answer DeliveryLocationService::QueryByBuilding(
 }
 
 DeliveryLocationService::Answer DeliveryLocationService::LookupBuilding(
-    int64_t building_id, const Point& geocode) const {
+    int64_t building_id, const Point& geocode, bool already_degraded) const {
+  if (fault::Armed()) {
+    return DegradableLookupBuilding(building_id, geocode, already_degraded);
+  }
   auto it = building_kv_.find(building_id);
   if (it != building_kv_.end()) {
     return Answer{it->second, Source::kBuilding};
   }
   return Answer{geocode, Source::kGeocode};
+}
+
+DeliveryLocationService::Answer DeliveryLocationService::DegradableLookup(
+    int64_t address_id) const {
+  const ServiceMetrics& metrics = ServiceMetrics::Get();
+  bool degraded = false;
+  if (AttemptTier(kAddressTier, degrade_policy_)) {
+    auto it = address_kv_.find(address_id);
+    if (it != address_kv_.end()) {
+      return Answer{it->second, Source::kAddress, /*degraded=*/false};
+    }
+    // A healthy tier without an entry is a normal miss, not degradation.
+  } else {
+    metrics.fallbacks->Add(1);
+    degraded = true;
+  }
+  const sim::Address& addr = world_->address(address_id);
+  return DegradableLookupBuilding(addr.building_id, addr.geocoded_location,
+                                  degraded);
+}
+
+DeliveryLocationService::Answer
+DeliveryLocationService::DegradableLookupBuilding(int64_t building_id,
+                                                  const Point& geocode,
+                                                  bool already_degraded) const {
+  const ServiceMetrics& metrics = ServiceMetrics::Get();
+  bool degraded = already_degraded;
+  if (AttemptTier(kBuildingTier, degrade_policy_)) {
+    auto it = building_kv_.find(building_id);
+    if (it != building_kv_.end()) {
+      // Answered by the intended tier: an earlier tier's failure still
+      // marks the answer degraded (the address entry may have existed).
+      if (degraded) metrics.degraded->Add(1);
+      return Answer{it->second, Source::kBuilding, degraded};
+    }
+  } else {
+    metrics.fallbacks->Add(1);
+    degraded = true;
+  }
+  // Terminal tier: geocode is computed from the query itself and cannot
+  // fail, so every query is answered.
+  if (degraded) metrics.degraded->Add(1);
+  return Answer{geocode, Source::kGeocode, degraded};
 }
 
 }  // namespace apps

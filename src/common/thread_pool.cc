@@ -1,6 +1,8 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
+#include <exception>
 
 #include "common/check.h"
 #include "common/stopwatch.h"
@@ -52,6 +54,13 @@ void ThreadPool::ParallelFor(int64_t count,
                              const std::function<void(int64_t)>& fn) {
   CHECK_GE(count, 0) << "ParallelFor over a negative range";
   if (count == 0) return;
+  // An exception in any block is captured (first writer wins) and rethrown
+  // on the calling thread after the barrier — it must not die in a worker
+  // (std::terminate) or be silently swallowed. Later indexes may still run;
+  // blocks that start after the capture skip their work.
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+  std::atomic<bool> errored{false};
   // Up to 4 blocks per worker for load balancing; never more blocks than
   // items, so count < num_threads degenerates to one index per block.
   const int64_t num_blocks =
@@ -59,11 +68,21 @@ void ThreadPool::ParallelFor(int64_t count,
   const int64_t block = (count + num_blocks - 1) / num_blocks;
   for (int64_t begin = 0; begin < count; begin += block) {
     const int64_t end = std::min(count, begin + block);
-    Submit([begin, end, &fn] {
-      for (int64_t i = begin; i < end; ++i) fn(i);
+    Submit([begin, end, &fn, &error_mu, &first_error, &errored] {
+      if (errored.load(std::memory_order_acquire)) return;
+      try {
+        for (int64_t i = begin; i < end; ++i) fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+        errored.store(true, std::memory_order_release);
+      }
     });
   }
   Wait();
+  if (errored.load(std::memory_order_acquire)) {
+    std::rethrow_exception(first_error);
+  }
 }
 
 void ThreadPool::WorkerLoop() {

@@ -20,8 +20,10 @@ class Histogram;
 ///
 /// The paper parallelizes stay-point extraction at trajectory level and
 /// candidate-pool construction at station level (Section V-F); this pool is
-/// the substrate for both. Tasks may not throw (library code is
-/// exception-free).
+/// the substrate for both. Tasks passed to Submit may not throw (library
+/// code is exception-free); ParallelFor additionally guards against
+/// throwing lambdas from application code by rethrowing the first exception
+/// on the calling thread.
 ///
 /// Instrumentation (see DESIGN.md §5): every pool feeds the global metrics
 /// `threadpool.tasks_submitted` / `threadpool.tasks_executed` (counters),
@@ -52,6 +54,9 @@ class ThreadPool {
   /// Work is distributed in contiguous blocks; when count < num_threads each
   /// index gets its own block, so small ranges still use every worker.
   /// count == 0 is a no-op; a negative count is a programmer error (CHECK).
+  /// If fn throws, the first exception is rethrown here (on the calling
+  /// thread) after all blocks finish; remaining blocks may be skipped, so
+  /// treat the iteration as incomplete. The pool stays usable afterwards.
   void ParallelFor(int64_t count, const std::function<void(int64_t)>& fn);
 
  private:

@@ -8,8 +8,10 @@
 #include "cluster/grid_merge.h"
 #include "cluster/hierarchical.h"
 #include "common/check.h"
+#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "traj/corruption.h"
 
 namespace dlinf {
 namespace dlinfma {
@@ -26,8 +28,16 @@ std::vector<StayPoint> ExtractStayPoints(
   std::vector<std::vector<StayPoint>> per_trip(world.trips.size());
   auto process = [&](int64_t i) {
     const sim::DeliveryTrip& trip = world.trips[i];
-    const Trajectory cleaned =
-        FilterNoise(trip.trajectory, options.noise_filter);
+    // This is where the pipeline ingests the raw GPS stream, so it is where
+    // an armed fault plan corrupts it (traj.gps.*; see traj/corruption.h).
+    // Disarmed runs skip even the copy.
+    const Trajectory* raw = &trip.trajectory;
+    Trajectory corrupted;
+    if (fault::Armed()) {
+      corrupted = traj::ApplyTrajectoryFaults(trip.trajectory);
+      raw = &corrupted;
+    }
+    const Trajectory cleaned = FilterNoise(*raw, options.noise_filter);
     std::vector<StayPoint> stays =
         DetectStayPoints(cleaned, options.stay_point);
     for (StayPoint& sp : stays) sp.trip_id = trip.id;

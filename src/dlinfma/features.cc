@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace dlinf {
 namespace dlinfma {
@@ -110,7 +111,23 @@ std::vector<AddressSample> FeatureExtractor::ExtractAll(
     const std::vector<int64_t>& ids, bool with_labels) const {
   std::vector<AddressSample> samples;
   samples.reserve(ids.size());
-  for (int64_t id : ids) samples.push_back(Extract(id, with_labels));
+  int64_t skipped = 0;
+  for (int64_t id : ids) {
+    // A delivered address can end up with zero candidates when its
+    // trajectory evidence was lost upstream (GPS dropouts, dropped trips —
+    // see fault/fault.h); there is nothing to extract features over, so
+    // the address is dropped from the sample set rather than aborting.
+    if (gen_->Retrieve(id).empty()) {
+      ++skipped;
+      continue;
+    }
+    samples.push_back(Extract(id, with_labels));
+  }
+  if (skipped > 0) {
+    obs::MetricsRegistry::Global()
+        .GetCounter("pipeline.addresses_without_candidates")
+        ->Add(skipped);
+  }
   return samples;
 }
 

@@ -70,7 +70,10 @@ class FeatureExtractor {
   /// train/val sets — and for evaluation bookkeeping on test).
   AddressSample Extract(int64_t address_id, bool with_label) const;
 
-  /// Batch extraction.
+  /// Batch extraction. Addresses whose trajectory evidence was entirely
+  /// lost upstream (no retrievable candidates — possible under GPS fault
+  /// injection, never with clean data) are skipped, not aborted on; each
+  /// skip increments the `pipeline.addresses_without_candidates` counter.
   std::vector<AddressSample> ExtractAll(const std::vector<int64_t>& ids,
                                         bool with_labels) const;
 

@@ -1,0 +1,178 @@
+#include "fault/fault.h"
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace dlinf {
+namespace fault {
+namespace {
+
+/// splitmix64 finalizer — the stationary hash behind probabilistic firing
+/// decisions. Fast, stateless, and well-distributed for counter inputs.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashName(std::string_view name) {
+  // FNV-1a; only used to decorrelate per-point decision streams.
+  uint64_t h = 0xCBF29CE484222325ull;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+struct SvHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
+struct SvEq {
+  using is_transparent = void;
+  bool operator()(std::string_view a, std::string_view b) const {
+    return a == b;
+  }
+};
+
+/// Mutable per-point runtime state. Lock-free: hits/fires are relaxed
+/// atomics, the spec is immutable after Arm.
+struct PointState {
+  explicit PointState(FaultSpec s)
+      : spec(std::move(s)),
+        name_hash(HashName(spec.point)),
+        fire_counter(obs::MetricsRegistry::Global().GetCounter(
+            "fault.fires." + spec.point)) {}
+
+  const FaultSpec spec;
+  const uint64_t name_hash;
+  obs::Counter* const fire_counter;
+  std::atomic<int64_t> hits{0};
+  std::atomic<int64_t> fires{0};
+};
+
+/// One armed plan, immutable apart from the per-point atomics. Instances
+/// are retained for the process lifetime (like obs metrics) so readers
+/// never race a teardown; the count is bounded by the number of Arm calls.
+struct ArmedState {
+  std::unordered_map<std::string, std::unique_ptr<PointState>, SvHash, SvEq>
+      points;
+  uint64_t seed = 0;
+  obs::Counter* total_counter = nullptr;
+  std::atomic<int64_t> total_fires{0};
+};
+
+std::mutex g_arm_mu;
+std::atomic<ArmedState*> g_current{nullptr};
+
+/// Keeps every state ever armed reachable (LSan-clean, stable pointers).
+std::vector<std::unique_ptr<ArmedState>>& RetainedStates() {
+  static auto* states = new std::vector<std::unique_ptr<ArmedState>>();
+  return *states;
+}
+
+}  // namespace
+
+namespace internal {
+
+std::atomic<bool> g_armed{false};
+
+std::optional<Fire> HitSlow(std::string_view point) {
+  ArmedState* state = g_current.load(std::memory_order_acquire);
+  if (state == nullptr) return std::nullopt;
+  const auto it = state->points.find(point);
+  if (it == state->points.end()) return std::nullopt;
+  PointState& ps = *it->second;
+  const int64_t n = ps.hits.fetch_add(1, std::memory_order_relaxed);
+  const FaultSpec& spec = ps.spec;
+  if (n < spec.skip_first) return std::nullopt;
+  if (spec.probability < 1.0) {
+    // Deterministic per (seed, point, hit index): replays bit-identically.
+    const uint64_t h =
+        Mix64(state->seed ^ ps.name_hash ^ static_cast<uint64_t>(n));
+    const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    if (u >= spec.probability) return std::nullopt;
+  }
+  if (spec.max_fires >= 0) {
+    const int64_t granted = ps.fires.fetch_add(1, std::memory_order_relaxed);
+    if (granted >= spec.max_fires) {
+      ps.fires.fetch_sub(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+  } else {
+    ps.fires.fetch_add(1, std::memory_order_relaxed);
+  }
+  state->total_fires.fetch_add(1, std::memory_order_relaxed);
+  ps.fire_counter->Add(1);
+  state->total_counter->Add(1);
+  return Fire{spec.latency_ms, spec.param};
+}
+
+}  // namespace internal
+
+void Arm(const FaultPlan& plan, uint64_t seed) {
+  auto state = std::make_unique<ArmedState>();
+  state->seed = seed;
+  state->total_counter =
+      obs::MetricsRegistry::Global().GetCounter("fault.fires");
+  // Later specs for the same point override earlier ones.
+  for (const FaultSpec& spec : plan.specs()) {
+    auto point_state = std::make_unique<PointState>(spec);
+    state->points[spec.point] = std::move(point_state);
+  }
+
+  std::lock_guard<std::mutex> lock(g_arm_mu);
+  internal::g_armed.store(false, std::memory_order_release);
+  g_current.store(state.get(), std::memory_order_release);
+  RetainedStates().push_back(std::move(state));
+  internal::g_armed.store(true, std::memory_order_release);
+}
+
+void Disarm() { internal::g_armed.store(false, std::memory_order_release); }
+
+namespace {
+
+const PointState* FindPoint(std::string_view point) {
+  const ArmedState* state = g_current.load(std::memory_order_acquire);
+  if (state == nullptr) return nullptr;
+  const auto it = state->points.find(point);
+  return it == state->points.end() ? nullptr : it->second.get();
+}
+
+}  // namespace
+
+int64_t FireCount(std::string_view point) {
+  const PointState* ps = FindPoint(point);
+  return ps == nullptr ? 0 : ps->fires.load(std::memory_order_relaxed);
+}
+
+int64_t HitCount(std::string_view point) {
+  const PointState* ps = FindPoint(point);
+  return ps == nullptr ? 0 : ps->hits.load(std::memory_order_relaxed);
+}
+
+int64_t TotalFires() {
+  const ArmedState* state = g_current.load(std::memory_order_acquire);
+  return state == nullptr
+             ? 0
+             : state->total_fires.load(std::memory_order_relaxed);
+}
+
+void SleepForMs(double ms) {
+  if (ms <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+}  // namespace fault
+}  // namespace dlinf

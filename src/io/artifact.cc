@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "common/string_util.h"
+#include "fault/fault.h"
 
 namespace dlinf {
 namespace io {
@@ -119,6 +120,8 @@ void ArtifactWriter::WriteI64s(const std::vector<int64_t>& v) {
 bool ArtifactWriter::Finish(const std::string& path) {
   CHECK(!finished_) << "ArtifactWriter::Finish called twice";
   finished_ = true;
+  // Injected write failure: the disk filled up / the volume went away.
+  if (fault::Hit("io.artifact.write_fail")) return false;
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
@@ -166,6 +169,11 @@ std::optional<ArtifactReader> ArtifactReader::Open(const std::string& path,
   if (header.magic != kArtifactMagic) {
     return fail("bad magic in " + path + " (not a DLInfMA artifact)");
   }
+  // Injected stale version: a reader from before a format bump opening a
+  // file written after it. Exercises the exact rejection branch below.
+  if (fault::Hit("io.artifact.stale_version")) {
+    header.version = kArtifactVersion + 1;
+  }
   if (header.version != kArtifactVersion) {
     return fail(StrPrintf("format version %u in %s, expected %u",
                           header.version, path.c_str(), kArtifactVersion));
@@ -182,9 +190,25 @@ std::optional<ArtifactReader> ArtifactReader::Open(const std::string& path,
   reader.payload_.resize(header.payload_size);
   in.read(reader.payload_.data(),
           static_cast<std::streamsize>(header.payload_size));
-  if (!in ||
-      in.gcount() != static_cast<std::streamsize>(header.payload_size)) {
+  std::streamsize got = in.gcount();
+  // Injected short read: `param` bytes (default 1) never arrive, as if the
+  // file were truncated mid-payload or the read was interrupted.
+  if (const auto fire = fault::Hit("io.artifact.short_read")) {
+    const auto drop = static_cast<std::streamsize>(
+        fire->param == 0 ? 1 : fire->param);
+    got -= std::min(got, drop);
+    in.setstate(std::ios::failbit);
+  }
+  if (!in || got != static_cast<std::streamsize>(header.payload_size)) {
     return fail("truncated payload in " + path);
+  }
+  // Injected bit flip: one payload byte is corrupted in flight (bad sector,
+  // bad RAM). The CRC check below must catch it.
+  if (const auto fire = fault::Hit("io.artifact.bit_flip")) {
+    if (!reader.payload_.empty()) {
+      reader.payload_[fire->param % reader.payload_.size()] ^=
+          static_cast<char>(0x40);
+    }
   }
   uint32_t stored_crc = 0;
   in.read(reinterpret_cast<char*>(&stored_crc), 4);
@@ -199,12 +223,14 @@ std::optional<ArtifactReader> ArtifactReader::Open(const std::string& path,
 }
 
 bool ArtifactReader::Take(void* out, size_t size) {
+  // size == 0 happens for empty vectors, where `out` may be a null
+  // vector::data(); memset/memcpy forbid null even for zero bytes.
   if (!ok_ || payload_.size() - offset_ < size) {
     ok_ = false;
-    std::memset(out, 0, size);
+    if (size > 0) std::memset(out, 0, size);
     return false;
   }
-  std::memcpy(out, payload_.data() + offset_, size);
+  if (size > 0) std::memcpy(out, payload_.data() + offset_, size);
   offset_ += size;
   return true;
 }

@@ -27,6 +27,12 @@
 /// single payload byte is handed out, so corrupted / truncated / mismatched
 /// files fail with a clean error instead of feeding garbage downstream.
 /// Multi-byte values assume a little-endian host (checked at runtime).
+///
+/// Untrusted bytes never abort: every validation failure surfaces as a
+/// typed error through Open()'s nullopt + reason. Fault-injection points
+/// (`io.artifact.short_read`, `io.artifact.bit_flip`,
+/// `io.artifact.stale_version`, `io.artifact.write_fail`; see fault/fault.h
+/// and DESIGN.md §8) drive those same error branches deterministically.
 
 namespace dlinf {
 namespace io {

@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "common/random.h"
+#include "fault/fault.h"
 #include "sim/city_generator.h"
 #include "sim/trip_generator.h"
 
@@ -15,6 +16,13 @@ World GenerateWorld(const SimConfig& config) {
   InjectConfirmationDelays(&world, config.confirm_batches, config.p_delay,
                            config.confirm_jitter_min_s,
                            config.confirm_jitter_max_s, &rng);
+  // Fault injection: a trip whose tracker never uploaded — waybills exist
+  // but the GPS stream is empty. Downstream mining must tolerate it.
+  if (fault::Armed()) {
+    for (DeliveryTrip& trip : world.trips) {
+      if (fault::Hit("sim.trip.drop_trajectory")) trip.trajectory.points.clear();
+    }
+  }
   LOG_INFO << world.name << ": " << world.addresses.size() << "addresses,"
            << world.trips.size() << "trips," << world.TotalWaybills()
            << "waybills," << world.TotalTrajectoryPoints() << "GPS points";

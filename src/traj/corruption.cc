@@ -1,0 +1,37 @@
+#include "traj/corruption.h"
+
+#include <limits>
+#include <utility>
+
+#include "fault/fault.h"
+
+namespace dlinf {
+namespace traj {
+
+Trajectory ApplyTrajectoryFaults(const Trajectory& input) {
+  Trajectory output;
+  output.courier_id = input.courier_id;
+  output.points.reserve(input.points.size());
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+  for (const TrajPoint& original : input.points) {
+    if (fault::Hit("traj.gps.dropout")) continue;
+    TrajPoint p = original;
+    if (fault::Hit("traj.gps.nan")) {
+      p.x = kNaN;
+      p.y = kNaN;
+    }
+    if (const auto fire = fault::Hit("traj.gps.clock_skew")) {
+      // Receiver clock jumped forward by `param` seconds (default 300).
+      p.t += static_cast<double>(fire->param == 0 ? 300 : fire->param);
+    }
+    if (fault::Hit("traj.gps.out_of_order") && !output.points.empty()) {
+      std::swap(p, output.points.back());
+    }
+    output.points.push_back(p);
+    if (fault::Hit("traj.gps.duplicate")) output.points.push_back(p);
+  }
+  return output;
+}
+
+}  // namespace traj
+}  // namespace dlinf

@@ -1,0 +1,38 @@
+#ifndef DLINF_TRAJ_CORRUPTION_H_
+#define DLINF_TRAJ_CORRUPTION_H_
+
+#include "traj/trajectory.h"
+
+/// \file
+/// Deterministic GPS-stream corruption for fault-injection runs (DESIGN.md
+/// §8). Real courier trackers emit dirty data as a matter of course —
+/// dropped fixes, duplicated packets, out-of-order delivery, bogus (NaN)
+/// coordinates after a cold start, and receiver clock skew. These helpers
+/// reproduce each of those defects on demand, driven by the armed
+/// fault::FaultPlan, so the mining pipeline can be tested against degraded
+/// input instead of clean synthetic worlds.
+///
+/// Injection points consulted per input point:
+///   traj.gps.dropout       drop this sample entirely
+///   traj.gps.duplicate     emit this sample twice (duplicated packet)
+///   traj.gps.out_of_order  swap this sample with its predecessor
+///   traj.gps.nan           replace the coordinates with NaN
+///   traj.gps.clock_skew    shift the timestamp by `param` seconds
+///
+/// The pipeline's cleaning stage (traj::FilterNoise) is required to absorb
+/// all five defect classes: it drops non-finite samples and non-increasing
+/// timestamps, so stay-point detection downstream always sees a finite,
+/// chronological track.
+
+namespace dlinf {
+namespace traj {
+
+/// Returns `input` with every armed `traj.gps.*` fault applied. With no
+/// plan armed the input is returned unchanged (callers avoid even the copy
+/// by guarding on fault::Armed(), as candidate generation does).
+Trajectory ApplyTrajectoryFaults(const Trajectory& input);
+
+}  // namespace traj
+}  // namespace dlinf
+
+#endif  // DLINF_TRAJ_CORRUPTION_H_

@@ -1,5 +1,7 @@
 #include "traj/noise_filter.h"
 
+#include <cmath>
+
 #include "common/check.h"
 
 namespace dlinf {
@@ -12,6 +14,13 @@ Trajectory FilterNoise(const Trajectory& input,
   output.points.reserve(input.points.size());
   int consecutive_drops = 0;
   for (const TrajPoint& p : input.points) {
+    // Non-finite samples (NaN/inf coordinates or timestamps, e.g. from a
+    // cold-started receiver) are unconditional outliers: a NaN coordinate
+    // would otherwise poison every comparison below (NaN > x is false, so
+    // the speed gate alone would wave it through).
+    if (!std::isfinite(p.x) || !std::isfinite(p.y) || !std::isfinite(p.t)) {
+      continue;
+    }
     if (output.points.empty()) {
       output.points.push_back(p);
       continue;

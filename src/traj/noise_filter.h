@@ -20,8 +20,10 @@ struct NoiseFilterOptions {
 };
 
 /// Returns a copy of `input` with heuristic GPS outliers removed.
-/// Duplicate-timestamp points are also dropped (keeping the first), so the
-/// result always satisfies Trajectory::IsChronological().
+/// Duplicate-timestamp and out-of-order points are dropped (keeping the
+/// first), as are samples with non-finite coordinates or timestamps, so the
+/// result is always finite and satisfies Trajectory::IsChronological() —
+/// even on deliberately corrupted input (see traj/corruption.h).
 Trajectory FilterNoise(const Trajectory& input,
                        const NoiseFilterOptions& options = {});
 

@@ -1,4 +1,5 @@
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <map>
 #include <set>
@@ -183,6 +184,126 @@ TEST(FlatJsonTest, FileRoundTripAndMissingFile) {
   ASSERT_TRUE(loaded.has_value());
   EXPECT_EQ(*loaded, values);
   EXPECT_FALSE(FlatJsonLoad(path + ".does_not_exist").has_value());
+}
+
+// --- Fuzz-style negative tests (seeded, deterministic) --------------------
+//
+// Parsers for untrusted text must never crash, hang, or over-read: any
+// input either parses into a consistent value or is rejected with nullopt.
+// The corpora below are generated from a fixed-seed Rng so failures replay.
+
+std::string RandomBytes(Rng& rng, int max_len) {
+  const int len = static_cast<int>(rng.UniformInt(0, max_len));
+  std::string bytes(len, '\0');
+  for (char& c : bytes) {
+    c = static_cast<char>(rng.UniformInt(0, 255));
+  }
+  return bytes;
+}
+
+bool AllFinite(const std::map<std::string, double>& values) {
+  for (const auto& [key, value] : values) {
+    if (!std::isfinite(value)) return false;
+  }
+  return true;
+}
+
+TEST(FlatJsonFuzzTest, RandomBytesNeverCrashAndRoundTripWhenParsed) {
+  Rng rng(0x464a31);  // "FJ1"
+  for (int i = 0; i < 2000; ++i) {
+    const std::string input = RandomBytes(rng, 64);
+    const auto parsed = FlatJsonParse(input);  // Must not crash.
+    if (parsed.has_value() && AllFinite(*parsed)) {
+      // Anything accepted must survive serialize -> parse unchanged.
+      const auto reparsed = FlatJsonParse(FlatJsonSerialize(*parsed));
+      ASSERT_TRUE(reparsed.has_value()) << "input: " << input;
+      EXPECT_EQ(*reparsed, *parsed) << "input: " << input;
+    }
+  }
+}
+
+TEST(FlatJsonFuzzTest, MutatedValidDocumentsNeverCrash) {
+  Rng rng(0x464a32);
+  const std::string valid =
+      FlatJsonSerialize({{"alpha", 1.5}, {"beta", -2e-3}, {"gamma", 42.0}});
+  for (int i = 0; i < 2000; ++i) {
+    std::string doc = valid;
+    const int mutations = static_cast<int>(rng.UniformInt(1, 4));
+    for (int m = 0; m < mutations && !doc.empty(); ++m) {
+      const size_t pos =
+          static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(
+                                                    doc.size() - 1)));
+      switch (rng.UniformInt(0, 2)) {
+        case 0:  // Flip a byte.
+          doc[pos] = static_cast<char>(rng.UniformInt(0, 255));
+          break;
+        case 1:  // Delete a byte.
+          doc.erase(pos, 1);
+          break;
+        default:  // Insert a byte.
+          doc.insert(pos, 1, static_cast<char>(rng.UniformInt(0, 255)));
+          break;
+      }
+    }
+    const auto parsed = FlatJsonParse(doc);  // Must not crash.
+    if (parsed.has_value() && AllFinite(*parsed)) {
+      EXPECT_TRUE(FlatJsonParse(FlatJsonSerialize(*parsed)).has_value());
+    }
+  }
+}
+
+TEST(FlatJsonFuzzTest, EveryTruncationOfAValidDocumentIsRejected) {
+  // A canonical document with no trailing whitespace, so that every proper
+  // prefix is genuinely incomplete (serializer output may end in a newline,
+  // which would make the second-to-last prefix valid).
+  const std::string valid = R"({"a": 1.5, "b": -2e-3, "c": 3})";
+  ASSERT_TRUE(FlatJsonParse(valid).has_value());
+  for (size_t keep = 0; keep < valid.size(); ++keep) {
+    EXPECT_FALSE(FlatJsonParse(valid.substr(0, keep)).has_value())
+        << "prefix of " << keep << " bytes unexpectedly parsed";
+  }
+}
+
+TEST(FlatJsonFuzzTest, DeeplyNestedInputRejectedWithoutStackOverflow) {
+  // The format is flat by definition; a pathological nesting bomb must be
+  // rejected by validation, not by exhausting the stack.
+  std::string bomb;
+  for (int i = 0; i < 50000; ++i) bomb += "{\"a\": ";
+  bomb += "1";
+  for (int i = 0; i < 50000; ++i) bomb += "}";
+  EXPECT_FALSE(FlatJsonParse(bomb).has_value());
+}
+
+TEST(CsvFuzzTest, RandomFilesNeverCrashAndKeepWidthsConsistent) {
+  Rng rng(0xc5f1);
+  const std::string path = testing::TempDir() + "/fuzz.csv";
+  for (int i = 0; i < 500; ++i) {
+    {
+      std::string bytes = RandomBytes(rng, 256);
+      FILE* f = std::fopen(path.c_str(), "wb");
+      ASSERT_NE(f, nullptr);
+      std::fwrite(bytes.data(), 1, bytes.size(), f);
+      std::fclose(f);
+    }
+    const auto table = ReadCsv(path);  // Must not crash.
+    if (table.has_value()) {
+      // The documented invariant: every row has exactly header width.
+      for (const auto& row : table->rows) {
+        ASSERT_EQ(row.size(), table->header.size());
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CsvFuzzTest, InconsistentRowWidthsRejected) {
+  const std::string path = testing::TempDir() + "/ragged.csv";
+  FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("a,b\n1,2\n1,2,3\n", f);
+  std::fclose(f);
+  EXPECT_FALSE(ReadCsv(path).has_value());
+  std::remove(path.c_str());
 }
 
 }  // namespace

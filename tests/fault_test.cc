@@ -1,0 +1,180 @@
+// Tests for the deterministic fault-injection framework itself (src/fault):
+// disarmed hits are free and always pass, firing decisions are a pure
+// function of (seed, point, hit index), rule semantics (probability,
+// skip_first, max_fires, latency, param) hold exactly, and hit/fire
+// counts stay exact under concurrency.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "fault/fault.h"
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+
+namespace dlinf {
+namespace fault {
+namespace {
+
+int64_t CounterValue(const std::string& name) {
+  return obs::MetricsRegistry::Global().GetCounter(name)->value();
+}
+
+TEST(FaultTest, DisarmedHitsAlwaysPass) {
+  Disarm();
+  EXPECT_FALSE(Armed());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(Hit("test.disarmed.point").has_value());
+  }
+}
+
+TEST(FaultTest, FailAlwaysFiresEveryHitAndCounts) {
+  const int64_t counter_before = CounterValue("fault.fires.test.always");
+  const int64_t total_before = CounterValue("fault.fires");
+  ScopedFaultPlan armed(FaultPlan().FailAlways("test.always"), /*seed=*/7);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(Hit("test.always").has_value());
+  }
+  EXPECT_EQ(HitCount("test.always"), 10);
+  EXPECT_EQ(FireCount("test.always"), 10);
+  EXPECT_EQ(TotalFires(), 10);
+  EXPECT_EQ(CounterValue("fault.fires.test.always") - counter_before, 10);
+  EXPECT_EQ(CounterValue("fault.fires") - total_before, 10);
+}
+
+TEST(FaultTest, PointsNotInThePlanPass) {
+  ScopedFaultPlan armed(FaultPlan().FailAlways("test.known"), /*seed=*/7);
+  EXPECT_FALSE(Hit("test.unknown").has_value());
+  EXPECT_EQ(HitCount("test.unknown"), 0);
+  EXPECT_EQ(FireCount("test.unknown"), 0);
+}
+
+TEST(FaultTest, ProbabilisticFiringIsDeterministicPerSeed) {
+  constexpr int kHits = 2000;
+  auto fire_pattern = [](uint64_t seed) {
+    ScopedFaultPlan armed(
+        FaultPlan().FailWithProbability("test.prob", 0.25), seed);
+    std::vector<bool> fired(kHits);
+    for (int i = 0; i < kHits; ++i) fired[i] = Hit("test.prob").has_value();
+    return fired;
+  };
+
+  const std::vector<bool> run1 = fire_pattern(42);
+  const std::vector<bool> run2 = fire_pattern(42);
+  EXPECT_EQ(run1, run2) << "same seed must replay the same fire pattern";
+  EXPECT_NE(run1, fire_pattern(43))
+      << "a different seed should (overwhelmingly) fire differently";
+
+  const int64_t fires = static_cast<int64_t>(
+      std::count(run1.begin(), run1.end(), true));
+  // 2000 trials at p=0.25: expect 500, allow a generous +/-30%.
+  EXPECT_GT(fires, 350);
+  EXPECT_LT(fires, 650);
+}
+
+TEST(FaultTest, SkipFirstDelaysFiring) {
+  ScopedFaultPlan armed(
+      FaultPlan().Inject({.point = "test.skip", .skip_first = 3}),
+      /*seed=*/1);
+  for (int i = 0; i < 3; ++i) EXPECT_FALSE(Hit("test.skip").has_value());
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(Hit("test.skip").has_value());
+  EXPECT_EQ(HitCount("test.skip"), 8);
+  EXPECT_EQ(FireCount("test.skip"), 5);
+}
+
+TEST(FaultTest, FailFirstStopsAfterN) {
+  ScopedFaultPlan armed(FaultPlan().FailFirst("test.first", 2), /*seed=*/1);
+  EXPECT_TRUE(Hit("test.first").has_value());
+  EXPECT_TRUE(Hit("test.first").has_value());
+  for (int i = 0; i < 20; ++i) EXPECT_FALSE(Hit("test.first").has_value());
+  EXPECT_EQ(FireCount("test.first"), 2);
+  EXPECT_EQ(HitCount("test.first"), 22);
+}
+
+TEST(FaultTest, LatencyAndParamArriveInTheFire) {
+  ScopedFaultPlan armed(
+      FaultPlan()
+          .AddLatencyMs("test.slow", 12.5)
+          .Inject({.point = "test.payload", .param = 99}),
+      /*seed=*/1);
+  const auto slow = Hit("test.slow");
+  ASSERT_TRUE(slow.has_value());
+  EXPECT_DOUBLE_EQ(slow->latency_ms, 12.5);
+  const auto payload = Hit("test.payload");
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_EQ(payload->param, 99u);
+}
+
+TEST(FaultTest, LaterSpecForSamePointWins) {
+  ScopedFaultPlan armed(FaultPlan()
+                            .FailAlways("test.override")
+                            .FailWithProbability("test.override", 0.0),
+                        /*seed=*/1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(Hit("test.override").has_value());
+  }
+}
+
+TEST(FaultTest, ScopedPlanDisarmsOnExitButKeepsCounts) {
+  {
+    ScopedFaultPlan armed(FaultPlan().FailAlways("test.scoped"), /*seed=*/1);
+    EXPECT_TRUE(Armed());
+    EXPECT_TRUE(Hit("test.scoped").has_value());
+  }
+  EXPECT_FALSE(Armed());
+  EXPECT_FALSE(Hit("test.scoped").has_value());
+  // The last run's counts stay readable until the next Arm.
+  EXPECT_EQ(FireCount("test.scoped"), 1);
+}
+
+TEST(FaultTest, RearmingResetsCounts) {
+  Arm(FaultPlan().FailAlways("test.rearm"), /*seed=*/1);
+  Hit("test.rearm");
+  Hit("test.rearm");
+  EXPECT_EQ(FireCount("test.rearm"), 2);
+  Arm(FaultPlan().FailAlways("test.rearm"), /*seed=*/1);
+  EXPECT_EQ(FireCount("test.rearm"), 0);
+  Disarm();
+}
+
+TEST(FaultTest, MaxFiresIsExactUnderConcurrency) {
+  constexpr int64_t kMaxFires = 57;
+  constexpr int64_t kHits = 5000;
+  ScopedFaultPlan armed(FaultPlan().FailFirst("test.race", kMaxFires),
+                        /*seed=*/3);
+  ThreadPool pool(8);
+  std::atomic<int64_t> observed{0};
+  pool.ParallelFor(kHits, [&](int64_t) {
+    if (Hit("test.race").has_value()) {
+      observed.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  EXPECT_EQ(observed.load(), kMaxFires);
+  EXPECT_EQ(FireCount("test.race"), kMaxFires);
+  EXPECT_EQ(HitCount("test.race"), kHits);
+}
+
+TEST(FaultTest, TotalFiresIsDeterministicAcrossThreadings) {
+  constexpr int64_t kHits = 4000;
+  auto total_for = [&](bool threaded) {
+    ScopedFaultPlan armed(
+        FaultPlan().FailWithProbability("test.interleave", 0.1), /*seed=*/9);
+    if (threaded) {
+      ThreadPool pool(8);
+      pool.ParallelFor(kHits, [](int64_t) { Hit("test.interleave"); });
+    } else {
+      for (int64_t i = 0; i < kHits; ++i) Hit("test.interleave");
+    }
+    return FireCount("test.interleave");
+  };
+  // Which call site sees the n-th hit can vary; the number of firing hit
+  // indexes cannot.
+  EXPECT_EQ(total_for(true), total_for(false));
+}
+
+}  // namespace
+}  // namespace fault
+}  // namespace dlinf

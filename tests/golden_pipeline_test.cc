@@ -1,0 +1,68 @@
+// Golden end-to-end regression test: one fixed-seed run of the whole
+// pipeline (simulate -> mine -> train -> infer -> evaluate) checked against
+// expected metrics captured from a known-good build. A drift outside the
+// tolerances means some stage changed behaviour — deliberately (re-capture
+// the constants below and say so in the commit) or by accident (a bug).
+//
+// The paper reports MAE / P95 / beta_50 (Table II); those are the repo's
+// EvalMetrics and what is pinned here. Tolerances are loose enough to
+// absorb floating-point reassociation across compilers, but tight enough
+// that a real modelling regression (double-digit percent) trips the test.
+
+#include <cstdio>
+
+#include "baselines/evaluation.h"
+#include "dlinfma/dlinfma_method.h"
+#include "gtest/gtest.h"
+#include "sim/generator.h"
+
+namespace dlinf {
+namespace {
+
+// Captured from the fixed-seed run below (seed 20220505, 3 days, 6
+// communities, 3 training epochs). Re-capture by running this test and
+// copying the "actual:" line it prints on failure.
+constexpr double kGoldenMae = 38.024663;
+constexpr double kGoldenP95 = 148.629704;
+constexpr double kGoldenBeta50 = 69.736842;
+constexpr int kGoldenNumSamples = 76;
+
+constexpr double kRelTolerance = 0.15;    // +/-15% on the error metrics.
+constexpr double kBetaTolerance = 10.0;   // +/-10 percentage points.
+
+TEST(GoldenPipelineTest, FixedSeedMetricsMatchCheckedInBaseline) {
+  sim::SimConfig config = sim::SynDowBJConfig();
+  config.seed = 20220505;
+  config.num_days = 3;
+  config.num_communities = 6;
+  const sim::World world = sim::GenerateWorld(config);
+
+  const dlinfma::Dataset data = dlinfma::BuildDataset(world, {});
+  const dlinfma::SampleSet samples = dlinfma::ExtractSamples(data, {});
+
+  dlinfma::TrainConfig train_config;
+  train_config.max_epochs = 3;
+  train_config.early_stop_patience = 2;
+  dlinfma::DlInfMaMethod method("DLInfMA", dlinfma::LocMatcherConfig{},
+                                train_config);
+  const baselines::MethodResult result =
+      baselines::RunMethod(&method, data, samples);
+
+  std::printf("golden actual: mae=%.6f p95=%.6f beta50=%.6f n=%d\n",
+              result.metrics.mae_m, result.metrics.p95_m,
+              result.metrics.beta50_pct, result.metrics.num_samples);
+
+  // The sample count is structural (no floating point): exact match.
+  EXPECT_EQ(result.metrics.num_samples, kGoldenNumSamples);
+
+  EXPECT_NEAR(result.metrics.mae_m, kGoldenMae, kGoldenMae * kRelTolerance);
+  EXPECT_NEAR(result.metrics.p95_m, kGoldenP95, kGoldenP95 * kRelTolerance);
+  EXPECT_NEAR(result.metrics.beta50_pct, kGoldenBeta50, kBetaTolerance);
+
+  // Sanity floor independent of the golden values: the trained model must
+  // beat a coin flip on the paper's headline metric by a wide margin.
+  EXPECT_GT(result.metrics.beta50_pct, 50.0);
+}
+
+}  // namespace
+}  // namespace dlinf

@@ -5,6 +5,7 @@
 // of crashing or feeding garbage downstream.
 
 #include <cstdint>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <optional>
@@ -13,6 +14,7 @@
 #include <vector>
 
 #include "dlinfma/dlinfma_method.h"
+#include "fault/fault.h"
 #include "gtest/gtest.h"
 #include "io/artifact.h"
 #include "io/bundle.h"
@@ -224,6 +226,92 @@ TEST(ArtifactEnvelopeTest, OversizedLengthPrefixRejected) {
   ASSERT_TRUE(reader.has_value());
   EXPECT_TRUE(reader->ReadI64s().empty());
   EXPECT_FALSE(reader->ok());
+}
+
+// --- Fault injection (fault/fault.h, DESIGN.md §8) ------------------------
+
+/// Writes a small valid manifest artifact and returns its path.
+std::string WriteValidArtifact(const std::string& name) {
+  const std::string path = TestPath(name);
+  ArtifactWriter writer(ArtifactKind::kManifest);
+  writer.WriteString("payload under test");
+  writer.WriteI64s({1, 2, 3});
+  EXPECT_TRUE(writer.Finish(path));
+  return path;
+}
+
+TEST(ArtifactFaultTest, ExplicitFutureVersionRejected) {
+  // Not a flipped byte: a well-formed file whose version field says the
+  // format is one revision newer than this reader understands.
+  const std::string path = WriteValidArtifact("future_version.art");
+  std::string bytes = ReadFileBytes(path);
+  const uint32_t future = kArtifactVersion + 1;
+  std::memcpy(&bytes[4], &future, sizeof(future));
+  WriteFileBytes(path, bytes);
+
+  std::string error;
+  EXPECT_FALSE(
+      ArtifactReader::Open(path, ArtifactKind::kManifest, &error).has_value());
+  EXPECT_NE(error.find("version"), std::string::npos) << error;
+}
+
+TEST(ArtifactFaultTest, InjectedShortReadFailsCleanly) {
+  const std::string path = WriteValidArtifact("short_read.art");
+  fault::ScopedFaultPlan armed(
+      fault::FaultPlan().FailAlways("io.artifact.short_read"), /*seed=*/1);
+  std::string error;
+  EXPECT_FALSE(
+      ArtifactReader::Open(path, ArtifactKind::kManifest, &error).has_value());
+  EXPECT_NE(error.find("truncated payload"), std::string::npos) << error;
+  EXPECT_EQ(fault::FireCount("io.artifact.short_read"), 1);
+}
+
+TEST(ArtifactFaultTest, InjectedBitFlipFailsChecksum) {
+  const std::string path = WriteValidArtifact("bit_flip.art");
+  fault::ScopedFaultPlan armed(
+      fault::FaultPlan().Inject(
+          {.point = "io.artifact.bit_flip", .param = 5}),
+      /*seed=*/1);
+  std::string error;
+  EXPECT_FALSE(
+      ArtifactReader::Open(path, ArtifactKind::kManifest, &error).has_value());
+  EXPECT_NE(error.find("checksum"), std::string::npos) << error;
+}
+
+TEST(ArtifactFaultTest, InjectedStaleVersionRejected) {
+  const std::string path = WriteValidArtifact("stale_version.art");
+  fault::ScopedFaultPlan armed(
+      fault::FaultPlan().FailAlways("io.artifact.stale_version"), /*seed=*/1);
+  std::string error;
+  EXPECT_FALSE(
+      ArtifactReader::Open(path, ArtifactKind::kManifest, &error).has_value());
+  EXPECT_NE(error.find("version"), std::string::npos) << error;
+}
+
+TEST(ArtifactFaultTest, InjectedWriteFailReported) {
+  const std::string path = TestPath("write_fail.art");
+  std::filesystem::remove(path);
+  fault::ScopedFaultPlan armed(
+      fault::FaultPlan().FailAlways("io.artifact.write_fail"), /*seed=*/1);
+  ArtifactWriter writer(ArtifactKind::kManifest);
+  writer.WriteU32(7);
+  EXPECT_FALSE(writer.Finish(path));
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST(ArtifactFaultTest, DisarmedFileIsUntouchedAndLoads) {
+  // The injected read faults corrupt only the in-memory copy: once the
+  // plan is gone the same on-disk file opens cleanly.
+  const std::string path = WriteValidArtifact("unharmed.art");
+  {
+    fault::ScopedFaultPlan armed(
+        fault::FaultPlan().FailAlways("io.artifact.bit_flip"), /*seed=*/1);
+    EXPECT_FALSE(
+        ArtifactReader::Open(path, ArtifactKind::kManifest).has_value());
+  }
+  auto reader = ArtifactReader::Open(path, ArtifactKind::kManifest);
+  ASSERT_TRUE(reader.has_value());
+  EXPECT_EQ(reader->ReadString(), "payload under test");
 }
 
 // --- Dataset artifacts ----------------------------------------------------

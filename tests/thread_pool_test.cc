@@ -5,6 +5,7 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <stdexcept>
 #include <vector>
 
 #include "gtest/gtest.h"
@@ -78,6 +79,58 @@ TEST(ThreadPoolDeathTest, ParallelForNegativeCountAborts) {
         pool.ParallelFor(-1, [](int64_t) {});
       },
       "ParallelFor over a negative range");
+}
+
+TEST(ThreadPoolExceptionTest, ParallelForRethrowsFirstException) {
+  // Regression: a throwing lambda used to die in the worker (std::terminate)
+  // or be swallowed; the first exception must surface on the calling thread.
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(100,
+                       [](int64_t i) {
+                         if (i == 37) throw std::runtime_error("boom at 37");
+                       }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolExceptionTest, ParallelForExceptionMessagePreserved) {
+  ThreadPool pool(2);
+  try {
+    pool.ParallelFor(8, [](int64_t) { throw std::runtime_error("original"); });
+    FAIL() << "expected ParallelFor to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "original");
+  }
+}
+
+TEST(ThreadPoolExceptionTest, PoolStaysUsableAfterException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(16, [](int64_t) { throw 42; }), int);
+
+  // Same pool, next call runs to completion: no wedged workers, no stale
+  // error state.
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(100, [&sum](int64_t i) {
+    sum.fetch_add(i, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 100 * 99 / 2);
+}
+
+TEST(ThreadPoolExceptionTest, LaterBlocksSkipWorkAfterFailure) {
+  // Not a strict guarantee of *which* indexes run, only that iteration may
+  // stop early: after the throw is observed, untouched blocks are skipped,
+  // and the count of executed iterations never exceeds the range.
+  ThreadPool pool(2);
+  std::atomic<int64_t> executed{0};
+  EXPECT_THROW(pool.ParallelFor(1000,
+                                [&executed](int64_t i) {
+                                  executed.fetch_add(1,
+                                                     std::memory_order_relaxed);
+                                  if (i == 0) throw std::runtime_error("stop");
+                                }),
+               std::runtime_error);
+  EXPECT_GE(executed.load(), 1);
+  EXPECT_LE(executed.load(), 1000);
 }
 
 TEST(ThreadPoolMetricsTest, TaskCountersTrackSubmissions) {

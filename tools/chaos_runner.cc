@@ -1,0 +1,616 @@
+// Chaos runner: named fault-injection scenario suites over the full
+// pipeline (DESIGN.md §8). Each scenario arms a deterministic FaultPlan,
+// drives a slice of the stack (artifact I/O, simulation + mining under
+// dirty GPS, the 3-tier serving chain), and checks the degradation
+// contract: every query answered, typed errors instead of aborts, and
+// fault/fallback counters exactly matching the injected fault counts.
+//
+// Usage:
+//   chaos_runner --suite smoke      # fast scenarios (default)
+//   chaos_runner --suite full       # everything, incl. the e2e pipeline
+//   chaos_runner --scenario NAME    # one scenario by name
+//   chaos_runner --list             # print scenario names and exit
+//   chaos_runner --seed S           # fault-plan base seed (default 20240807)
+//
+// Exits nonzero if any scenario fails a contract check (a crash also exits
+// nonzero, by nature). Run under ASan/UBSan/TSan in CI.
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/location_service.h"
+#include "dlinfma/dlinfma_method.h"
+#include "fault/fault.h"
+#include "io/artifact.h"
+#include "io/codecs.h"
+#include "obs/metrics.h"
+#include "sim/generator.h"
+
+namespace dlinf {
+namespace {
+
+uint64_t g_base_seed = 20240807;
+
+/// Collects contract violations for one scenario; empty == pass.
+struct Checker {
+  std::vector<std::string> failures;
+
+  void Expect(bool ok, const std::string& what) {
+    if (!ok) failures.push_back(what);
+  }
+
+  void ExpectEq(int64_t got, int64_t want, const std::string& what) {
+    if (got != want) {
+      failures.push_back(what + ": got " + std::to_string(got) +
+                         ", want " + std::to_string(want));
+    }
+  }
+};
+
+int64_t CounterValue(const std::string& name) {
+  return obs::MetricsRegistry::Global().GetCounter(name)->value();
+}
+
+std::string ScratchPath(const std::string& name) {
+  static const std::string dir = [] {
+    std::string d = (std::filesystem::temp_directory_path() /
+                     "dlinf_chaos")
+                        .string();
+    std::filesystem::create_directories(d);
+    return d;
+  }();
+  return dir + "/" + name;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+}
+
+/// One small trained pipeline, built lazily and shared by every scenario
+/// that serves queries; training happens once, with no plan armed.
+struct Fixture {
+  Fixture() {
+    sim::SimConfig config = sim::SynDowBJConfig();
+    config.num_days = 3;
+    config.num_communities = 6;
+    world = sim::GenerateWorld(config);
+    data = dlinfma::BuildDataset(world, {});
+    samples = dlinfma::ExtractSamples(data, {});
+    dlinfma::TrainConfig train_config;
+    train_config.max_epochs = 2;
+    train_config.early_stop_patience = 2;
+    method = std::make_unique<dlinfma::DlInfMaMethod>(
+        "DLInfMA", dlinfma::LocMatcherConfig{}, train_config);
+    method->Fit(data, samples);
+    all_samples = samples.train;
+    all_samples.insert(all_samples.end(), samples.val.begin(),
+                       samples.val.end());
+    all_samples.insert(all_samples.end(), samples.test.begin(),
+                       samples.test.end());
+    service = std::make_unique<apps::DeliveryLocationService>(
+        apps::DeliveryLocationService::BuildFromInferrer(
+            world, data, all_samples, method.get()));
+  }
+
+  sim::World world;
+  dlinfma::Dataset data;
+  dlinfma::SampleSet samples;
+  std::vector<dlinfma::AddressSample> all_samples;
+  std::unique_ptr<dlinfma::DlInfMaMethod> method;
+  std::unique_ptr<apps::DeliveryLocationService> service;
+};
+
+Fixture& GetFixture() {
+  static Fixture* fixture = new Fixture();
+  return *fixture;
+}
+
+/// Writes the fixture world to a valid artifact file once; scenarios that
+/// corrupt it work on copies.
+const std::string& ValidWorldArtifact() {
+  static const std::string path = [] {
+    std::string p = ScratchPath("world.art");
+    if (!io::SaveWorldArtifact(GetFixture().world, p)) {
+      std::fprintf(stderr, "FATAL: cannot write fixture artifact %s\n",
+                   p.c_str());
+      std::exit(2);
+    }
+    return p;
+  }();
+  return path;
+}
+
+// --- Scenario: on-disk corruption classes ---------------------------------
+
+/// Every corruption class an artifact file can suffer on disk — bad magic,
+/// future version, flipped payload byte, truncation at several boundaries —
+/// must surface as a typed error with a human-readable reason, never a
+/// crash or a partially decoded world.
+void RunDiskCorruption(Checker& check) {
+  const std::string valid = ReadFileBytes(ValidWorldArtifact());
+  check.Expect(valid.size() > 24, "fixture artifact implausibly small");
+  const std::string path = ScratchPath("corrupt.art");
+
+  auto expect_load_fails = [&](const std::string& label) {
+    std::string error;
+    auto world = io::LoadWorldArtifact(path, &error);
+    check.Expect(!world.has_value(), label + ": load unexpectedly succeeded");
+    check.Expect(!error.empty(), label + ": error string is empty");
+  };
+
+  // Class 1: bad magic (first header byte flipped).
+  std::string bytes = valid;
+  bytes[0] ^= 0x5a;
+  WriteFileBytes(path, bytes);
+  expect_load_fails("bad magic");
+
+  // Class 2: future format version (explicit version+1 patched into the
+  // header, not just a flipped byte).
+  bytes = valid;
+  const uint32_t future = io::kArtifactVersion + 1;
+  std::memcpy(&bytes[4], &future, sizeof(future));
+  WriteFileBytes(path, bytes);
+  expect_load_fails("future version");
+
+  // Class 3: payload bit rot (CRC must catch a single flipped byte).
+  bytes = valid;
+  bytes[20 + (bytes.size() - 24) / 2] ^= 0x01;
+  WriteFileBytes(path, bytes);
+  expect_load_fails("payload bit flip");
+
+  // Class 4: truncation — inside the header, at the header/payload
+  // boundary, mid-payload, and one byte short of complete.
+  for (const size_t keep :
+       {size_t{3}, size_t{12}, size_t{20}, valid.size() / 2,
+        valid.size() - 1}) {
+    WriteFileBytes(path, valid.substr(0, keep));
+    expect_load_fails("truncated to " + std::to_string(keep) + " bytes");
+  }
+
+  // Control: the untouched file still loads.
+  std::string error;
+  check.Expect(io::LoadWorldArtifact(ValidWorldArtifact(), &error).has_value(),
+               "control load of valid artifact failed: " + error);
+}
+
+// --- Scenario: injected I/O faults ----------------------------------------
+
+/// The `io.artifact.*` injection points drive the same typed-error branches
+/// as real corruption, deterministically, on a pristine file — and each
+/// fire is visible both through fault::FireCount and the obs counters.
+void RunIoFaults(Checker& check) {
+  const std::string& path = ValidWorldArtifact();
+  const char* read_points[] = {"io.artifact.short_read",
+                               "io.artifact.bit_flip",
+                               "io.artifact.stale_version"};
+  for (const char* point : read_points) {
+    const int64_t counter_before =
+        CounterValue(std::string("fault.fires.") + point);
+    const int64_t total_before = CounterValue("fault.fires");
+    {
+      fault::ScopedFaultPlan armed(fault::FaultPlan().FailAlways(point),
+                                   g_base_seed);
+      std::string error;
+      auto world = io::LoadWorldArtifact(path, &error);
+      check.Expect(!world.has_value(),
+                   std::string(point) + ": load unexpectedly succeeded");
+      check.Expect(!error.empty(),
+                   std::string(point) + ": error string is empty");
+    }
+    check.ExpectEq(fault::FireCount(point), 1,
+                   std::string(point) + ": FireCount");
+    check.ExpectEq(CounterValue(std::string("fault.fires.") + point) -
+                       counter_before,
+                   1, std::string(point) + ": fault.fires.<point> counter");
+    check.ExpectEq(CounterValue("fault.fires") - total_before, 1,
+                   std::string(point) + ": fault.fires total counter");
+  }
+
+  // write_fail: Finish reports failure and leaves no file behind.
+  {
+    const std::string out = ScratchPath("write_fail.art");
+    std::filesystem::remove(out);
+    fault::ScopedFaultPlan armed(
+        fault::FaultPlan().FailAlways("io.artifact.write_fail"), g_base_seed);
+    check.Expect(!io::SaveWorldArtifact(GetFixture().world, out),
+                 "write_fail: save unexpectedly succeeded");
+    check.Expect(!std::filesystem::exists(out),
+                 "write_fail: failed save left a file behind");
+  }
+
+  // Control: disarmed, the same file loads cleanly.
+  std::string error;
+  check.Expect(io::LoadWorldArtifact(path, &error).has_value(),
+               "control load after fault scenarios failed: " + error);
+}
+
+// --- Scenario: dirty GPS end-to-end ---------------------------------------
+
+/// Train → corrupt → serve: the whole offline pipeline runs with GPS-level
+/// faults armed (dropouts, duplicates, out-of-order points, NaN
+/// coordinates, clock skew, whole trajectories dropped) and must still
+/// produce finite inferences and answer every query.
+void RunDirtyGpsPipeline(Checker& check) {
+  fault::FaultPlan plan;
+  plan.FailWithProbability("traj.gps.dropout", 0.05)
+      .FailWithProbability("traj.gps.duplicate", 0.02)
+      .FailWithProbability("traj.gps.out_of_order", 0.02)
+      .FailWithProbability("traj.gps.nan", 0.01)
+      .Inject({.point = "traj.gps.clock_skew",
+               .probability = 0.005,
+               .param = 600})
+      .FailWithProbability("sim.trip.drop_trajectory", 0.05);
+  fault::ScopedFaultPlan armed(plan, g_base_seed);
+
+  sim::SimConfig config = sim::SynDowBJConfig();
+  config.num_days = 3;
+  config.num_communities = 6;
+  const sim::World world = sim::GenerateWorld(config);
+  const dlinfma::Dataset data = dlinfma::BuildDataset(world, {});
+  const dlinfma::SampleSet samples = dlinfma::ExtractSamples(data, {});
+
+  dlinfma::TrainConfig train_config;
+  train_config.max_epochs = 2;
+  train_config.early_stop_patience = 2;
+  dlinfma::DlInfMaMethod method("DLInfMA", dlinfma::LocMatcherConfig{},
+                                train_config);
+  method.Fit(data, samples);
+
+  const std::vector<Point> inferred = method.InferAll(data, samples.test);
+  check.ExpectEq(static_cast<int64_t>(inferred.size()),
+                 static_cast<int64_t>(samples.test.size()),
+                 "inference count");
+  for (const Point& p : inferred) {
+    if (!std::isfinite(p.x) || !std::isfinite(p.y)) {
+      check.Expect(false, "non-finite inferred location escaped the pipeline");
+      break;
+    }
+  }
+
+  // The corruption must actually have happened for this scenario to mean
+  // anything.
+  check.Expect(fault::TotalFires() > 0, "no GPS faults fired at all");
+  for (const char* point :
+       {"traj.gps.dropout", "traj.gps.duplicate", "traj.gps.out_of_order",
+        "traj.gps.nan", "sim.trip.drop_trajectory"}) {
+    check.Expect(fault::HitCount(point) > 0,
+                 std::string(point) + ": injection point never hit");
+  }
+
+  // Serving on top of the dirty-trained model still answers everything
+  // (tiers themselves are healthy here, so nothing is degraded).
+  std::vector<dlinfma::AddressSample> all = samples.train;
+  all.insert(all.end(), samples.test.begin(), samples.test.end());
+  const apps::DeliveryLocationService service =
+      apps::DeliveryLocationService::BuildFromInferrer(world, data, all,
+                                                       &method);
+  for (size_t i = 0; i < std::min<size_t>(50, all.size()); ++i) {
+    const auto answer = service.Query(all[i].address_id);
+    check.Expect(std::isfinite(answer.location.x) &&
+                     std::isfinite(answer.location.y),
+                 "query answered with a non-finite location");
+    check.Expect(!answer.degraded,
+                 "healthy tiers produced a degraded answer");
+  }
+}
+
+// --- Scenario: address tier fails K times ---------------------------------
+
+/// The address tier fails exactly K times (no retries allowed): exactly K
+/// queries must degrade to a lower tier, everything still gets an answer,
+/// and every counter matches the injected fault count exactly.
+void RunTierFailAddress(Checker& check) {
+  Fixture& fx = GetFixture();
+  constexpr int64_t kFailures = 25;
+  constexpr int64_t kQueries = 100;
+  check.Expect(static_cast<int64_t>(fx.all_samples.size()) >= 1,
+               "fixture has no samples");
+
+  apps::DeliveryLocationService::DegradePolicy policy;
+  policy.tier_deadline_ms = 1000.0;  // Generous: only injected fails count.
+  policy.max_retries = 0;
+  fx.service->set_degrade_policy(policy);
+
+  const int64_t failures_before = CounterValue("service.tier.failures.address");
+  const int64_t fallbacks_before = CounterValue("service.query.fallbacks");
+  const int64_t degraded_before = CounterValue("service.query.degraded");
+
+  int64_t degraded_answers = 0;
+  {
+    fault::ScopedFaultPlan armed(
+        fault::FaultPlan().FailFirst("service.tier.address.fail", kFailures),
+        g_base_seed);
+    for (int64_t i = 0; i < kQueries; ++i) {
+      const int64_t address_id =
+          fx.all_samples[i % fx.all_samples.size()].address_id;
+      const auto answer = fx.service->Query(address_id);
+      if (answer.degraded) {
+        ++degraded_answers;
+        check.Expect(
+            answer.source != apps::DeliveryLocationService::Source::kAddress,
+            "degraded answer claims the failed address tier");
+      } else {
+        check.Expect(
+            answer.source == apps::DeliveryLocationService::Source::kAddress,
+            "healthy query missed the address tier");
+      }
+    }
+  }
+
+  check.ExpectEq(degraded_answers, kFailures, "degraded answers");
+  check.ExpectEq(fault::FireCount("service.tier.address.fail"), kFailures,
+                 "FireCount(service.tier.address.fail)");
+  check.ExpectEq(CounterValue("service.tier.failures.address") -
+                     failures_before,
+                 kFailures, "service.tier.failures.address");
+  check.ExpectEq(CounterValue("service.query.fallbacks") - fallbacks_before,
+                 kFailures, "service.query.fallbacks");
+  check.ExpectEq(CounterValue("service.query.degraded") - degraded_before,
+                 kFailures, "service.query.degraded");
+  fx.service->set_degrade_policy({});
+}
+
+// --- Scenario: both KV tiers down -----------------------------------------
+
+/// With the address AND building tiers hard-down, every query must still be
+/// answered — by the terminal geocode tier, marked degraded, with two
+/// fallbacks per query on the books.
+void RunTierFailBoth(Checker& check) {
+  Fixture& fx = GetFixture();
+  constexpr int64_t kQueries = 20;
+
+  apps::DeliveryLocationService::DegradePolicy policy;
+  policy.tier_deadline_ms = 1000.0;
+  policy.max_retries = 0;
+  fx.service->set_degrade_policy(policy);
+
+  const int64_t fallbacks_before = CounterValue("service.query.fallbacks");
+  const int64_t degraded_before = CounterValue("service.query.degraded");
+
+  {
+    fault::FaultPlan plan;
+    plan.FailAlways("service.tier.address.fail")
+        .FailAlways("service.tier.building.fail");
+    fault::ScopedFaultPlan armed(plan, g_base_seed);
+    for (int64_t i = 0; i < kQueries; ++i) {
+      const int64_t address_id = fx.all_samples[i].address_id;
+      const auto answer = fx.service->Query(address_id);
+      check.Expect(
+          answer.source == apps::DeliveryLocationService::Source::kGeocode,
+          "total tier outage not answered by geocode");
+      check.Expect(answer.degraded, "total tier outage not marked degraded");
+      const Point& geocode =
+          fx.world.address(address_id).geocoded_location;
+      check.Expect(answer.location.x == geocode.x &&
+                       answer.location.y == geocode.y,
+                   "geocode fallback returned the wrong location");
+    }
+  }
+
+  check.ExpectEq(fault::FireCount("service.tier.address.fail"), kQueries,
+                 "FireCount(service.tier.address.fail)");
+  check.ExpectEq(fault::FireCount("service.tier.building.fail"), kQueries,
+                 "FireCount(service.tier.building.fail)");
+  check.ExpectEq(CounterValue("service.query.fallbacks") - fallbacks_before,
+                 2 * kQueries, "service.query.fallbacks");
+  check.ExpectEq(CounterValue("service.query.degraded") - degraded_before,
+                 kQueries, "service.query.degraded");
+  fx.service->set_degrade_policy({});
+}
+
+// --- Scenario: slow address tier ------------------------------------------
+
+/// Injected latency pushes every address-tier attempt past its deadline:
+/// the tier is treated as failed (initial attempt + one retry), and the
+/// query degrades to the building tier.
+void RunTierLatency(Checker& check) {
+  Fixture& fx = GetFixture();
+  constexpr int64_t kQueries = 6;
+
+  apps::DeliveryLocationService::DegradePolicy policy;
+  policy.tier_deadline_ms = 5.0;
+  policy.max_retries = 1;
+  policy.backoff_ms = 0.5;
+  fx.service->set_degrade_policy(policy);
+
+  const int64_t failures_before = CounterValue("service.tier.failures.address");
+  const int64_t retries_before = CounterValue("service.tier.retries");
+
+  {
+    fault::ScopedFaultPlan armed(
+        fault::FaultPlan().AddLatencyMs("service.tier.address.latency", 50.0),
+        g_base_seed);
+    for (int64_t i = 0; i < kQueries; ++i) {
+      const auto answer = fx.service->Query(fx.all_samples[i].address_id);
+      check.Expect(answer.degraded,
+                   "deadline-blown address tier not marked degraded");
+      check.Expect(
+          answer.source != apps::DeliveryLocationService::Source::kAddress,
+          "deadline-blown address tier still answered");
+    }
+  }
+
+  check.ExpectEq(fault::FireCount("service.tier.address.latency"),
+                 2 * kQueries, "latency fires (attempt + retry per query)");
+  check.ExpectEq(CounterValue("service.tier.failures.address") -
+                     failures_before,
+                 2 * kQueries, "service.tier.failures.address");
+  check.ExpectEq(CounterValue("service.tier.retries") - retries_before,
+                 kQueries, "service.tier.retries");
+  fx.service->set_degrade_policy({});
+}
+
+// --- Scenario: retry masks a transient failure ----------------------------
+
+/// One transient failure on the address tier's first attempt: the bounded
+/// retry must absorb it, so the answer comes from the intended tier and is
+/// NOT degraded.
+void RunRetryRecovers(Checker& check) {
+  Fixture& fx = GetFixture();
+  constexpr int64_t kQueries = 5;
+
+  apps::DeliveryLocationService::DegradePolicy policy;
+  policy.tier_deadline_ms = 1000.0;
+  policy.max_retries = 1;
+  policy.backoff_ms = 0.1;
+  fx.service->set_degrade_policy(policy);
+
+  const int64_t retries_before = CounterValue("service.tier.retries");
+  const int64_t fallbacks_before = CounterValue("service.query.fallbacks");
+  const int64_t degraded_before = CounterValue("service.query.degraded");
+
+  {
+    fault::ScopedFaultPlan armed(
+        fault::FaultPlan().FailFirst("service.tier.address.fail", 1),
+        g_base_seed);
+    for (int64_t i = 0; i < kQueries; ++i) {
+      const auto answer = fx.service->Query(fx.all_samples[i].address_id);
+      check.Expect(
+          answer.source == apps::DeliveryLocationService::Source::kAddress,
+          "retry did not restore the address tier");
+      check.Expect(!answer.degraded,
+                   "transient failure absorbed by retry still degraded");
+    }
+  }
+
+  check.ExpectEq(fault::FireCount("service.tier.address.fail"), 1,
+                 "FireCount(service.tier.address.fail)");
+  check.ExpectEq(CounterValue("service.tier.retries") - retries_before, 1,
+                 "service.tier.retries");
+  check.ExpectEq(CounterValue("service.query.fallbacks") - fallbacks_before,
+                 0, "service.query.fallbacks");
+  check.ExpectEq(CounterValue("service.query.degraded") - degraded_before, 0,
+                 "service.query.degraded");
+  fx.service->set_degrade_policy({});
+}
+
+// --- Registry and driver ---------------------------------------------------
+
+struct Scenario {
+  const char* name;
+  const char* description;
+  bool smoke;  ///< Member of the fast suite (full runs everything).
+  void (*run)(Checker&);
+};
+
+constexpr Scenario kScenarios[] = {
+    {"disk_corruption", "4 on-disk corruption classes -> typed errors", true,
+     RunDiskCorruption},
+    {"io_faults", "injected short read / bit flip / stale version / write "
+                  "fail -> typed errors + exact counters",
+     true, RunIoFaults},
+    {"tier_fail_address", "address tier fails K times -> K degraded answers",
+     true, RunTierFailAddress},
+    {"tier_fail_both", "both KV tiers down -> geocode answers everything",
+     false, RunTierFailBoth},
+    {"tier_latency", "slow address tier blows its deadline -> degrade", false,
+     RunTierLatency},
+    {"retry_recovers", "transient failure absorbed by one retry", false,
+     RunRetryRecovers},
+    {"dirty_gps_pipeline", "train -> corrupt -> serve with GPS faults armed",
+     false, RunDirtyGpsPipeline},
+};
+
+int RunScenarios(const std::vector<const Scenario*>& selected) {
+  int failed = 0;
+  for (const Scenario* scenario : selected) {
+    Checker check;
+    scenario->run(check);
+    fault::Disarm();  // Belt and braces: no scenario leaks an armed plan.
+    if (check.failures.empty()) {
+      std::printf("PASS  %-20s %s\n", scenario->name, scenario->description);
+    } else {
+      ++failed;
+      std::printf("FAIL  %-20s %s\n", scenario->name, scenario->description);
+      for (const std::string& failure : check.failures) {
+        std::printf("      - %s\n", failure.c_str());
+      }
+    }
+  }
+  std::printf("%d/%d scenarios passed\n",
+              static_cast<int>(selected.size()) - failed,
+              static_cast<int>(selected.size()));
+  return failed == 0 ? 0 : 1;
+}
+
+int Main(int argc, char** argv) {
+  std::string suite = "smoke";
+  std::string only;
+  bool list = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--suite") {
+      suite = next();
+    } else if (arg == "--scenario") {
+      only = next();
+    } else if (arg == "--seed") {
+      g_base_seed = std::stoull(next());
+    } else if (arg == "--list") {
+      list = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: chaos_runner [--suite smoke|full] [--scenario NAME] "
+          "[--seed S] [--list]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag %s (try --help)\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  if (list) {
+    for (const Scenario& scenario : kScenarios) {
+      std::printf("%-20s [%s] %s\n", scenario.name,
+                  scenario.smoke ? "smoke" : "full ", scenario.description);
+    }
+    return 0;
+  }
+
+  std::vector<const Scenario*> selected;
+  for (const Scenario& scenario : kScenarios) {
+    if (!only.empty()) {
+      if (only == scenario.name) selected.push_back(&scenario);
+    } else if (suite == "full" || scenario.smoke) {
+      selected.push_back(&scenario);
+    }
+  }
+  if (suite != "smoke" && suite != "full") {
+    std::fprintf(stderr, "unknown suite '%s' (smoke|full)\n", suite.c_str());
+    return 2;
+  }
+  if (selected.empty()) {
+    std::fprintf(stderr, "no scenario matches\n");
+    return 2;
+  }
+  return RunScenarios(selected);
+}
+
+}  // namespace
+}  // namespace dlinf
+
+int main(int argc, char** argv) { return dlinf::Main(argc, argv); }
