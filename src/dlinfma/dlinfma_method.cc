@@ -28,6 +28,14 @@ void DlInfMaMethod::Fit(const Dataset& data, const SampleSet& samples) {
   for (int k = 0; k < ensemble_size_; ++k) {
     TrainConfig config = train_config_;
     config.seed = train_config_.seed + 1000ull * static_cast<uint64_t>(k);
+    if (k > 0) {
+      // Checkpoint/resume state describes exactly one training run; the
+      // extra ensemble members train from their own seeds and neither write
+      // to nor resume from the member-0 checkpoint.
+      config.checkpoint_every_epochs = 0;
+      config.checkpoint_sink = nullptr;
+      config.resume = nullptr;
+    }
     Rng rng(config.seed);
     auto model = std::make_unique<LocMatcher>(model_config_, &rng);
     const TrainResult result =

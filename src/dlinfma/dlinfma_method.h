@@ -30,6 +30,10 @@ class DlInfMaMethod : public Inferrer {
 
   std::string name() const override { return name_; }
 
+  /// Trains the model(s). Honors the TrainConfig's crash-safe checkpoint
+  /// hooks (checkpoint_every_epochs / checkpoint_sink / resume, see
+  /// trainer.h) for the first ensemble member only; extra members always
+  /// train from scratch under their own derived seeds.
   void Fit(const Dataset& data, const SampleSet& samples) override;
 
   std::vector<Point> InferAll(

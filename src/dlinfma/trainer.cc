@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <sstream>
 
 #include "common/check.h"
 #include "common/logging.h"
@@ -13,6 +14,40 @@
 
 namespace dlinf {
 namespace dlinfma {
+namespace {
+
+/// Snapshots the complete between-epoch training state (DESIGN.md §9).
+/// `epochs_done` epochs have completed; the resumed run starts there.
+TrainCheckpoint Capture(int epochs_done, const TrainConfig& config,
+                        const std::vector<nn::Tensor>& params,
+                        const nn::Adam& adam, const nn::HalvingSchedule& sched,
+                        Rng& rng, const std::vector<int>& order,
+                        double best_val, int epochs_without_improvement,
+                        const std::vector<std::vector<float>>& best_params,
+                        double final_train_loss) {
+  TrainCheckpoint ck;
+  ck.next_epoch = epochs_done;
+  ck.seed = config.seed;
+  ck.learning_rate = adam.learning_rate();
+  ck.schedule_epoch = sched.epoch();
+  nn::AdamState adam_state = adam.ExportState();
+  ck.adam_step = adam_state.step;
+  ck.adam_m = std::move(adam_state.m);
+  ck.adam_v = std::move(adam_state.v);
+  std::ostringstream engine_text;
+  engine_text << rng.engine();
+  ck.rng_state = engine_text.str();
+  ck.best_val_loss = best_val;
+  ck.epochs_without_improvement = epochs_without_improvement;
+  ck.final_train_loss = final_train_loss;
+  ck.sample_order.assign(order.begin(), order.end());
+  ck.params.reserve(params.size());
+  for (const nn::Tensor& p : params) ck.params.push_back(p.data());
+  ck.best_params = best_params;
+  return ck;
+}
+
+}  // namespace
 
 TrainResult TrainLocMatcher(LocMatcher* model,
                             const std::vector<AddressSample>& train,
@@ -28,6 +63,10 @@ TrainResult TrainLocMatcher(LocMatcher* model,
       obs::MetricsRegistry::Global().GetHistogram("locmatcher.epoch_seconds");
   obs::Counter* epochs_run =
       obs::MetricsRegistry::Global().GetCounter("locmatcher.train_epochs");
+  obs::Counter* ckpt_writes =
+      obs::MetricsRegistry::Global().GetCounter("train.checkpoint.writes");
+  obs::Counter* ckpt_failures =
+      obs::MetricsRegistry::Global().GetCounter("train.checkpoint.failures");
 
   Stopwatch watch;
   Rng rng(config.seed);
@@ -42,8 +81,68 @@ TrainResult TrainLocMatcher(LocMatcher* model,
   double best_val = 1e30;
   int epochs_without_improvement = 0;
   std::vector<std::vector<float>> best_params;
+  int start_epoch = 0;
 
-  for (int epoch = 0; epoch < config.max_epochs; ++epoch) {
+  if (config.resume != nullptr) {
+    // Restoring an incompatible checkpoint (wrong seed, wrong model shape,
+    // wrong dataset size) is an upstream bug: callers validate user-supplied
+    // checkpoints before handing them here (io/checkpoint.h decodes only
+    // structurally sound files; the CLI cross-checks seed and shapes).
+    const TrainCheckpoint& ck = *config.resume;
+    CHECK_EQ(ck.seed, config.seed)
+        << "checkpoint seed does not match the training config";
+    CHECK_EQ(ck.params.size(), params.size());
+    for (size_t i = 0; i < params.size(); ++i) {
+      CHECK_EQ(ck.params[i].size(), params[i].data().size());
+      params[i].data() = ck.params[i];
+    }
+    nn::AdamState adam_state;
+    adam_state.step = ck.adam_step;
+    adam_state.m = ck.adam_m;
+    adam_state.v = ck.adam_v;
+    CHECK(adam.RestoreState(adam_state))
+        << "checkpoint optimizer state does not match the model";
+    adam.set_learning_rate(ck.learning_rate);
+    schedule.set_epoch(ck.schedule_epoch);
+    std::istringstream engine_text(ck.rng_state);
+    engine_text >> rng.engine();
+    CHECK(!engine_text.fail()) << "corrupt RNG state in checkpoint";
+    CHECK_EQ(ck.sample_order.size(), order.size())
+        << "checkpoint was written for a different training set";
+    for (size_t i = 0; i < order.size(); ++i) {
+      order[i] = static_cast<int>(ck.sample_order[i]);
+    }
+    best_val = ck.best_val_loss;
+    epochs_without_improvement = ck.epochs_without_improvement;
+    best_params = ck.best_params;
+    result.final_train_loss = ck.final_train_loss;
+    result.epochs_run = ck.next_epoch;
+    start_epoch = ck.next_epoch;
+    obs::MetricsRegistry::Global().GetCounter("train.resumes")->Add(1);
+  }
+
+  int last_checkpointed_epoch = start_epoch;
+  auto emit_checkpoint = [&](int epochs_done) {
+    if (config.checkpoint_every_epochs <= 0 || !config.checkpoint_sink) {
+      return;
+    }
+    const TrainCheckpoint ck = Capture(
+        epochs_done, config, params, adam, schedule, rng, order, best_val,
+        epochs_without_improvement, best_params, result.final_train_loss);
+    if (config.checkpoint_sink(ck)) {
+      ckpt_writes->Add(1);
+    } else {
+      // A lost checkpoint only widens the replay window; the previous one
+      // is still intact on disk (atomic temp+rename), so keep training.
+      ckpt_failures->Add(1);
+    }
+    last_checkpointed_epoch = epochs_done;
+  };
+
+  for (int epoch = start_epoch; epoch < config.max_epochs; ++epoch) {
+    // A resumed run whose checkpoint already exhausted the patience budget
+    // must stop immediately, exactly as the uninterrupted run did.
+    if (epochs_without_improvement >= config.early_stop_patience) break;
     obs::ScopedTimer epoch_timer(epoch_seconds);
     epochs_run->Add(1);
     rng.Shuffle(&order);
@@ -81,9 +180,21 @@ TrainResult TrainLocMatcher(LocMatcher* model,
       epochs_without_improvement = 0;
       best_params.clear();
       for (const nn::Tensor& p : params) best_params.push_back(p.data());
-    } else if (++epochs_without_improvement >= config.early_stop_patience) {
-      break;  // Validation loss no longer decreases (paper's criterion).
+    } else {
+      ++epochs_without_improvement;
     }
+
+    if (config.checkpoint_every_epochs > 0 &&
+        (epoch + 1) % config.checkpoint_every_epochs == 0) {
+      emit_checkpoint(epoch + 1);
+    }
+  }
+
+  // Terminal checkpoint: a finished run always leaves a resumable artifact
+  // whose resume is a no-op (zero further epochs), so `--resume` after
+  // normal completion reproduces the same model instead of retraining.
+  if (last_checkpointed_epoch != result.epochs_run) {
+    emit_checkpoint(result.epochs_run);
   }
 
   // Restore the best validation checkpoint.

@@ -60,6 +60,8 @@ const char* ArtifactKindName(ArtifactKind kind) {
       return "model";
     case ArtifactKind::kManifest:
       return "manifest";
+    case ArtifactKind::kCheckpoint:
+      return "checkpoint";
   }
   return "unknown";
 }

@@ -54,6 +54,7 @@ enum class ArtifactKind : uint32_t {
   kSamples = 4,      ///< dlinfma::SampleSet feature tensors.
   kModel = 5,        ///< Model config + nn parameter blob.
   kManifest = 6,     ///< Bundle manifest (bundle.h).
+  kCheckpoint = 7,   ///< Mid-training resume state (checkpoint.h, "CKPT").
 };
 
 /// Name of a kind for error messages ("world", "model", ...).

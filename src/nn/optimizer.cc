@@ -63,6 +63,29 @@ void Adam::Step() {
   }
 }
 
+AdamState Adam::ExportState() const {
+  AdamState state;
+  state.step = t_;
+  state.m = m_;
+  state.v = v_;
+  return state;
+}
+
+bool Adam::RestoreState(const AdamState& state) {
+  if (state.step < 0) return false;
+  if (state.m.size() != m_.size() || state.v.size() != v_.size()) return false;
+  for (size_t i = 0; i < m_.size(); ++i) {
+    if (state.m[i].size() != m_[i].size() ||
+        state.v[i].size() != v_[i].size()) {
+      return false;
+    }
+  }
+  t_ = state.step;
+  m_ = state.m;
+  v_ = state.v;
+  return true;
+}
+
 HalvingSchedule::HalvingSchedule(Optimizer* optimizer, int step_epochs)
     : optimizer_(optimizer), step_epochs_(step_epochs) {
   CHECK(optimizer != nullptr);

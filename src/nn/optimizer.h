@@ -39,6 +39,17 @@ class Sgd : public Optimizer {
   void Step() override;
 };
 
+/// Complete mutable state of an Adam instance — everything beyond the
+/// constructor arguments that the update rule depends on. Exported for
+/// crash-safe training checkpoints (io/checkpoint.h): restoring it into an
+/// Adam built over the same parameter shapes makes subsequent Step() calls
+/// bit-identical to an uninterrupted run.
+struct AdamState {
+  int64_t step = 0;                    ///< t: completed Step() calls.
+  std::vector<std::vector<float>> m;   ///< First-moment estimate per tensor.
+  std::vector<std::vector<float>> v;   ///< Second-moment estimate per tensor.
+};
+
 /// Adam [27] with the paper's settings (beta1 = 0.9, beta2 = 0.999).
 class Adam : public Optimizer {
  public:
@@ -46,6 +57,16 @@ class Adam : public Optimizer {
        float beta1 = 0.9f, float beta2 = 0.999f, float eps = 1e-8f);
 
   void Step() override;
+
+  /// Snapshot of the moment vectors and step count (checkpointing).
+  AdamState ExportState() const;
+
+  /// Installs a previously exported state. The per-tensor moment shapes must
+  /// match this instance's parameters exactly; returns false (leaving the
+  /// optimizer untouched) on any mismatch or a negative step count.
+  bool RestoreState(const AdamState& state);
+
+  int64_t step() const { return t_; }
 
  private:
   float beta1_;
@@ -63,6 +84,17 @@ class HalvingSchedule {
   HalvingSchedule(Optimizer* optimizer, int step_epochs);
 
   void OnEpochEnd();
+
+  /// Epochs seen so far — the only mutable state; persisted by training
+  /// checkpoints so a resumed run keeps halving on the original cadence.
+  int epoch() const { return epoch_; }
+
+  /// Restores the epoch counter (checkpoint resume). The learning rate
+  /// itself lives on the optimizer and is restored separately.
+  void set_epoch(int epoch) {
+    CHECK_GE(epoch, 0);
+    epoch_ = epoch;
+  }
 
  private:
   Optimizer* optimizer_;

@@ -118,6 +118,23 @@ TEST(ArtifactEnvelopeTest, PrimitivesRoundTrip) {
   EXPECT_TRUE(reader->AtEnd());
 }
 
+TEST(ArtifactEnvelopeTest, CheckpointKindRoundTripsWithName) {
+  // The CKPT kind added for crash-safe training checkpoints is a first-class
+  // envelope kind with its own diagnostic name.
+  EXPECT_STREQ(ArtifactKindName(ArtifactKind::kCheckpoint), "checkpoint");
+  const std::string path = TestPath("checkpoint_kind.art");
+  ArtifactWriter writer(ArtifactKind::kCheckpoint);
+  writer.WriteI32(7);
+  ASSERT_TRUE(writer.Finish(path));
+
+  std::string error;
+  auto reader = ArtifactReader::Open(path, ArtifactKind::kCheckpoint, &error);
+  ASSERT_TRUE(reader.has_value()) << error;
+  EXPECT_EQ(reader->ReadI32(), 7);
+  EXPECT_FALSE(
+      ArtifactReader::Open(path, ArtifactKind::kWorld, &error).has_value());
+}
+
 TEST(ArtifactEnvelopeTest, KindMismatchRejected) {
   const std::string path = TestPath("kind.art");
   ArtifactWriter writer(ArtifactKind::kWorld);

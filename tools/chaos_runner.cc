@@ -15,6 +15,7 @@
 // Exits nonzero if any scenario fails a contract check (a crash also exits
 // nonzero, by nature). Run under ASan/UBSan/TSan in CI.
 
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -26,12 +27,19 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "apps/bundle_manager.h"
 #include "apps/location_service.h"
+#include "common/random.h"
+#include "common/thread_pool.h"
 #include "dlinfma/dlinfma_method.h"
+#include "dlinfma/trainer.h"
 #include "fault/fault.h"
 #include "io/artifact.h"
+#include "io/bundle.h"
+#include "io/checkpoint.h"
 #include "io/codecs.h"
 #include "obs/metrics.h"
 #include "sim/generator.h"
@@ -502,6 +510,254 @@ void RunRetryRecovers(Checker& check) {
   fx.service->set_degrade_policy({});
 }
 
+// --- Scenario: kill mid-train, resume bit-identical -----------------------
+
+/// Exact float-bit equality across two parameter snapshots (NaN-proof and
+/// -0.0-strict, unlike operator==).
+bool BitIdentical(const std::vector<std::vector<float>>& a,
+                  const std::vector<std::vector<float>>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].size() != b[i].size()) return false;
+    if (!a[i].empty() &&
+        std::memcmp(a[i].data(), b[i].data(),
+                    a[i].size() * sizeof(float)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// The crash-safe checkpoint contract (DESIGN.md §9), end to end through the
+/// CKPT artifact codec: a run killed right after an epoch-boundary
+/// checkpoint write, then resumed in a fresh "process" (fresh model, fresh
+/// optimizer, fresh RNG), finishes **bit-identical** to a run that was never
+/// interrupted — across a learning-rate halving boundary. And an injected
+/// `train.checkpoint.write_fail` never aborts training: the failure is
+/// counted, no file appears, and the final model is unchanged.
+void RunKillMidTrainResume(Checker& check) {
+  Fixture& fx = GetFixture();
+  dlinfma::TrainConfig base;
+  base.max_epochs = 8;
+  base.early_stop_patience = 8;
+  base.lr_halve_epochs = 3;  // A halving lands both before and after epoch 4.
+  base.seed = 20240807;
+
+  auto fresh_model = [&] {
+    Rng rng(base.seed);
+    return std::make_unique<dlinfma::LocMatcher>(dlinfma::LocMatcherConfig{},
+                                                 &rng);
+  };
+  auto snapshot = [](const dlinfma::LocMatcher& model) {
+    std::vector<std::vector<float>> out;
+    for (const nn::Tensor& t : model.Parameters()) out.push_back(t.data());
+    return out;
+  };
+
+  // Golden run: uninterrupted, but capturing the epoch-4 checkpoint — the
+  // exact bytes that would be on disk when the process dies right after
+  // that boundary's atomic rename.
+  std::optional<dlinfma::TrainCheckpoint> at_kill;
+  std::vector<std::vector<float>> golden;
+  {
+    dlinfma::TrainConfig config = base;
+    config.checkpoint_every_epochs = 4;
+    config.checkpoint_sink = [&](const dlinfma::TrainCheckpoint& ck) {
+      if (ck.next_epoch == 4) at_kill = ck;
+      return true;
+    };
+    auto model = fresh_model();
+    dlinfma::TrainLocMatcher(model.get(), fx.samples.train, fx.samples.val,
+                             config);
+    golden = snapshot(*model);
+  }
+  check.Expect(at_kill.has_value(), "epoch-4 checkpoint never emitted");
+  if (!at_kill.has_value()) return;
+
+  // Kill → restart: persist through the real CKPT artifact (envelope, CRC,
+  // atomic rename) and decode it back, as `dlinf_cli train --resume` does.
+  const std::string ck_path = ScratchPath("resume.ckpt.art");
+  std::filesystem::remove(ck_path);
+  check.Expect(io::SaveCheckpointArtifact(*at_kill, ck_path),
+               "checkpoint artifact save failed");
+  std::string error;
+  const std::optional<dlinfma::TrainCheckpoint> restored =
+      io::LoadCheckpointArtifact(ck_path, &error);
+  check.Expect(restored.has_value(), "checkpoint artifact load failed: " +
+                                         error);
+  if (!restored.has_value()) return;
+
+  const int64_t resumes_before = CounterValue("train.resumes");
+  {
+    dlinfma::TrainConfig config = base;
+    config.resume = &*restored;
+    auto model = fresh_model();
+    const dlinfma::TrainResult result = dlinfma::TrainLocMatcher(
+        model.get(), fx.samples.train, fx.samples.val, config);
+    check.ExpectEq(result.epochs_run, base.max_epochs,
+                   "resumed run total epochs");
+    check.Expect(BitIdentical(snapshot(*model), golden),
+                 "resumed model is not bit-identical to the golden run");
+  }
+  check.ExpectEq(CounterValue("train.resumes") - resumes_before, 1,
+                 "train.resumes counter");
+
+  // Injected write failure: every checkpoint write fails, training shrugs —
+  // same final model, exact failure count, nothing left on disk.
+  {
+    const int64_t failures_before = CounterValue("train.checkpoint.failures");
+    const int64_t writes_before = CounterValue("train.checkpoint.writes");
+    const std::string out = ScratchPath("ckpt_write_fail.art");
+    std::filesystem::remove(out);
+    fault::ScopedFaultPlan armed(
+        fault::FaultPlan().FailAlways("train.checkpoint.write_fail"),
+        g_base_seed);
+    dlinfma::TrainConfig config = base;
+    config.checkpoint_every_epochs = 4;
+    config.checkpoint_sink = [&](const dlinfma::TrainCheckpoint& ck) {
+      return io::SaveCheckpointArtifact(ck, out);
+    };
+    auto model = fresh_model();
+    dlinfma::TrainLocMatcher(model.get(), fx.samples.train, fx.samples.val,
+                             config);
+    check.Expect(BitIdentical(snapshot(*model), golden),
+                 "failed checkpoint writes changed the trained model");
+    check.Expect(!std::filesystem::exists(out),
+                 "failed checkpoint write left a file behind");
+    // Emissions at epochs 4 and 8 (the terminal one coincides with epoch 8).
+    check.ExpectEq(CounterValue("train.checkpoint.failures") - failures_before,
+                   2, "train.checkpoint.failures");
+    check.ExpectEq(CounterValue("train.checkpoint.writes") - writes_before, 0,
+                   "train.checkpoint.writes during injected failure");
+  }
+}
+
+// --- Scenario: corrupt push rolls back under load --------------------------
+
+/// The hot-reload contract (DESIGN.md §9) under live QueryBatch load: a
+/// corrupt push and a validation-failing push each roll back — the old
+/// generation keeps answering every in-flight query, rollbacks are counted,
+/// the degraded flag is raised — and a subsequent healthy push swaps in with
+/// zero downtime and clears it. Real on-disk corruption (flipped byte in
+/// model.art) must take the same rollback path as the injected faults.
+void RunCorruptPushRollback(Checker& check) {
+  Fixture& fx = GetFixture();
+  const std::string dir = ScratchPath("reload_bundle");
+  std::string error;
+  check.Expect(
+      io::SaveBundle(dir, fx.world, fx.data, fx.samples, *fx.method, &error),
+      "fixture bundle save failed: " + error);
+
+  apps::BundleManager::Config config;
+  config.dir = dir;
+  std::unique_ptr<apps::BundleManager> manager =
+      apps::BundleManager::Create(config, &error);
+  check.Expect(manager != nullptr, "bundle manager boot failed: " + error);
+  if (manager == nullptr) return;
+
+  // Continuous QueryBatch load on a background thread: every answer must be
+  // finite no matter what the control thread does to the bundle. Each batch
+  // pins one generation (state()), exactly like the serve loop.
+  std::vector<int64_t> ids;
+  for (size_t i = 0; i < fx.all_samples.size() && ids.size() < 64; ++i) {
+    ids.push_back(fx.all_samples[i].address_id);
+  }
+  check.Expect(!ids.empty(), "fixture has no serving inventory");
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> answered{0};
+  std::atomic<int64_t> bad_answers{0};
+  ThreadPool pool(2);
+  std::thread load([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const std::shared_ptr<const apps::BundleManager::ServingState> pinned =
+          manager->state();
+      for (const auto& answer : pinned->service->QueryBatch(ids, &pool)) {
+        if (!std::isfinite(answer.location.x) ||
+            !std::isfinite(answer.location.y)) {
+          bad_answers.fetch_add(1, std::memory_order_relaxed);
+        }
+        answered.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  const int64_t attempts_before = CounterValue("service.reload.attempts");
+  const int64_t rollbacks_before = CounterValue("service.reload.rollbacks");
+  const int64_t success_before = CounterValue("service.reload.success");
+
+  // Push 1: corrupt at stage time (injected torn push) → rollback.
+  {
+    fault::ScopedFaultPlan armed(
+        fault::FaultPlan().FailAlways("service.reload.corrupt"), g_base_seed);
+    std::string why;
+    check.Expect(manager->ReloadNow(&why) ==
+                     apps::BundleManager::ReloadOutcome::kRolledBack,
+                 "corrupt push did not roll back");
+    check.Expect(!why.empty(), "corrupt-push rollback gave no reason");
+  }
+  check.ExpectEq(static_cast<int64_t>(manager->generation()), 0,
+                 "generation after corrupt push");
+  check.Expect(manager->reload_degraded(),
+               "rollback did not raise the degraded flag");
+
+  // Push 2: decodes fine but the shadow probes veto it → rollback.
+  {
+    fault::ScopedFaultPlan armed(
+        fault::FaultPlan().FailAlways("service.reload.validation_fail"),
+        g_base_seed);
+    std::string why;
+    check.Expect(manager->ReloadNow(&why) ==
+                     apps::BundleManager::ReloadOutcome::kRolledBack,
+                 "validation-failing push did not roll back");
+  }
+  check.ExpectEq(static_cast<int64_t>(manager->generation()), 0,
+                 "generation after validation failure");
+
+  // Push 3: real on-disk corruption — flip one payload byte in model.art;
+  // the CRC check in staging must reject it through the same rollback path.
+  const std::string model_path = dir + "/model.art";
+  const std::string model_bytes = ReadFileBytes(model_path);
+  check.Expect(model_bytes.size() > 64, "model artifact implausibly small");
+  {
+    std::string mutated = model_bytes;
+    mutated[mutated.size() / 2] ^= 0x01;
+    WriteFileBytes(model_path, mutated);
+    std::string why;
+    check.Expect(manager->ReloadNow(&why) ==
+                     apps::BundleManager::ReloadOutcome::kRolledBack,
+                 "on-disk corrupt push did not roll back");
+    check.Expect(!why.empty(), "on-disk rollback gave no reason");
+    WriteFileBytes(model_path, model_bytes);  // Heal the push.
+  }
+  check.Expect(manager->reload_degraded(),
+               "degraded flag dropped while the last push was still bad");
+
+  // Push 4: healthy → swap; the degraded flag clears, generation advances.
+  {
+    std::string why;
+    check.Expect(manager->ReloadNow(&why) ==
+                     apps::BundleManager::ReloadOutcome::kSwapped,
+                 "healthy push did not swap: " + why);
+  }
+  check.ExpectEq(static_cast<int64_t>(manager->generation()), 1,
+                 "generation after healthy push");
+  check.Expect(!manager->reload_degraded(),
+               "successful swap did not clear the degraded flag");
+
+  stop.store(true, std::memory_order_release);
+  load.join();
+  check.Expect(answered.load() > 0, "query load never answered anything");
+  check.ExpectEq(bad_answers.load(), 0,
+                 "non-finite answers under reload churn");
+
+  check.ExpectEq(CounterValue("service.reload.attempts") - attempts_before, 4,
+                 "service.reload.attempts");
+  check.ExpectEq(CounterValue("service.reload.rollbacks") - rollbacks_before,
+                 3, "service.reload.rollbacks");
+  check.ExpectEq(CounterValue("service.reload.success") - success_before, 1,
+                 "service.reload.success");
+}
+
 // --- Registry and driver ---------------------------------------------------
 
 struct Scenario {
@@ -527,6 +783,12 @@ constexpr Scenario kScenarios[] = {
      RunRetryRecovers},
     {"dirty_gps_pipeline", "train -> corrupt -> serve with GPS faults armed",
      false, RunDirtyGpsPipeline},
+    {"kill_mid_train_resume",
+     "kill at a checkpoint boundary -> resume bit-identical", false,
+     RunKillMidTrainResume},
+    {"corrupt_push_rollback",
+     "corrupt/invalid bundle pushes roll back under query load", false,
+     RunCorruptPushRollback},
 };
 
 int RunScenarios(const std::vector<const Scenario*>& selected) {

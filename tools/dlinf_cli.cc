@@ -8,20 +8,29 @@
 //       Print dataset statistics (Table I style).
 //
 //   dlinf_cli train --world DIR --bundle DIR [--model FILE] [--quick]
+//              [--ckpt FILE [--ckpt-every N] [--resume]]
 //       The offline pipeline: candidate generation + feature extraction,
 //       train LocMatcher on the train/val splits, report test metrics, then
 //       persist the full artifact bundle (world, candidate pool + retrieval
 //       indexes, feature tensors, model weights; see io/bundle.h) so that
 //       serve/infer warm-start without retraining. --model additionally
-//       writes a bare nn checkpoint (legacy format).
+//       writes a bare nn checkpoint (legacy format). --ckpt writes a
+//       crash-safe CKPT artifact (io/checkpoint.h) every N epochs (default
+//       5); --resume restores it first, so a killed run finishes
+//       bit-identical to an uninterrupted one.
 //
 //   dlinf_cli serve --bundle DIR [--queries N] [--batch B] [--threads T]
+//              [--watch-bundle [--poll-every K]]
 //       The online service: warm-start from the bundle (milliseconds, no
 //       retraining), score every delivered address, build the 3-tier
 //       delivery-location service, then answer N address queries (default
 //       10000) in batches of B (default 256) on T pool threads (default 4)
 //       through the QueryBatch API, reporting warm-start and per-batch
-//       latency.
+//       latency. --watch-bundle serves through the hot-reload BundleManager
+//       (apps/bundle_manager.h): every K batches (default 8) the bundle
+//       directory is polled, a fresh push is staged + shadow-validated and
+//       swapped in with zero downtime, and a bad push rolls back to the
+//       live bundle.
 //
 //   dlinf_cli infer (--bundle DIR | --world DIR --model FILE) --out FILE.csv
 //       Write the inferred delivery location of every delivered address as
@@ -40,9 +49,12 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <exception>
+#include <filesystem>
 #include <map>
 #include <string>
 
+#include "apps/bundle_manager.h"
 #include "apps/location_service.h"
 #include "baselines/evaluation.h"
 #include "baselines/simple_baselines.h"
@@ -54,6 +66,7 @@
 #include "dlinfma/dlinfma_method.h"
 #include "dlinfma/inferrer.h"
 #include "io/bundle.h"
+#include "io/checkpoint.h"
 #include "obs/metrics.h"
 #include "sim/generator.h"
 #include "sim/world_io.h"
@@ -90,6 +103,32 @@ int IntFlag(const std::map<std::string, std::string>& flags,
   return it == flags.end() ? fallback : std::stoi(it->second);
 }
 
+/// Typed user-input validation: a path handed to --world/--bundle/--ckpt
+/// must exist (and be the right kind of entry) before any loader touches
+/// it, so a typo'd path is a clean one-line error and exit 1 — never a
+/// CHECK abort or a cascade of decode errors.
+bool PathUsable(const char* what, const std::string& path, bool want_dir) {
+  std::error_code ec;
+  const std::filesystem::file_status status =
+      std::filesystem::status(path, ec);
+  if (ec || !std::filesystem::exists(status)) {
+    std::fprintf(stderr, "error: %s path %s does not exist or is unreadable\n",
+                 what, path.c_str());
+    return false;
+  }
+  if (want_dir && !std::filesystem::is_directory(status)) {
+    std::fprintf(stderr, "error: %s path %s is not a directory\n", what,
+                 path.c_str());
+    return false;
+  }
+  if (!want_dir && std::filesystem::is_directory(status)) {
+    std::fprintf(stderr, "error: %s path %s is a directory, expected a file\n",
+                 what, path.c_str());
+    return false;
+  }
+  return true;
+}
+
 int CmdGenerate(const std::map<std::string, std::string>& flags) {
   sim::SimConfig config = sim::SynDowBJConfig();
   auto preset = flags.find("preset");
@@ -119,6 +158,9 @@ std::optional<sim::World> LoadWorldFlag(
     const std::map<std::string, std::string>& flags) {
   auto it = flags.find("world");
   if (it == flags.end()) return std::nullopt;
+  if (!PathUsable("--world", it->second, /*want_dir=*/true)) {
+    return std::nullopt;
+  }
   std::optional<sim::World> world = sim::LoadWorldCsv(it->second);
   if (!world) {
     std::fprintf(stderr, "error: cannot load world from %s\n",
@@ -149,12 +191,42 @@ int CmdStats(const std::map<std::string, std::string>& flags) {
 }
 
 int CmdTrain(const std::map<std::string, std::string>& flags) {
-  const auto world = LoadWorldFlag(flags);
   auto bundle_dir = flags.find("bundle");
   auto model_path = flags.find("model");
-  if (!world || (bundle_dir == flags.end() && model_path == flags.end())) {
+  if (flags.count("world") == 0 ||
+      (bundle_dir == flags.end() && model_path == flags.end())) {
     return Usage();
   }
+  const auto world = LoadWorldFlag(flags);
+  if (!world) return 1;
+
+  // Resolve checkpointing flags before any heavy lifting: --resume needs a
+  // checkpoint path (its own value, or the one from --ckpt) that names a
+  // readable CKPT artifact.
+  auto ckpt = flags.find("ckpt");
+  std::string resume_path;
+  if (auto it = flags.find("resume"); it != flags.end()) {
+    resume_path = it->second != "true" ? it->second
+                  : ckpt != flags.end() ? ckpt->second
+                                        : std::string();
+    if (resume_path.empty()) {
+      std::fprintf(stderr, "error: --resume needs a checkpoint (pass --ckpt "
+                           "FILE or --resume FILE)\n");
+      return 1;
+    }
+    if (!PathUsable("--resume", resume_path, /*want_dir=*/false)) return 1;
+  }
+  std::optional<dlinfma::TrainCheckpoint> resume_state;
+  if (!resume_path.empty()) {
+    std::string error;
+    resume_state = io::LoadCheckpointArtifact(resume_path, &error);
+    if (!resume_state) {
+      std::fprintf(stderr, "error: cannot resume from %s: %s\n",
+                   resume_path.c_str(), error.c_str());
+      return 1;
+    }
+  }
+
   const dlinfma::Dataset data = dlinfma::BuildDataset(*world, {});
   const dlinfma::SampleSet samples = dlinfma::ExtractSamples(data, {});
 
@@ -163,11 +235,54 @@ int CmdTrain(const std::map<std::string, std::string>& flags) {
     train_config.max_epochs = 20;
     train_config.early_stop_patience = 5;
   }
+  if (ckpt != flags.end()) {
+    train_config.checkpoint_every_epochs =
+        std::max(1, IntFlag(flags, "ckpt-every", 5));
+    const std::string ckpt_path = ckpt->second;
+    train_config.checkpoint_sink =
+        [ckpt_path](const dlinfma::TrainCheckpoint& state) {
+          return io::SaveCheckpointArtifact(state, ckpt_path);
+        };
+  }
+  if (resume_state) {
+    // The trainer CHECKs these invariants; user input gets a typed error.
+    if (resume_state->seed != train_config.seed) {
+      std::fprintf(stderr,
+                   "error: checkpoint %s was written with seed %llu, this "
+                   "run uses seed %llu\n",
+                   resume_path.c_str(),
+                   static_cast<unsigned long long>(resume_state->seed),
+                   static_cast<unsigned long long>(train_config.seed));
+      return 1;
+    }
+    if (resume_state->sample_order.size() != samples.train.size()) {
+      std::fprintf(stderr,
+                   "error: checkpoint %s was written for %zu training "
+                   "samples, this dataset has %zu\n",
+                   resume_path.c_str(), resume_state->sample_order.size(),
+                   samples.train.size());
+      return 1;
+    }
+    train_config.resume = &*resume_state;
+    std::printf("resuming from %s at epoch %d\n", resume_path.c_str(),
+                resume_state->next_epoch);
+  }
+
   dlinfma::DlInfMaMethod method("DLInfMA", {}, train_config);
   baselines::MethodResult result = baselines::RunMethod(&method, data, samples);
   std::printf("trained %d epochs in %.1fs; test %s\n",
               method.train_result().epochs_run, result.fit_seconds,
               result.metrics.ToString().c_str());
+  if (ckpt != flags.end()) {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    std::printf(
+        "checkpoints: %s every %d epochs (%lld written, %lld failed)\n",
+        ckpt->second.c_str(), train_config.checkpoint_every_epochs,
+        static_cast<long long>(
+            registry.GetCounter("train.checkpoint.writes")->value()),
+        static_cast<long long>(
+            registry.GetCounter("train.checkpoint.failures")->value()));
+  }
 
   if (bundle_dir != flags.end()) {
     std::string error;
@@ -195,6 +310,9 @@ std::optional<io::WarmBundle> LoadBundleFlag(
     const std::map<std::string, std::string>& flags) {
   auto it = flags.find("bundle");
   if (it == flags.end()) return std::nullopt;
+  if (!PathUsable("--bundle", it->second, /*want_dir=*/true)) {
+    return std::nullopt;
+  }
   Stopwatch watch;
   std::string error;
   std::optional<io::WarmBundle> bundle = io::LoadBundle(it->second, &error);
@@ -272,45 +390,102 @@ int CmdInfer(const std::map<std::string, std::string>& flags) {
 
 int CmdServe(const std::map<std::string, std::string>& flags) {
   if (flags.count("bundle") == 0) return Usage();
-  std::optional<io::WarmBundle> bundle = LoadBundleFlag(flags);
-  if (!bundle) return 1;
+  const bool watch_bundle = flags.count("watch-bundle") > 0;
+  const int poll_every = std::max(1, IntFlag(flags, "poll-every", 8));
 
-  // Score every delivered address with the preloaded model and stand up
-  // the 3-tier service.
+  // Two serving modes share the query loop: a fixed warm-started bundle, or
+  // the hot-reload BundleManager that re-resolves the live generation every
+  // batch and polls the directory for pushes.
+  std::optional<io::WarmBundle> fixed_bundle;
+  std::optional<apps::DeliveryLocationService> fixed_service;
+  std::vector<dlinfma::AddressSample> fixed_samples;
+  std::unique_ptr<apps::BundleManager> manager;
   Stopwatch watch;
-  const std::vector<dlinfma::AddressSample> samples =
-      io::AllSamples(bundle->samples);
-  const apps::DeliveryLocationService service =
-      apps::DeliveryLocationService::BuildFromInferrer(
-          *bundle->world, bundle->data, samples, bundle->method.get());
-  std::printf(
-      "service up in %.2f s: %zu address entries, %zu building entries\n",
-      watch.ElapsedSeconds(), service.address_entries(),
-      service.building_entries());
+  if (watch_bundle) {
+    const std::string& dir = flags.at("bundle");
+    if (!PathUsable("--bundle", dir, /*want_dir=*/true)) return 1;
+    apps::BundleManager::Config config;
+    config.dir = dir;
+    std::string error;
+    manager = apps::BundleManager::Create(config, &error);
+    if (manager == nullptr) {
+      std::fprintf(stderr, "error: cannot load bundle: %s\n", error.c_str());
+      return 1;
+    }
+    const auto state = manager->state();
+    std::printf(
+        "service up in %.2f s (generation %llu, watching %s): %zu address "
+        "entries, %zu building entries\n",
+        watch.ElapsedSeconds(),
+        static_cast<unsigned long long>(state->generation), dir.c_str(),
+        state->service->address_entries(), state->service->building_entries());
+  } else {
+    fixed_bundle = LoadBundleFlag(flags);
+    if (!fixed_bundle) return 1;
+    watch.Reset();
+    fixed_samples = io::AllSamples(fixed_bundle->samples);
+    fixed_service = apps::DeliveryLocationService::BuildFromInferrer(
+        *fixed_bundle->world, fixed_bundle->data, fixed_samples,
+        fixed_bundle->method.get());
+    std::printf(
+        "service up in %.2f s: %zu address entries, %zu building entries\n",
+        watch.ElapsedSeconds(), fixed_service->address_entries(),
+        fixed_service->building_entries());
+  }
 
   // Drive a batched query load through the pool-backed QueryBatch API.
   const int num_queries = IntFlag(flags, "queries", 10000);
   const int batch_size = std::max(1, IntFlag(flags, "batch", 256));
   const int num_threads = IntFlag(flags, "threads", 4);
   ThreadPool pool(num_threads);
-  const std::vector<sim::Address>& addresses = bundle->world->addresses;
-  if (addresses.empty()) {
-    std::fprintf(stderr, "error: bundle world has no addresses\n");
-    return 1;
-  }
 
   watch.Reset();
   int64_t answered = 0;
   int64_t tier_hits[3] = {0, 0, 0};
   std::vector<int64_t> batch;
   batch.reserve(batch_size);
+  int batch_index = 0;
   for (int q = 0; q < num_queries;) {
+    // Pin one generation per batch: in-flight answers always come from a
+    // single consistent bundle even if a swap lands mid-run.
+    std::shared_ptr<const apps::BundleManager::ServingState> pinned;
+    const apps::DeliveryLocationService* service = nullptr;
+    const std::vector<sim::Address>* addresses = nullptr;
+    if (manager != nullptr) {
+      if (batch_index % poll_every == 0) {
+        std::string error;
+        switch (manager->Poll(&error)) {
+          case apps::BundleManager::ReloadOutcome::kSwapped:
+            std::printf("hot-reload: swapped to generation %llu\n",
+                        static_cast<unsigned long long>(
+                            manager->state()->generation));
+            break;
+          case apps::BundleManager::ReloadOutcome::kRolledBack:
+            std::printf("hot-reload: rolled back (%s)\n", error.c_str());
+            break;
+          case apps::BundleManager::ReloadOutcome::kUnchanged:
+            break;
+        }
+      }
+      pinned = manager->state();
+      service = pinned->service.get();
+      addresses = &pinned->bundle.world->addresses;
+    } else {
+      service = &*fixed_service;
+      addresses = &fixed_bundle->world->addresses;
+    }
+    if (addresses->empty()) {
+      std::fprintf(stderr, "error: bundle world has no addresses\n");
+      return 1;
+    }
+    ++batch_index;
+
     batch.clear();
     for (; q < num_queries && static_cast<int>(batch.size()) < batch_size;
          ++q) {
-      batch.push_back(addresses[q % addresses.size()].id);
+      batch.push_back((*addresses)[q % addresses->size()].id);
     }
-    for (const auto& answer : service.QueryBatch(batch, &pool)) {
+    for (const auto& answer : service->QueryBatch(batch, &pool)) {
       ++tier_hits[static_cast<int>(answer.source)];
       ++answered;
     }
@@ -334,6 +509,20 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
                 batch_latency->Quantile(0.5) * 1e6,
                 batch_latency->Quantile(0.95) * 1e6,
                 batch_latency->max() * 1e6);
+  }
+  if (manager != nullptr) {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    std::printf(
+        "hot-reload: generation %llu, %lld attempts, %lld swapped, "
+        "%lld rolled back%s\n",
+        static_cast<unsigned long long>(manager->generation()),
+        static_cast<long long>(
+            registry.GetCounter("service.reload.attempts")->value()),
+        static_cast<long long>(
+            registry.GetCounter("service.reload.success")->value()),
+        static_cast<long long>(
+            registry.GetCounter("service.reload.rollbacks")->value()),
+        manager->reload_degraded() ? " [degraded: last push rejected]" : "");
   }
   return 0;
 }
@@ -372,20 +561,27 @@ int main(int argc, char** argv) {
   const auto flags = ParseFlags(argc, argv);
 
   int status = 2;
-  if (command == "generate") {
-    status = CmdGenerate(flags);
-  } else if (command == "stats") {
-    status = CmdStats(flags);
-  } else if (command == "train") {
-    status = CmdTrain(flags);
-  } else if (command == "serve") {
-    status = CmdServe(flags);
-  } else if (command == "infer") {
-    status = CmdInfer(flags);
-  } else if (command == "evaluate") {
-    status = CmdEvaluate(flags);
-  } else {
-    return Usage();
+  try {
+    if (command == "generate") {
+      status = CmdGenerate(flags);
+    } else if (command == "stats") {
+      status = CmdStats(flags);
+    } else if (command == "train") {
+      status = CmdTrain(flags);
+    } else if (command == "serve") {
+      status = CmdServe(flags);
+    } else if (command == "infer") {
+      status = CmdInfer(flags);
+    } else if (command == "evaluate") {
+      status = CmdEvaluate(flags);
+    } else {
+      return Usage();
+    }
+  } catch (const std::exception& e) {
+    // Malformed flag values (e.g. a non-numeric --epochs) surface here as
+    // std::invalid_argument from std::stoi; report and exit cleanly.
+    std::fprintf(stderr, "error: %s (check flag values)\n", e.what());
+    return 1;
   }
 
   if (auto it = flags.find("metrics"); it != flags.end()) {
