@@ -1,0 +1,123 @@
+// Disarmed-telemetry overhead microbench (DESIGN.md §10) — the cost
+// contract behind leaving tracing compiled into release binaries:
+//
+//   telemetry.disarmed.check     N TracingArmed() checks (one relaxed load)
+//   telemetry.disarmed.span      N TraceSpan construct/destruct cycles
+//   telemetry.disarmed.instant   N TraceInstant() calls
+//   telemetry.disarmed.logline   N LogLine emit attempts with a closed sink
+//   fault.disarmed.hit           N disarmed fault::Hit() probes — the
+//                                existing budget these must stay within
+//
+// All five run the same iteration count, so the regression gate
+// (tools/bench_compare.cc, on time/_calibration ratios) holds the tracing
+// hooks to the disarmed-fault-point budget: if a change makes a disarmed
+// span meaningfully heavier than a disarmed fault probe, the bench job
+// fails before it ships.
+//
+// Flags: --json PATH (append results), --quick (accepted for CLI symmetry
+// with the other benches; the workload is already CI-sized).
+
+#include <cstdint>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "fault/fault.h"
+#include "obs/structured_log.h"
+#include "obs/trace_log.h"
+
+namespace dlinf {
+namespace bench {
+namespace {
+
+constexpr int64_t kIterations = 100'000'000;
+constexpr int kRepetitions = 3;
+
+/// Opaque sink the optimizer cannot see through; keeps the measured loops
+/// from folding into nothing.
+volatile uint64_t g_sink = 0;
+
+template <typename Fn>
+double BestOfReps(Fn&& body) {
+  double best = 1e30;
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    Stopwatch watch;
+    body();
+    const double seconds = watch.ElapsedSeconds();
+    if (seconds < best) best = seconds;
+  }
+  return best;
+}
+
+}  // namespace
+
+int Main(int argc, char** argv) {
+  const std::string metrics_path = ParseMetricsFlag(&argc, argv);
+  const std::string json_path = ParseJsonFlag(&argc, argv);
+  ParseQuickFlag(&argc, argv);
+  BenchResults results;
+
+  // The whole point is the *disarmed* cost: nothing may be armed here.
+  obs::TraceLog::Global().Stop();
+  obs::StructuredLog::Global().Close();
+  fault::Disarm();
+
+  const double check_seconds = BestOfReps([] {
+    uint64_t acc = 0;
+    for (int64_t i = 0; i < kIterations; ++i) {
+      acc += obs::TracingArmed() ? 1 : 0;
+    }
+    g_sink = acc;
+  });
+  results.Add("telemetry.disarmed.check", check_seconds);
+
+  const double span_seconds = BestOfReps([] {
+    for (int64_t i = 0; i < kIterations; ++i) {
+      obs::TraceSpan span("bench.span");
+      g_sink = static_cast<uint64_t>(i);
+    }
+  });
+  results.Add("telemetry.disarmed.span", span_seconds);
+
+  const double instant_seconds = BestOfReps([] {
+    for (int64_t i = 0; i < kIterations; ++i) {
+      obs::TraceInstant("bench.instant");
+      g_sink = static_cast<uint64_t>(i);
+    }
+  });
+  results.Add("telemetry.disarmed.instant", instant_seconds);
+
+  const double logline_seconds = BestOfReps([] {
+    for (int64_t i = 0; i < kIterations; ++i) {
+      obs::LogLine(obs::LogSeverity::kInfo, "bench.logline");
+      g_sink = static_cast<uint64_t>(i);
+    }
+  });
+  results.Add("telemetry.disarmed.logline", logline_seconds);
+
+  const double fault_seconds = BestOfReps([] {
+    uint64_t acc = 0;
+    for (int64_t i = 0; i < kIterations; ++i) {
+      acc += fault::Hit("bench.disarmed.point").has_value() ? 1 : 0;
+    }
+    g_sink = acc;
+  });
+  results.Add("fault.disarmed.hit", fault_seconds);
+
+  std::printf("disarmed per-op (ns, best of %d x %lld iters):\n", kRepetitions,
+              static_cast<long long>(kIterations));
+  std::printf("  tracing check   %.3f\n", check_seconds / kIterations * 1e9);
+  std::printf("  trace span      %.3f\n", span_seconds / kIterations * 1e9);
+  std::printf("  trace instant   %.3f\n", instant_seconds / kIterations * 1e9);
+  std::printf("  log line        %.3f\n", logline_seconds / kIterations * 1e9);
+  std::printf("  fault hit       %.3f  (budget reference)\n",
+              fault_seconds / kIterations * 1e9);
+
+  results.WriteJson(json_path);
+  DumpMetrics(metrics_path);
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace dlinf
+
+int main(int argc, char** argv) { return dlinf::bench::Main(argc, argv); }

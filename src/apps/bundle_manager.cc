@@ -7,7 +7,9 @@
 
 #include "fault/fault.h"
 #include "obs/metrics.h"
+#include "obs/structured_log.h"
 #include "obs/trace.h"
+#include "obs/trace_log.h"
 
 namespace dlinf {
 namespace apps {
@@ -100,7 +102,8 @@ std::unique_ptr<BundleManager> BundleManager::Create(const Config& config,
   if (boot == nullptr) return nullptr;
   // The private constructor keeps make_unique out; new is fine here.
   std::unique_ptr<BundleManager> manager(new BundleManager(config));
-  manager->live_.store(std::move(boot), std::memory_order_release);
+  std::atomic_store_explicit(&manager->live_, std::move(boot),
+                             std::memory_order_release);
   manager->RecordWatchStamp();
   return manager;
 }
@@ -134,6 +137,9 @@ BundleManager::ReloadOutcome BundleManager::Poll(std::string* error) {
 }
 
 BundleManager::ReloadOutcome BundleManager::ReloadNow(std::string* error) {
+  // Each reload attempt is one trace: stage/validate spans and the
+  // swap/rollback outcome correlate under a single trace id.
+  obs::TraceScope trace;
   obs::Span span("bundle_reload");
   ReloadCounter("attempts")->Add(1);
   // Stamp first: a push that rolls back is not retried every Poll — only a
@@ -141,11 +147,16 @@ BundleManager::ReloadOutcome BundleManager::ReloadNow(std::string* error) {
   RecordWatchStamp();
 
   const std::shared_ptr<const ServingState> live =
-      live_.load(std::memory_order_acquire);
+      std::atomic_load_explicit(&live_, std::memory_order_acquire);
   auto rollback = [&](const std::string& reason) {
     ReloadCounter("rollbacks")->Add(1);
     degraded_.store(true, std::memory_order_release);
     DegradedGauge()->Set(1.0);
+    obs::TraceInstant("reload.rollback");
+    obs::LogLine(obs::LogSeverity::kError, "reload.rollback")
+        .Str("reason", reason)
+        .Int("serving_generation",
+             static_cast<int64_t>(live->generation));
     SetError(error, reason + " (still serving generation " +
                         std::to_string(live->generation) + ")");
     return ReloadOutcome::kRolledBack;
@@ -163,10 +174,15 @@ BundleManager::ReloadOutcome BundleManager::ReloadNow(std::string* error) {
 
   // RCU-style publish: new queries load the candidate; in-flight queries
   // keep their shared_ptr to the old generation until they drain.
-  live_.store(std::move(candidate), std::memory_order_release);
+  const uint64_t new_generation = candidate->generation;
+  std::atomic_store_explicit(&live_, std::move(candidate),
+                             std::memory_order_release);
   ReloadCounter("success")->Add(1);
   degraded_.store(false, std::memory_order_release);
   DegradedGauge()->Set(0.0);
+  obs::TraceInstant("reload.swap");
+  obs::LogLine(obs::LogSeverity::kInfo, "reload.swap")
+      .Int("generation", static_cast<int64_t>(new_generation));
   return ReloadOutcome::kSwapped;
 }
 

@@ -87,8 +87,12 @@ class BundleManager {
 
   /// The live serving state. Hold the returned shared_ptr for the duration
   /// of a query (or a batch); a concurrent swap cannot invalidate it.
+  /// Uses the free-function shared_ptr atomics (not
+  /// std::atomic<shared_ptr>): libstdc++'s _Sp_atomic spinlock is invisible
+  /// to TSan and false-positives on every swap/load pair, while the free
+  /// functions synchronize through instrumented mutexes.
   std::shared_ptr<const ServingState> state() const {
-    return live_.load(std::memory_order_acquire);
+    return std::atomic_load_explicit(&live_, std::memory_order_acquire);
   }
 
   /// Watch step: stat the bundle manifest and run the reload state machine
@@ -131,7 +135,7 @@ class BundleManager {
   void RecordWatchStamp();
 
   Config config_;
-  std::atomic<std::shared_ptr<const ServingState>> live_;
+  std::shared_ptr<const ServingState> live_;  ///< Via std::atomic_* frees.
   std::atomic<bool> degraded_{false};
 
   /// Watch state (control thread only).

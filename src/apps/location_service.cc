@@ -6,6 +6,8 @@
 #include "common/stopwatch.h"
 #include "fault/fault.h"
 #include "obs/metrics.h"
+#include "obs/structured_log.h"
+#include "obs/trace_log.h"
 
 namespace dlinf {
 namespace apps {
@@ -75,6 +77,7 @@ bool AttemptTier(const TierFaults& tier,
   for (int attempt = 0; attempt <= policy.max_retries; ++attempt) {
     if (attempt > 0) {
       metrics.retries->Add(1);
+      obs::TraceInstant("tier.retry");
       fault::SleepForMs(backoff_ms);
       backoff_ms *= 2.0;
     }
@@ -155,6 +158,10 @@ DeliveryLocationService DeliveryLocationService::BuildFromInferrer(
 
 DeliveryLocationService::Answer DeliveryLocationService::Query(
     int64_t address_id) const {
+  // Every query is its own trace: the scope draws the sampling decision and
+  // correlates nested spans / instants / log lines under one trace id.
+  obs::TraceScope trace;
+  obs::TraceSpan span("service.query");
   const bool timed = obs::MetricsEnabled();
   Stopwatch watch;
   const Answer answer = Lookup(address_id);
@@ -167,6 +174,11 @@ DeliveryLocationService::Answer DeliveryLocationService::Query(
 std::vector<DeliveryLocationService::Answer>
 DeliveryLocationService::QueryBatch(const std::vector<int64_t>& address_ids,
                                     ThreadPool* pool) const {
+  // One trace per batch (per-item scopes would swamp the ring at large
+  // batch sizes); pool workers run outside the scope's thread and record
+  // as always-sampled events on their own timelines.
+  obs::TraceScope trace;
+  obs::TraceSpan span("service.query_batch");
   const bool timed = obs::MetricsEnabled();
   Stopwatch watch;
   std::vector<Answer> answers(address_ids.size());
@@ -209,6 +221,8 @@ DeliveryLocationService::Answer DeliveryLocationService::Lookup(
 
 DeliveryLocationService::Answer DeliveryLocationService::QueryByBuilding(
     int64_t building_id, const Point& geocode) const {
+  obs::TraceScope trace;
+  obs::TraceSpan span("service.query_by_building");
   const bool timed = obs::MetricsEnabled();
   Stopwatch watch;
   const Answer answer = LookupBuilding(building_id, geocode);
@@ -242,6 +256,10 @@ DeliveryLocationService::Answer DeliveryLocationService::DegradableLookup(
     // A healthy tier without an entry is a normal miss, not degradation.
   } else {
     metrics.fallbacks->Add(1);
+    obs::TraceInstant("tier.fallback.address");
+    obs::LogLine(obs::LogSeverity::kWarn, "query.fallback")
+        .Str("tier", "address")
+        .Int("address_id", address_id);
     degraded = true;
   }
   const sim::Address& addr = world_->address(address_id);
@@ -265,6 +283,10 @@ DeliveryLocationService::DegradableLookupBuilding(int64_t building_id,
     }
   } else {
     metrics.fallbacks->Add(1);
+    obs::TraceInstant("tier.fallback.building");
+    obs::LogLine(obs::LogSeverity::kWarn, "query.fallback")
+        .Str("tier", "building")
+        .Int("building_id", building_id);
     degraded = true;
   }
   // Terminal tier: geocode is computed from the query itself and cannot

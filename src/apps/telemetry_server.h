@@ -1,0 +1,103 @@
+#ifndef DLINF_APPS_TELEMETRY_SERVER_H_
+#define DLINF_APPS_TELEMETRY_SERVER_H_
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+
+/// \file
+/// Embedded telemetry endpoint (DESIGN.md §10).
+///
+/// A minimal single-threaded HTTP/1.0 server over a plain POSIX socket (no
+/// third-party dependency), started by `dlinf_cli serve --telemetry-port`.
+/// Endpoints:
+///
+///   GET /metrics  Prometheus text exposition (format 0.0.4) of the global
+///                 MetricsRegistry: counters, gauges, histograms with
+///                 cumulative `_bucket{le=...}` series plus `_sum`/`_count`,
+///                 and span aggregates as labeled series.
+///   GET /healthz  200 {"status":"ok",...} while serving healthily;
+///                 503 {"status":"degraded",...} while the health provider
+///                 reports degradation (e.g. BundleManager after a rollback,
+///                 until the next clean swap). Body carries the live bundle
+///                 generation for both.
+///   GET /varz     MetricsRegistry::SnapshotJson() (the same JSON the
+///                 --metrics flag dumps).
+///   GET /tracez   TraceLog::ExportChromeJson() — recent sampled trace
+///                 events, loadable in Perfetto / chrome://tracing.
+///
+/// Anything else is 404. The server answers one connection at a time on a
+/// dedicated accept thread: telemetry scrapes are rare and small, and
+/// serialization keeps the server trivially robust under concurrent load
+/// (pending connections queue in the listen backlog).
+///
+/// All handlers read telemetry state through the same thread-safe snapshot
+/// calls tests use; the server adds no mutable state of its own beyond the
+/// `telemetry.http.requests` counter.
+
+namespace dlinf {
+namespace apps {
+
+class BundleManager;
+
+/// Health snapshot rendered by /healthz.
+struct HealthStatus {
+  bool ok = true;
+  uint64_t generation = 0;
+  std::string detail;  ///< Short human-readable reason when !ok.
+};
+
+class TelemetryServer {
+ public:
+  struct Options {
+    /// TCP port to listen on (loopback only). 0 picks an ephemeral port —
+    /// the bound port is available from `port()` after Start.
+    int port = 0;
+
+    /// Called per /healthz request. Default: always ok, generation 0.
+    std::function<HealthStatus()> health;
+  };
+
+  TelemetryServer() = default;
+  ~TelemetryServer();
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+  /// Binds 127.0.0.1:`options.port`, spawns the accept thread. False (with
+  /// the reason in `error`) when the bind/listen fails, e.g. port in use.
+  bool Start(const Options& options, std::string* error = nullptr);
+
+  /// Unblocks the accept thread and joins it. Idempotent.
+  void Stop();
+
+  /// The bound port (valid after a successful Start).
+  int port() const { return port_; }
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+ private:
+  void Serve();
+
+  Options options_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+};
+
+/// Health provider wired to a BundleManager: not-ok while
+/// `reload_degraded()` (a push was rolled back and the service runs on the
+/// previous generation). `manager` must outlive the server.
+std::function<HealthStatus()> BundleManagerHealth(const BundleManager* manager);
+
+/// Minimal blocking HTTP/1.0 GET against 127.0.0.1:`port` (test/tool
+/// helper; also used by the chaos healthz scenario). Returns false on
+/// connect/transport failure; otherwise fills `*status` and `*body`.
+bool HttpGet(int port, const std::string& path, int* status,
+             std::string* body);
+
+}  // namespace apps
+}  // namespace dlinf
+
+#endif  // DLINF_APPS_TELEMETRY_SERVER_H_

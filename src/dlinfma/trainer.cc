@@ -10,7 +10,9 @@
 #include "nn/loss.h"
 #include "nn/optimizer.h"
 #include "obs/metrics.h"
+#include "obs/structured_log.h"
 #include "obs/trace.h"
+#include "obs/trace_log.h"
 
 namespace dlinf {
 namespace dlinfma {
@@ -58,6 +60,9 @@ TrainResult TrainLocMatcher(LocMatcher* model,
   CHECK(!val.empty());
   for (const AddressSample& sample : train) CHECK_GE(sample.label, 0);
 
+  // The whole run is one trace: epoch spans, checkpoint writes and the
+  // train.epoch log lines below all correlate under its id.
+  obs::TraceScope trace;
   obs::Span span("train_locmatcher");
   obs::Histogram* epoch_seconds =
       obs::MetricsRegistry::Global().GetHistogram("locmatcher.epoch_seconds");
@@ -144,6 +149,8 @@ TrainResult TrainLocMatcher(LocMatcher* model,
     // must stop immediately, exactly as the uninterrupted run did.
     if (epochs_without_improvement >= config.early_stop_patience) break;
     obs::ScopedTimer epoch_timer(epoch_seconds);
+    obs::TraceSpan epoch_span("train.epoch");
+    Stopwatch epoch_watch;
     epochs_run->Add(1);
     rng.Shuffle(&order);
     double epoch_loss = 0.0;
@@ -174,6 +181,12 @@ TrainResult TrainLocMatcher(LocMatcher* model,
       LOG_INFO << "epoch" << epoch << "train_loss" << result.final_train_loss
                << "val_loss" << val_loss << "lr" << adam.learning_rate();
     }
+    obs::LogLine(obs::LogSeverity::kInfo, "train.epoch")
+        .Int("epoch", epoch)
+        .Num("train_loss", result.final_train_loss)
+        .Num("val_loss", val_loss)
+        .Num("lr", adam.learning_rate())
+        .Num("epoch_seconds", epoch_watch.ElapsedSeconds());
     result.epochs_run = epoch + 1;
     if (val_loss < best_val - 1e-5) {
       best_val = val_loss;
@@ -205,6 +218,11 @@ TrainResult TrainLocMatcher(LocMatcher* model,
   }
   result.best_val_loss = best_val;
   result.train_seconds = watch.ElapsedSeconds();
+  obs::LogLine(obs::LogSeverity::kInfo, "train.done")
+      .Int("epochs_run", result.epochs_run)
+      .Num("final_train_loss", result.final_train_loss)
+      .Num("best_val_loss", result.best_val_loss)
+      .Num("train_seconds", result.train_seconds);
   return result;
 }
 

@@ -64,6 +64,37 @@ std::string JsonEscape(const std::string& s) {
   return out;
 }
 
+/// Prometheus metric names allow only [a-zA-Z0-9_:]; we keep `:` reserved
+/// for recording rules and fold everything else to `_`.
+std::string PrometheusName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(0, 1, '_');
+  return out;
+}
+
+/// Label values escape `\`, `"` and newline per the exposition format.
+std::string PrometheusLabelEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\' || c == '"') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 bool MetricsEnabled() {
@@ -72,11 +103,6 @@ bool MetricsEnabled() {
 
 void SetMetricsEnabled(bool enabled) {
   g_metrics_enabled.store(enabled, std::memory_order_relaxed);
-}
-
-void Gauge::Add(double delta) {
-  if (!MetricsEnabled()) return;
-  AtomicAdd(&value_, delta);
 }
 
 double Histogram::BucketUpperBound(int i) {
@@ -259,6 +285,53 @@ std::string MetricsRegistry::SnapshotJson() const {
   }
   out += first ? "}\n" : "\n  }\n";
   out += "}\n";
+  return out;
+}
+
+std::string MetricsRegistry::SnapshotPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " " + std::to_string(counter->value()) + "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " " + FormatDouble(gauge->value()) + "\n";
+  }
+  for (const auto& [name, hist] : histograms_) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " histogram\n";
+    // Cumulative bucket counts; per-bucket relaxed loads may lag each other
+    // under concurrent observation, which Prometheus tolerates (counts are
+    // monotone per scrape).
+    int64_t cumulative = 0;
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      cumulative += hist->BucketCount(i);
+      const std::string le =
+          i == Histogram::kNumBuckets - 1
+              ? "+Inf"
+              : FormatDouble(Histogram::BucketUpperBound(i));
+      out += prom + "_bucket{le=\"" + le + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += prom + "_sum " + FormatDouble(hist->sum()) + "\n";
+    out += prom + "_count " + std::to_string(hist->count()) + "\n";
+  }
+  if (!spans_.empty()) {
+    out += "# TYPE dlinf_span_count counter\n";
+    for (const auto& [path, stats] : spans_) {
+      out += "dlinf_span_count{path=\"" + PrometheusLabelEscape(path) +
+             "\"} " + std::to_string(stats.count) + "\n";
+    }
+    out += "# TYPE dlinf_span_seconds_total counter\n";
+    for (const auto& [path, stats] : spans_) {
+      out += "dlinf_span_seconds_total{path=\"" + PrometheusLabelEscape(path) +
+             "\"} " + FormatDouble(stats.total_seconds) + "\n";
+    }
+  }
   return out;
 }
 

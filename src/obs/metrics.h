@@ -60,7 +60,18 @@ class Gauge {
     value_.store(value, std::memory_order_relaxed);
   }
 
-  void Add(double delta);
+  /// Lock-free increment via a CAS loop: `std::atomic<double>::fetch_add`
+  /// only gained portable semantics in C++20 and is still not lock-free on
+  /// every toolchain we build with, so concurrent adds go through
+  /// compare_exchange — lossless under contention (see the concurrent-adds
+  /// test in obs_test.cc).
+  void Add(double delta) {
+    if (!MetricsEnabled()) return;
+    double expected = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(expected, expected + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
 
   double value() const { return value_.load(std::memory_order_relaxed); }
 
@@ -85,6 +96,12 @@ class Histogram {
   static double BucketUpperBound(int i);
 
   void Observe(double value);
+
+  /// Observations recorded in bucket `i` (for cumulative exposition; see
+  /// MetricsRegistry::SnapshotPrometheus).
+  int64_t BucketCount(int i) const {
+    return buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+  }
 
   int64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const { return sum_.load(std::memory_order_relaxed); }
@@ -146,6 +163,15 @@ class MetricsRegistry {
   /// {name: {count,sum,min,max,p50,p95,p99}}, "spans": {path:
   /// {count,total_seconds,min_seconds,max_seconds}}}.
   std::string SnapshotJson() const;
+
+  /// Prometheus text exposition (format 0.0.4), served by the telemetry
+  /// server's /metrics endpoint (DESIGN.md §10). Metric names are the
+  /// registry names with every non-[a-zA-Z0-9_] character mapped to `_`;
+  /// histograms expose cumulative `_bucket{le="..."}` series (ending in
+  /// le="+Inf") plus `_sum` and `_count`; span statistics are exported as
+  /// `dlinf_span_count{path="..."}` and
+  /// `dlinf_span_seconds_total{path="..."}`.
+  std::string SnapshotPrometheus() const;
 
   /// Writes SnapshotJson() to `path`; false on I/O failure.
   bool DumpJson(const std::string& path) const;

@@ -1,0 +1,108 @@
+#ifndef DLINF_OBS_STRUCTURED_LOG_H_
+#define DLINF_OBS_STRUCTURED_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+/// \file
+/// Leveled, rate-limited JSON-lines logging (DESIGN.md §10).
+///
+/// Each emitted line is one flat JSON object:
+///
+///   {"ts":1723018511.482331,"level":"info","event":"train.epoch",
+///    "trace_id":42,"epoch":3,"train_loss":0.412,"lr":0.002}
+///
+/// `ts` is wall-clock seconds since the UNIX epoch; `trace_id` appears when
+/// the calling thread is inside an armed `obs::TraceScope`, correlating log
+/// lines with the /tracez timeline. Lines go to a file
+/// (`StructuredLog::Global().OpenFile`) or stderr (`UseStderr`); while no
+/// sink is open every `LogLine` is a single relaxed load and nothing else,
+/// so instrumentation stays compiled into release binaries.
+///
+/// Rate limiting is per event name per window (default 200 lines/second):
+/// the first N lines of a window pass, the rest are dropped and counted on
+/// the `obs.log.suppressed` metric — a misbehaving hot loop cannot turn the
+/// log into the bottleneck.
+///
+/// Emission takes one global mutex; this is a telemetry path (per epoch,
+/// per reload, per degradation incident), not a per-query hot path.
+
+namespace dlinf {
+namespace obs {
+
+enum class LogSeverity { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+namespace internal {
+extern std::atomic<bool> g_structured_log_enabled;
+void EmitLine(LogSeverity severity, std::string_view event,
+              const std::string& fields_json);
+}  // namespace internal
+
+/// True while a sink is open. One relaxed load.
+inline bool StructuredLogEnabled() {
+  return internal::g_structured_log_enabled.load(std::memory_order_relaxed);
+}
+
+/// Process-wide JSON-lines sink configuration.
+class StructuredLog {
+ public:
+  static StructuredLog& Global();
+
+  /// Opens (truncates) `path` as the sink and enables logging; false on
+  /// I/O failure (logging stays disabled). Closes any previous sink.
+  bool OpenFile(const std::string& path);
+
+  /// Routes lines to stderr and enables logging.
+  void UseStderr();
+
+  /// Flushes, closes the sink, disables logging.
+  void Close();
+
+  /// Lines below `severity` are dropped at the emit step.
+  void SetMinSeverity(LogSeverity severity);
+  LogSeverity min_severity() const;
+
+  /// At most `max_lines` per event name per `window_seconds` (the rest are
+  /// suppressed and counted). max_lines <= 0 disables the limit.
+  void SetRateLimit(int max_lines, double window_seconds = 1.0);
+
+  int64_t emitted_lines() const;
+  int64_t suppressed_lines() const;
+
+ private:
+  StructuredLog() = default;
+};
+
+/// One log statement, built fluently and emitted on destruction:
+///
+///   obs::LogLine(obs::LogSeverity::kInfo, "reload.rollback")
+///       .Str("reason", why).Int("generation", gen);
+///
+/// Keys must be JSON-identifier-ish (no escaping is applied to keys);
+/// string values are escaped. Inactive (disabled sink) construction is one
+/// relaxed load and every Add is a no-op.
+class LogLine {
+ public:
+  LogLine(LogSeverity severity, std::string_view event);
+  ~LogLine();
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  LogLine& Str(std::string_view key, std::string_view value);
+  LogLine& Num(std::string_view key, double value);
+  LogLine& Int(std::string_view key, int64_t value);
+  LogLine& Bool(std::string_view key, bool value);
+
+ private:
+  bool active_;
+  LogSeverity severity_;
+  std::string event_;
+  std::string fields_;  ///< ",\"key\":value" fragments.
+};
+
+}  // namespace obs
+}  // namespace dlinf
+
+#endif  // DLINF_OBS_STRUCTURED_LOG_H_

@@ -1,6 +1,9 @@
 #include "obs/trace.h"
 
 #include <chrono>
+#include <string_view>
+
+#include "obs/trace_log.h"
 
 namespace dlinf {
 namespace obs {
@@ -37,6 +40,7 @@ Span::Span(const std::string& name) : active_(MetricsEnabled()) {
   parent_length_ = path.size();
   if (!path.empty()) path += '/';
   path += name;
+  if (TracingArmed()) internal::RecordEvent('B', name);
   start_seconds_ = NowSeconds();
 }
 
@@ -44,6 +48,12 @@ Span::~Span() {
   if (!active_) return;
   const double elapsed = NowSeconds() - start_seconds_;
   std::string& path = ThreadPath();
+  if (TracingArmed()) {
+    // The span's own name is the path tail past the parent prefix.
+    internal::RecordEvent(
+        'E', std::string_view(path).substr(
+                 parent_length_ == 0 ? 0 : parent_length_ + 1));
+  }
   MetricsRegistry::Global().RecordSpan(path, elapsed);
   path.resize(parent_length_);
 }

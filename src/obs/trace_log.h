@@ -1,0 +1,167 @@
+#ifndef DLINF_OBS_TRACE_LOG_H_
+#define DLINF_OBS_TRACE_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+/// \file
+/// Live trace-event recording (DESIGN.md §10).
+///
+/// `TraceLog` turns the existing `obs::Span` RAII stage markers into a
+/// per-event timeline: while armed, every span begin/end (and explicit
+/// instant event) is appended to a lock-light per-thread ring buffer and can
+/// be exported as Chrome trace-event JSON — the format Perfetto and
+/// chrome://tracing load directly. Recording is sampled per *trace*: a
+/// `TraceScope` (one query, one reload, one training run) draws a
+/// deterministic sampling decision from its trace id, so at rate 0.01 one
+/// query in a hundred contributes its full nested span tree and the rest
+/// cost nothing beyond the armed check.
+///
+/// Cost contract (bench-gated, like disarmed fault points):
+///  - **Disarmed** (the default), a span's tracing hook is one relaxed
+///    atomic load and a predictable branch. `bench/telemetry_overhead.cc`
+///    holds this next to the disarmed `fault::Hit` budget.
+///  - **Armed**, each recorded event takes the owning thread's otherwise
+///    uncontended ring mutex (exporters are the only other lockers), copies
+///    ~64 bytes, and advances a cursor; unsampled traces pay two
+///    thread-local reads.
+///
+/// Threading: any thread may record; `Export*` may run concurrently with
+/// recording (the /tracez endpoint does) — each per-thread ring has its own
+/// mutex, so an export never stalls more than one recorder at a time.
+/// Thread ids in the export are small dense integers assigned on a thread's
+/// first recorded event (stable within a run, independent of OS tids).
+
+namespace dlinf {
+namespace obs {
+
+namespace internal {
+extern std::atomic<bool> g_tracing_armed;
+
+/// Slow paths behind the armed check; callers guard with TracingArmed().
+void RecordEvent(char phase, std::string_view name);
+bool CurrentTraceSampled();
+}  // namespace internal
+
+/// True while TraceLog::Global().Start() is in effect. One relaxed load —
+/// this is the only cost tracing adds to a disarmed hot path.
+inline bool TracingArmed() {
+  return internal::g_tracing_armed.load(std::memory_order_relaxed);
+}
+
+/// Process-wide monotonically increasing trace-id source (never returns 0;
+/// 0 means "no trace context").
+uint64_t NextTraceId();
+
+/// RAII per-request trace context: sets the calling thread's current trace
+/// id and draws the deterministic sampling decision for it. Nesting is
+/// allowed (the inner scope wins until it closes). When tracing is disarmed
+/// the constructor is one relaxed load and the scope is inert.
+class TraceScope {
+ public:
+  /// Allocates a fresh trace id (NextTraceId) when armed.
+  TraceScope();
+  /// Adopts `trace_id` (e.g. an id propagated from an upstream service).
+  explicit TraceScope(uint64_t trace_id);
+  ~TraceScope();
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+  /// The innermost live scope's trace id on this thread (0 when none or
+  /// when tracing is disarmed). Structured log lines use this to correlate.
+  static uint64_t CurrentTraceId();
+
+  uint64_t trace_id() const { return trace_id_; }
+  bool sampled() const { return sampled_; }
+
+ private:
+  bool active_ = false;
+  bool sampled_ = false;
+  uint64_t trace_id_ = 0;
+  uint64_t parent_id_ = 0;
+  bool parent_sampled_ = false;
+};
+
+/// Records a zero-duration instant event ("tier.retry", "reload.rollback")
+/// into the current thread's ring. No-op when disarmed or when the current
+/// trace is unsampled.
+inline void TraceInstant(std::string_view name) {
+  if (!TracingArmed()) return;
+  internal::RecordEvent('i', name);
+}
+
+/// Begin/end event pair without the `obs::Span` registry aggregation — for
+/// hot paths (per-query) where taking the registry mutex per scope would be
+/// too heavy, but a timeline entry is wanted while tracing. `name` must
+/// outlive the scope (pass a string literal). Disarmed cost: one relaxed
+/// load.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name) : active_(TracingArmed()) {
+    if (active_) {
+      name_ = name;
+      internal::RecordEvent('B', name_);
+    }
+  }
+  ~TraceSpan() {
+    if (active_) internal::RecordEvent('E', name_);
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  bool active_;
+  std::string_view name_;
+};
+
+/// The process-wide trace recorder.
+class TraceLog {
+ public:
+  static constexpr int kRingCapacity = 8192;  ///< Events kept per thread.
+  static constexpr int kMaxNameLength = 47;   ///< Longer names truncate.
+
+  static TraceLog& Global();
+
+  /// Arms recording. `sample_rate` in [0, 1] is the per-trace sampling
+  /// probability; events outside any TraceScope (e.g. offline pipeline
+  /// stages) are always recorded while armed. Restarting clears previously
+  /// recorded events and re-bases the timestamp origin.
+  void Start(double sample_rate = 1.0);
+
+  /// Disarms recording. Recorded events stay exportable until the next
+  /// Start.
+  void Stop();
+
+  /// Adjusts the sampling rate of a live recording without clearing it.
+  void SetSampleRate(double sample_rate);
+  double sample_rate() const;
+
+  /// Chrome trace-event JSON ({"traceEvents":[...]}): begin/end ("B"/"E")
+  /// and instant ("i") events with microsecond timestamps relative to the
+  /// recording start, dense thread ids, and the trace id under
+  /// args.trace_id. Events are ordered per thread; Perfetto sorts globally
+  /// by timestamp on load. Safe to call while recording.
+  std::string ExportChromeJson() const;
+
+  /// Writes ExportChromeJson() to `path`; false on I/O failure.
+  bool ExportChromeJson(const std::string& path) const;
+
+  /// Events currently held across all rings (post-wrap rings report the
+  /// ring capacity). Exposed for tests and /tracez.
+  int64_t recorded_events() const;
+
+  /// Events that overwrote an older slot after a ring wrapped (visibility
+  /// into truncation; the export silently keeps only the newest
+  /// kRingCapacity per thread).
+  int64_t dropped_events() const;
+
+ private:
+  TraceLog() = default;
+};
+
+}  // namespace obs
+}  // namespace dlinf
+
+#endif  // DLINF_OBS_TRACE_LOG_H_

@@ -1,3 +1,4 @@
+#include <cmath>
 #include <map>
 #include <sstream>
 #include <string>
@@ -30,6 +31,25 @@ TEST(GaugeTest, SetAndAdd) {
   EXPECT_DOUBLE_EQ(gauge.value(), 2.0);
   gauge.Set(0.25);
   EXPECT_DOUBLE_EQ(gauge.value(), 0.25);
+}
+
+TEST(GaugeTest, ConcurrentAddsAreLossless) {
+  // Gauge::Add is a CAS loop, not a racy load/store pair: N threads x M
+  // unit adds must land exactly, the same contract the counter test checks.
+  constexpr int kThreads = 8;
+  constexpr int kAdds = 25000;
+  Gauge gauge;
+  {
+    ThreadPool pool(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      pool.Submit([&gauge] {
+        for (int i = 0; i < kAdds; ++i) gauge.Add(1.0);
+      });
+    }
+    pool.Wait();
+  }
+  EXPECT_DOUBLE_EQ(gauge.value(),
+                   static_cast<double>(kThreads) * kAdds);
 }
 
 TEST(MetricsEnabledTest, DisabledUpdatesAreDropped) {
@@ -113,6 +133,50 @@ TEST(HistogramTest, OutOfRangeValuesLandInEdgeBuckets) {
   EXPECT_DOUBLE_EQ(histogram.Quantile(1.0), 1e9);
 }
 
+TEST(HistogramTest, QuantileClampsOutOfRangeQ) {
+  Histogram histogram;
+  histogram.Observe(0.25);
+  histogram.Observe(0.75);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(-1.0), histogram.Quantile(0.0));
+  EXPECT_DOUBLE_EQ(histogram.Quantile(2.0), histogram.Quantile(1.0));
+  EXPECT_DOUBLE_EQ(histogram.Quantile(1.0), 0.75);
+}
+
+TEST(HistogramTest, BelowMinBoundObservationsQuantizeToObservedMax) {
+  // Everything at or below kMinBound shares bucket 0; the quantile clamps
+  // the bucket's upper bound (kMinBound) to the observed max, so a
+  // histogram full of sub-microsecond values does not report 1 us.
+  Histogram histogram;
+  for (int i = 0; i < 10; ++i) histogram.Observe(1e-9);
+  EXPECT_EQ(histogram.BucketCount(0), 10);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 1e-9);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(1.0), 1e-9);
+}
+
+TEST(HistogramTest, OpenEndedTopBucketQuantilesReportObservedMax) {
+  // The last bucket's bound is +inf; quantiles that land there must report
+  // the observed max, not infinity.
+  Histogram histogram;
+  histogram.Observe(1e9);
+  histogram.Observe(2e9);
+  EXPECT_EQ(histogram.BucketCount(Histogram::kNumBuckets - 1), 2);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 2e9);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(1.0), 2e9);
+  EXPECT_TRUE(std::isfinite(histogram.Quantile(0.99)));
+}
+
+TEST(HistogramTest, BucketCountsCoverEveryObservation) {
+  Histogram histogram;
+  const std::vector<double> values = {0.0, 1e-7, 1e-3, 0.5, 2.0, 1e9};
+  for (double v : values) histogram.Observe(v);
+  int64_t total = 0;
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+    total += histogram.BucketCount(i);
+  }
+  EXPECT_EQ(total, static_cast<int64_t>(values.size()));
+  EXPECT_EQ(histogram.BucketCount(0), 2);  // 0.0 and 1e-7 <= kMinBound.
+}
+
 TEST(RegistryTest, GetterReturnsStablePointersPerName) {
   MetricsRegistry registry;
   Counter* counter = registry.GetCounter("test.counter");
@@ -173,6 +237,68 @@ TEST(RegistryTest, SnapshotJsonCarriesAllSectionsAndValues) {
 
   // Snapshotting is read-only and deterministic.
   EXPECT_EQ(registry.SnapshotJson(), json);
+}
+
+TEST(RegistryTest, SnapshotPrometheusSanitizesNamesAndTypesMetrics) {
+  MetricsRegistry registry;
+  registry.GetCounter("service.query.hits")->Add(7);
+  registry.GetGauge("9weird-name")->Set(1.5);
+  const std::string prom = registry.SnapshotPrometheus();
+  // Dots fold to underscores; a leading digit gets prefixed so the series
+  // name stays a valid Prometheus identifier.
+  EXPECT_NE(prom.find("# TYPE service_query_hits counter\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("service_query_hits 7\n"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE _9weird_name gauge\n"), std::string::npos);
+  EXPECT_EQ(prom.find("service.query.hits"), std::string::npos);
+}
+
+TEST(RegistryTest, SnapshotPrometheusHistogramBucketsAreCumulative) {
+  MetricsRegistry registry;
+  Histogram* histogram = registry.GetHistogram("service.query.latency");
+  histogram->Observe(1e-9);  // Bucket 0.
+  histogram->Observe(0.5);
+  histogram->Observe(1e9);  // Open-ended top bucket.
+  const std::string prom = registry.SnapshotPrometheus();
+  EXPECT_NE(prom.find("# TYPE service_query_latency histogram\n"),
+            std::string::npos);
+  // The +Inf bucket carries the full count, and the cumulative counts never
+  // decrease from one bucket line to the next.
+  EXPECT_NE(prom.find("service_query_latency_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("service_query_latency_count 3\n"), std::string::npos);
+  EXPECT_NE(prom.find("service_query_latency_sum "), std::string::npos);
+  std::istringstream lines(prom);
+  std::string line;
+  int64_t previous = 0;
+  int bucket_lines = 0;
+  while (std::getline(lines, line)) {
+    const std::string prefix = "service_query_latency_bucket{le=";
+    if (line.compare(0, prefix.size(), prefix) != 0) continue;
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos);
+    const int64_t cumulative = std::stoll(line.substr(space + 1));
+    EXPECT_GE(cumulative, previous) << line;
+    previous = cumulative;
+    ++bucket_lines;
+  }
+  EXPECT_EQ(bucket_lines, Histogram::kNumBuckets);
+  EXPECT_EQ(previous, 3);
+}
+
+TEST(RegistryTest, SnapshotPrometheusExportsSpansAsLabeledSeries) {
+  MetricsRegistry registry;
+  registry.RecordSpan("bundle_reload", 0.25);
+  registry.RecordSpan("bundle_reload/bundle_validate", 0.125);
+  const std::string prom = registry.SnapshotPrometheus();
+  EXPECT_NE(prom.find("# TYPE dlinf_span_count counter\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("dlinf_span_count{path=\"bundle_reload\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(
+      prom.find(
+          "dlinf_span_seconds_total{path=\"bundle_reload/bundle_validate\"}"),
+      std::string::npos);
 }
 
 TEST(RegistryTest, ResetForTestZeroesWithoutInvalidatingPointers) {

@@ -32,6 +32,7 @@
 
 #include "apps/bundle_manager.h"
 #include "apps/location_service.h"
+#include "apps/telemetry_server.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
 #include "dlinfma/dlinfma_method.h"
@@ -758,6 +759,132 @@ void RunCorruptPushRollback(Checker& check) {
                  "service.reload.success");
 }
 
+// --- Scenario: /healthz tracks a rollback window ---------------------------
+
+/// The external health contract (DESIGN.md §10): the embedded /healthz
+/// endpoint must answer 503 for exactly the degraded window a corrupt push
+/// opens — from the rollback until the next healthy swap — and 200 outside
+/// it, while a concurrent prober hammers the endpoint throughout. /metrics
+/// must expose the rollback counter in Prometheus form the whole time.
+void RunHealthzDuringRollback(Checker& check) {
+  Fixture& fx = GetFixture();
+  const std::string dir = ScratchPath("healthz_bundle");
+  std::string error;
+  check.Expect(
+      io::SaveBundle(dir, fx.world, fx.data, fx.samples, *fx.method, &error),
+      "fixture bundle save failed: " + error);
+
+  apps::BundleManager::Config config;
+  config.dir = dir;
+  std::unique_ptr<apps::BundleManager> manager =
+      apps::BundleManager::Create(config, &error);
+  check.Expect(manager != nullptr, "bundle manager boot failed: " + error);
+  if (manager == nullptr) return;
+
+  apps::TelemetryServer telemetry;
+  apps::TelemetryServer::Options options;
+  options.port = 0;  // Ephemeral: parallel CI runs must not collide.
+  options.health = apps::BundleManagerHealth(manager.get());
+  check.Expect(telemetry.Start(options, &error),
+               "telemetry server start failed: " + error);
+  if (!telemetry.running()) return;
+  const int port = telemetry.port();
+
+  auto healthz_status = [&](const char* when) {
+    int status = 0;
+    std::string body;
+    if (!apps::HttpGet(port, "/healthz", &status, &body)) {
+      check.Expect(false, std::string("healthz unreachable ") + when);
+      return std::make_pair(0, std::string());
+    }
+    return std::make_pair(status, body);
+  };
+
+  // Healthy boot: 200 with status "ok".
+  {
+    const auto [status, body] = healthz_status("at boot");
+    check.ExpectEq(status, 200, "healthz status at boot");
+    check.Expect(body.find("\"status\":\"ok\"") != std::string::npos,
+                 "healthz body at boot: " + body);
+  }
+
+  // Concurrent prober for the whole rollback/recovery cycle: every probe
+  // must get *some* valid verdict (200 or 503), never a transport error.
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> probes{0};
+  std::atomic<int64_t> bad_probes{0};
+  std::thread prober([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      int status = 0;
+      std::string body;
+      if (!apps::HttpGet(port, "/healthz", &status, &body) ||
+          (status != 200 && status != 503)) {
+        bad_probes.fetch_add(1, std::memory_order_relaxed);
+      }
+      probes.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  // Corrupt push → rollback: the degraded window opens and /healthz flips
+  // to 503 with the still-serving generation in the body.
+  {
+    fault::ScopedFaultPlan armed(
+        fault::FaultPlan().FailAlways("service.reload.corrupt"), g_base_seed);
+    std::string why;
+    check.Expect(manager->ReloadNow(&why) ==
+                     apps::BundleManager::ReloadOutcome::kRolledBack,
+                 "corrupt push did not roll back");
+  }
+  {
+    const auto [status, body] = healthz_status("during rollback window");
+    check.ExpectEq(status, 503, "healthz status during rollback window");
+    check.Expect(body.find("\"status\":\"degraded\"") != std::string::npos,
+                 "healthz body during rollback window: " + body);
+    check.Expect(body.find("\"generation\":0") != std::string::npos,
+                 "healthz generation during rollback window: " + body);
+  }
+
+  // /metrics keeps serving Prometheus exposition mid-window, including the
+  // rollback counter.
+  {
+    int status = 0;
+    std::string body;
+    check.Expect(apps::HttpGet(port, "/metrics", &status, &body),
+                 "metrics unreachable during rollback window");
+    check.ExpectEq(status, 200, "metrics status during rollback window");
+    check.Expect(
+        body.find("# TYPE service_reload_rollbacks counter") !=
+            std::string::npos,
+        "metrics missing rollback counter TYPE line");
+    check.Expect(body.find("service_reload_degraded 1") != std::string::npos,
+                 "metrics missing degraded gauge = 1");
+  }
+
+  // Healthy push → swap: the window closes, /healthz recovers to 200 on the
+  // new generation.
+  {
+    std::string why;
+    check.Expect(manager->ReloadNow(&why) ==
+                     apps::BundleManager::ReloadOutcome::kSwapped,
+                 "healthy push did not swap: " + why);
+  }
+  {
+    const auto [status, body] = healthz_status("after recovery");
+    check.ExpectEq(status, 200, "healthz status after recovery");
+    check.Expect(body.find("\"status\":\"ok\"") != std::string::npos,
+                 "healthz body after recovery: " + body);
+    check.Expect(body.find("\"generation\":1") != std::string::npos,
+                 "healthz generation after recovery: " + body);
+  }
+
+  stop.store(true, std::memory_order_release);
+  prober.join();
+  telemetry.Stop();
+  check.Expect(probes.load() > 0, "concurrent prober never completed a probe");
+  check.ExpectEq(bad_probes.load(), 0,
+                 "probes with transport errors or unexpected statuses");
+}
+
 // --- Registry and driver ---------------------------------------------------
 
 struct Scenario {
@@ -789,6 +916,9 @@ constexpr Scenario kScenarios[] = {
     {"corrupt_push_rollback",
      "corrupt/invalid bundle pushes roll back under query load", false,
      RunCorruptPushRollback},
+    {"healthz_during_rollback",
+     "/healthz answers 503 for exactly the rollback window", false,
+     RunHealthzDuringRollback},
 };
 
 int RunScenarios(const std::vector<const Scenario*>& selected) {

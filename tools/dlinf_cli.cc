@@ -21,6 +21,7 @@
 //
 //   dlinf_cli serve --bundle DIR [--queries N] [--batch B] [--threads T]
 //              [--watch-bundle [--poll-every K]]
+//              [--telemetry-port P [--trace-sample R] [--linger-seconds S]]
 //       The online service: warm-start from the bundle (milliseconds, no
 //       retraining), score every delivered address, build the 3-tier
 //       delivery-location service, then answer N address queries (default
@@ -30,7 +31,12 @@
 //       (apps/bundle_manager.h): every K batches (default 8) the bundle
 //       directory is polled, a fresh push is staged + shadow-validated and
 //       swapped in with zero downtime, and a bad push rolls back to the
-//       live bundle.
+//       live bundle. --telemetry-port starts the embedded telemetry
+//       endpoint (apps/telemetry_server.h; port 0 picks a free port) with
+//       /metrics, /healthz, /varz and /tracez, arms trace recording at
+//       sampling rate R (default 0.01), and keeps the process (and the
+//       endpoint) alive S extra seconds after the query load finishes so
+//       external scrapers can read the final state.
 //
 //   dlinf_cli infer (--bundle DIR | --world DIR --model FILE) --out FILE.csv
 //       Write the inferred delivery location of every delivered address as
@@ -44,18 +50,28 @@
 //   Any command additionally accepts --metrics [FILE]: after the command
 //   finishes, dump the process metrics registry (pipeline stage timers,
 //   service tier hits, thread-pool stats; see DESIGN.md §6) as JSON to FILE,
-//   or to stdout when no FILE is given.
+//   or to stdout when no FILE is given. Two more global telemetry flags
+//   (DESIGN.md §10):
+//     --trace-out FILE   record every span/instant event (sampling rate 1)
+//                        for the whole command and write Chrome trace-event
+//                        JSON to FILE on exit (open in Perfetto).
+//     --log-json [FILE]  emit structured JSON-lines telemetry (per-epoch
+//                        training stats, reload transitions, degradation
+//                        warnings) to FILE, or stderr when no FILE given.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <exception>
 #include <filesystem>
 #include <map>
 #include <string>
+#include <thread>
 
 #include "apps/bundle_manager.h"
 #include "apps/location_service.h"
+#include "apps/telemetry_server.h"
 #include "baselines/evaluation.h"
 #include "baselines/simple_baselines.h"
 #include "common/csv.h"
@@ -68,6 +84,8 @@
 #include "io/bundle.h"
 #include "io/checkpoint.h"
 #include "obs/metrics.h"
+#include "obs/structured_log.h"
+#include "obs/trace_log.h"
 #include "sim/generator.h"
 #include "sim/world_io.h"
 
@@ -101,6 +119,12 @@ int IntFlag(const std::map<std::string, std::string>& flags,
             const std::string& key, int fallback) {
   auto it = flags.find(key);
   return it == flags.end() ? fallback : std::stoi(it->second);
+}
+
+double DoubleFlag(const std::map<std::string, std::string>& flags,
+                  const std::string& key, double fallback) {
+  auto it = flags.find(key);
+  return it == flags.end() ? fallback : std::stod(it->second);
 }
 
 /// Typed user-input validation: a path handed to --world/--bundle/--ckpt
@@ -433,6 +457,32 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
         fixed_service->building_entries());
   }
 
+  // Embedded telemetry endpoint: scrapeable while the query load runs (and
+  // for --linger-seconds after it, so CI / operators can read final state).
+  apps::TelemetryServer telemetry;
+  if (auto it = flags.find("telemetry-port"); it != flags.end()) {
+    apps::TelemetryServer::Options options;
+    options.port = it->second == "true" ? 0 : std::stoi(it->second);
+    if (manager != nullptr) {
+      options.health = apps::BundleManagerHealth(manager.get());
+    }
+    std::string error;
+    if (!telemetry.Start(options, &error)) {
+      std::fprintf(stderr, "error: cannot start telemetry server: %s\n",
+                   error.c_str());
+      return 1;
+    }
+    // Arm per-query trace sampling unless --trace-out already armed a
+    // record-everything session in main().
+    if (!obs::TracingArmed()) {
+      obs::TraceLog::Global().Start(DoubleFlag(flags, "trace-sample", 0.01));
+    }
+    std::printf("telemetry: http://127.0.0.1:%d (/metrics /healthz /varz "
+                "/tracez)\n",
+                telemetry.port());
+    std::fflush(stdout);
+  }
+
   // Drive a batched query load through the pool-backed QueryBatch API.
   const int num_queries = IntFlag(flags, "queries", 10000);
   const int batch_size = std::max(1, IntFlag(flags, "batch", 256));
@@ -524,6 +574,15 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
             registry.GetCounter("service.reload.rollbacks")->value()),
         manager->reload_degraded() ? " [degraded: last push rejected]" : "");
   }
+  if (telemetry.running()) {
+    const int linger = IntFlag(flags, "linger-seconds", 0);
+    if (linger > 0) {
+      std::printf("telemetry: lingering %d s for scrapers\n", linger);
+      std::fflush(stdout);
+      std::this_thread::sleep_for(std::chrono::seconds(linger));
+    }
+    telemetry.Stop();
+  }
   return 0;
 }
 
@@ -560,6 +619,20 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   const auto flags = ParseFlags(argc, argv);
 
+  if (auto it = flags.find("log-json"); it != flags.end()) {
+    if (it->second == "true") {
+      obs::StructuredLog::Global().UseStderr();
+    } else if (!obs::StructuredLog::Global().OpenFile(it->second)) {
+      std::fprintf(stderr, "error: cannot open %s for --log-json\n",
+                   it->second.c_str());
+      return 1;
+    }
+  }
+  const auto trace_out = flags.find("trace-out");
+  if (trace_out != flags.end() && trace_out->second != "true") {
+    obs::TraceLog::Global().Start(/*sample_rate=*/1.0);
+  }
+
   int status = 2;
   try {
     if (command == "generate") {
@@ -594,5 +667,19 @@ int main(int argc, char** argv) {
       if (status == 0) status = 1;
     }
   }
+  if (trace_out != flags.end() && trace_out->second != "true") {
+    obs::TraceLog::Global().Stop();
+    if (obs::TraceLog::Global().ExportChromeJson(trace_out->second)) {
+      std::fprintf(stderr, "trace: %lld events -> %s\n",
+                   static_cast<long long>(
+                       obs::TraceLog::Global().recorded_events()),
+                   trace_out->second.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write trace to %s\n",
+                   trace_out->second.c_str());
+      if (status == 0) status = 1;
+    }
+  }
+  obs::StructuredLog::Global().Close();
   return status;
 }
