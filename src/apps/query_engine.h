@@ -1,0 +1,158 @@
+#ifndef DLINF_APPS_QUERY_ENGINE_H_
+#define DLINF_APPS_QUERY_ENGINE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/bundle_manager.h"
+#include "apps/http_conn.h"
+#include "apps/location_service.h"
+#include "apps/shard_router.h"
+#include "obs/metrics.h"
+
+/// \file
+/// The sharded high-QPS query front end (DESIGN.md §11).
+///
+/// One epoll event loop (`HttpServer`) accepts keep-alive/pipelined HTTP and
+/// routes `/query` + `/query_batch` by consistent hash (`ShardRouter`) to N
+/// shard worker threads. Each shard owns its own `BundleManager` over the
+/// same bundle directory, so hot-reload (stage → validate → swap/rollback)
+/// happens per shard without ever blocking another shard's queries.
+///
+/// **Shedding contract**: admission control runs on the loop thread. When a
+/// shard's queue is at capacity (or the `service.shard.overload` fault point
+/// fires), the request is *not* dropped and the connection is *not* closed —
+/// the loop thread answers inline with the geocode-tier degraded answer, the
+/// same lowest tier `DegradePolicy` falls back to when upper tiers fail.
+/// Every query is always answered; shedding only changes which tier answers
+/// and is visible in `"shed": true` and the `service.shard.shed` counters.
+///
+/// Telemetry endpoints (/metrics, /healthz, /varz) are served from the same
+/// event loop, so a stalled or slow client can never delay a health scrape
+/// (the slow-loris fix; see tests/query_engine_test.cc).
+
+namespace dlinf {
+namespace apps {
+
+/// Sharded query engine: event loop + N shard workers + per-shard reload.
+class QueryEngine {
+ public:
+  struct Options {
+    std::string bundle_dir;
+    int num_shards = 4;
+    int port = 0;  ///< 0 picks an ephemeral port.
+    /// Admission bound: queries queued per shard beyond which new arrivals
+    /// are shed to the inline degraded tier.
+    int max_queue_per_shard = 512;
+    double idle_timeout_s = 30.0;
+    /// Per-shard BundleManager tuning (`dir` is overridden by bundle_dir).
+    BundleManager::Config bundle;
+  };
+
+  /// Aggregate outcome of one reload pass across every shard.
+  struct ReloadSummary {
+    int swapped = 0;
+    int rolled_back = 0;
+    int unchanged = 0;
+  };
+
+  /// Boots one BundleManager per shard from `options.bundle_dir`, builds
+  /// the shard ring, binds the port and starts serving. nullptr (reason in
+  /// `error`) when the bundle fails to load or the socket setup fails.
+  static std::unique_ptr<QueryEngine> Create(const Options& options,
+                                             std::string* error = nullptr);
+
+  ~QueryEngine();
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Stops accepting, drains the shard queues, joins every thread.
+  void Stop();
+
+  int port() const { return server_.port(); }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  const ShardRouter& router() const { return router_; }
+
+  /// Runs BundleManager::Poll on every shard (control thread only).
+  ReloadSummary PollShards(std::string* error = nullptr);
+
+  /// Runs BundleManager::ReloadNow on every shard (control thread only).
+  ReloadSummary ReloadShardsNow(std::string* error = nullptr);
+
+  /// True while any shard serves an older generation than the last push
+  /// (i.e. at least one shard rolled back and hasn't recovered).
+  bool AnyShardDegraded() const;
+
+  /// Shard `i`'s reload manager (tests and the serve loop).
+  BundleManager* shard_manager(int shard) {
+    return shards_[static_cast<size_t>(shard)]->manager.get();
+  }
+
+  /// The exact JSON body `/query` serves for `address_id` answered by
+  /// `shard`. Exposed so tests can derive the expected bytes from a direct
+  /// `DeliveryLocationService::Query` answer and assert bit-identical
+  /// engine output (doubles are %.17g — lossless round-trip).
+  static std::string FormatAnswerJson(
+      int64_t address_id, const DeliveryLocationService::Answer& answer,
+      int shard, bool shed);
+
+ private:
+  /// One enqueued unit of work: either a single /query or one shard's slice
+  /// of a /query_batch.
+  struct BatchState;
+  struct Job {
+    int64_t address_id = -1;
+    HttpServer::ResponseHandle handle;  ///< Single-query only.
+    double enqueue_s = 0.0;
+    std::shared_ptr<BatchState> batch;  ///< Batch slice only.
+    std::vector<size_t> indices;        ///< Batch positions for this shard.
+  };
+
+  struct Shard {
+    std::unique_ptr<BundleManager> manager;
+    std::thread worker;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Job> queue;
+    bool stop = false;
+    obs::Counter* hits = nullptr;  ///< service.shard.hits#shard=i
+    obs::Counter* shed = nullptr;  ///< service.shard.shed#shard=i
+  };
+
+  QueryEngine() = default;
+
+  void Handle(const HttpRequest& request, HttpServer::ResponseHandle handle);
+  void HandleQuery(const HttpRequest& request,
+                   HttpServer::ResponseHandle handle);
+  void HandleQueryBatch(const HttpRequest& request,
+                        HttpServer::ResponseHandle handle);
+  void WorkerLoop(Shard* shard, int shard_index);
+
+  /// The inline geocode-tier degraded answer used when shedding.
+  DeliveryLocationService::Answer ShedAnswer(const Shard& shard,
+                                             int64_t address_id) const;
+
+  /// True when the request was shed (handled inline); false when enqueued.
+  bool AdmitOrShed(int shard_index, Job job);
+
+  std::string HealthzJson() const;
+
+  Options options_;
+  ShardRouter router_{1};
+  std::vector<std::unique_ptr<Shard>> shards_;
+  HttpServer server_;
+  std::atomic<int64_t> address_count_{0};  ///< Bounds check on admission.
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace apps
+}  // namespace dlinf
+
+#endif  // DLINF_APPS_QUERY_ENGINE_H_

@@ -1,0 +1,46 @@
+#include "apps/shard_router.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dlinf {
+namespace apps {
+
+uint64_t ShardRouter::Mix(uint64_t x) {
+  // splitmix64 finalizer — full-avalanche, stateless, endian-free.
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+ShardRouter::ShardRouter(int num_shards, int vnodes_per_shard)
+    : num_shards_(num_shards) {
+  CHECK(num_shards >= 1);
+  CHECK(vnodes_per_shard >= 1);
+  ring_.reserve(static_cast<size_t>(num_shards) * vnodes_per_shard);
+  for (int shard = 0; shard < num_shards; ++shard) {
+    for (int vnode = 0; vnode < vnodes_per_shard; ++vnode) {
+      // Each virtual node's ring position derives from (shard, vnode) only,
+      // so shard s occupies identical positions whether the ring holds N or
+      // N+1 shards — the consistency property.
+      const uint64_t id = (static_cast<uint64_t>(shard) << 32) |
+                          static_cast<uint64_t>(vnode);
+      ring_.push_back({Mix(id), shard});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+int ShardRouter::ShardOf(int64_t key) const {
+  const uint64_t position = Mix(static_cast<uint64_t>(key));
+  // First ring point at or after the key's position, wrapping past the top.
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), Point{position, -1});
+  if (it == ring_.end()) it = ring_.begin();
+  return it->shard;
+}
+
+}  // namespace apps
+}  // namespace dlinf

@@ -1,14 +1,6 @@
 #include "apps/telemetry_server.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <cstdio>
-#include <cstdlib>
-#include <cstring>
+#include <utility>
 
 #include "apps/bundle_manager.h"
 #include "obs/metrics.h"
@@ -18,51 +10,6 @@ namespace dlinf {
 namespace apps {
 
 namespace {
-
-/// Caps a request read: a telemetry GET line fits in far less, and bounding
-/// the read keeps a garbage client from holding the accept thread.
-constexpr size_t kMaxRequestBytes = 4096;
-
-bool SendAll(int fd, const char* data, size_t size) {
-  size_t sent = 0;
-  while (sent < size) {
-    const ssize_t n =
-        ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return false;
-    }
-    sent += static_cast<size_t>(n);
-  }
-  return true;
-}
-
-void WriteResponse(int fd, int status, const std::string& content_type,
-                   const std::string& body) {
-  const char* reason = status == 200   ? "OK"
-                       : status == 404 ? "Not Found"
-                       : status == 503 ? "Service Unavailable"
-                                       : "Error";
-  char header[256];
-  const int n = std::snprintf(
-      header, sizeof(header),
-      "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
-      "Connection: close\r\n\r\n",
-      status, reason, content_type.c_str(), body.size());
-  if (!SendAll(fd, header, static_cast<size_t>(n))) return;
-  SendAll(fd, body.data(), body.size());
-}
-
-/// First line of "GET <path> HTTP/1.x" -> path ("" on anything malformed).
-std::string ParseRequestPath(const std::string& request) {
-  if (request.compare(0, 4, "GET ") != 0) return "";
-  const size_t end = request.find(' ', 4);
-  if (end == std::string::npos) return "";
-  std::string path = request.substr(4, end - 4);
-  const size_t query = path.find('?');
-  if (query != std::string::npos) path.resize(query);
-  return path;
-}
 
 std::string JsonEscape(const std::string& s) {
   std::string out;
@@ -93,77 +40,20 @@ bool TelemetryServer::Start(const Options& options, std::string* error) {
   }
   options_ = options;
 
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    if (error != nullptr) *error = std::string("socket: ") + strerror(errno);
-    return false;
-  }
-  const int reuse = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<uint16_t>(options.port));
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
-      ::listen(fd, 16) != 0) {
-    if (error != nullptr) *error = std::string("bind: ") + strerror(errno);
-    ::close(fd);
-    return false;
-  }
-  socklen_t addr_len = sizeof(addr);
-  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) != 0) {
-    if (error != nullptr) {
-      *error = std::string("getsockname: ") + strerror(errno);
-    }
-    ::close(fd);
-    return false;
-  }
-  port_ = ntohs(addr.sin_port);
-  listen_fd_ = fd;
-  running_.store(true, std::memory_order_release);
-  thread_ = std::thread(&TelemetryServer::Serve, this);
-  return true;
-}
-
-void TelemetryServer::Stop() {
-  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
-  // shutdown() unblocks the accept() in the serve thread.
-  ::shutdown(listen_fd_, SHUT_RDWR);
-  if (thread_.joinable()) thread_.join();
-  ::close(listen_fd_);
-  listen_fd_ = -1;
-}
-
-void TelemetryServer::Serve() {
+  HttpServer::Options server_options;
+  server_options.port = options.port;
+  server_options.idle_timeout_s = options.idle_timeout_s;
   obs::Counter* requests =
       obs::MetricsRegistry::Global().GetCounter("telemetry.http.requests");
-  while (running()) {
-    const int client = ::accept(listen_fd_, nullptr, nullptr);
-    if (client < 0) {
-      if (errno == EINTR) continue;
-      break;  // Listener shut down (Stop) or unrecoverable.
-    }
-    // A stalled client may not hold the endpoint hostage.
-    timeval timeout{};
-    timeout.tv_sec = 2;
-    ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
-
-    std::string request;
-    char buffer[1024];
-    while (request.size() < kMaxRequestBytes &&
-           request.find("\r\n") == std::string::npos) {
-      const ssize_t n = ::recv(client, buffer, sizeof(buffer), 0);
-      if (n <= 0) break;
-      request.append(buffer, static_cast<size_t>(n));
-    }
-
-    const std::string path = ParseRequestPath(request);
+  // The handler runs on the loop thread; every endpoint is a fast snapshot
+  // call, so it answers inline.
+  auto handler = [this, requests](const HttpRequest& request,
+                                  HttpServer::ResponseHandle handle) {
     requests->Add(1);
-    if (path == "/metrics") {
-      WriteResponse(client, 200, "text/plain; version=0.0.4",
-                    obs::MetricsRegistry::Global().SnapshotPrometheus());
-    } else if (path == "/healthz") {
+    if (request.path == "/metrics") {
+      handle.Respond(200, "text/plain; version=0.0.4",
+                     obs::MetricsRegistry::Global().SnapshotPrometheus());
+    } else if (request.path == "/healthz") {
       HealthStatus health;
       if (options_.health) health = options_.health();
       std::string body = "{\"status\":\"";
@@ -173,19 +63,21 @@ void TelemetryServer::Serve() {
         body += ",\"detail\":\"" + JsonEscape(health.detail) + "\"";
       }
       body += "}\n";
-      WriteResponse(client, health.ok ? 200 : 503, "application/json", body);
-    } else if (path == "/varz") {
-      WriteResponse(client, 200, "application/json",
-                    obs::MetricsRegistry::Global().SnapshotJson());
-    } else if (path == "/tracez") {
-      WriteResponse(client, 200, "application/json",
-                    obs::TraceLog::Global().ExportChromeJson());
+      handle.Respond(health.ok ? 200 : 503, "application/json", body);
+    } else if (request.path == "/varz") {
+      handle.Respond(200, "application/json",
+                     obs::MetricsRegistry::Global().SnapshotJson());
+    } else if (request.path == "/tracez") {
+      handle.Respond(200, "application/json",
+                     obs::TraceLog::Global().ExportChromeJson());
     } else {
-      WriteResponse(client, 404, "text/plain", "not found\n");
+      handle.Respond(404, "text/plain", "not found\n");
     }
-    ::close(client);
-  }
+  };
+  return server_.Start(server_options, std::move(handler), error);
 }
+
+void TelemetryServer::Stop() { server_.Stop(); }
 
 std::function<HealthStatus()> BundleManagerHealth(
     const BundleManager* manager) {
@@ -203,43 +95,7 @@ std::function<HealthStatus()> BundleManagerHealth(
 
 bool HttpGet(int port, const std::string& path, int* status,
              std::string* body) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return false;
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    ::close(fd);
-    return false;
-  }
-  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
-  if (!SendAll(fd, request.data(), request.size())) {
-    ::close(fd);
-    return false;
-  }
-  std::string response;
-  char buffer[4096];
-  for (;;) {
-    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) break;
-    response.append(buffer, static_cast<size_t>(n));
-  }
-  ::close(fd);
-
-  // "HTTP/1.0 <status> ..." then headers, blank line, body.
-  if (response.compare(0, 5, "HTTP/") != 0) return false;
-  const size_t space = response.find(' ');
-  if (space == std::string::npos || space + 4 > response.size()) return false;
-  if (status != nullptr) {
-    *status = std::atoi(response.c_str() + space + 1);
-  }
-  if (body != nullptr) {
-    const size_t blank = response.find("\r\n\r\n");
-    *body = blank == std::string::npos ? "" : response.substr(blank + 4);
-  }
-  return true;
+  return HttpGetOnce(port, path, status, body);
 }
 
 }  // namespace apps

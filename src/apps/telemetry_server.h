@@ -1,17 +1,16 @@
 #ifndef DLINF_APPS_TELEMETRY_SERVER_H_
 #define DLINF_APPS_TELEMETRY_SERVER_H_
 
-#include <atomic>
 #include <functional>
 #include <string>
-#include <thread>
+
+#include "apps/http_conn.h"
 
 /// \file
 /// Embedded telemetry endpoint (DESIGN.md §10).
 ///
-/// A minimal single-threaded HTTP/1.0 server over a plain POSIX socket (no
-/// third-party dependency), started by `dlinf_cli serve --telemetry-port`.
-/// Endpoints:
+/// A thin endpoint set over the shared non-blocking `HttpServer` event loop
+/// (http_conn.h), started by `dlinf_cli serve --telemetry-port`. Endpoints:
 ///
 ///   GET /metrics  Prometheus text exposition (format 0.0.4) of the global
 ///                 MetricsRegistry: counters, gauges, histograms with
@@ -27,10 +26,13 @@
 ///   GET /tracez   TraceLog::ExportChromeJson() — recent sampled trace
 ///                 events, loadable in Perfetto / chrome://tracing.
 ///
-/// Anything else is 404. The server answers one connection at a time on a
-/// dedicated accept thread: telemetry scrapes are rare and small, and
-/// serialization keeps the server trivially robust under concurrent load
-/// (pending connections queue in the listen backlog).
+/// Anything else is 404. Historically this was a sequential-accept loop,
+/// which let one slow client delay every other scrape — a stalled reader
+/// holding the socket blocked /healthz until its receive timeout. The
+/// endpoints now run on the epoll event loop: a half-sent request or an
+/// unread response parks on its own connection while other scrapes are
+/// answered immediately, and the loop's idle sweep evicts slow-loris
+/// connections (see the regression test in telemetry_server_test.cc).
 ///
 /// All handlers read telemetry state through the same thread-safe snapshot
 /// calls tests use; the server adds no mutable state of its own beyond the
@@ -57,6 +59,10 @@ class TelemetryServer {
 
     /// Called per /healthz request. Default: always ok, generation 0.
     std::function<HealthStatus()> health;
+
+    /// Connections with no progress for this long are evicted (the
+    /// slow-loris guard of the underlying event loop).
+    double idle_timeout_s = 10.0;
   };
 
   TelemetryServer() = default;
@@ -64,26 +70,21 @@ class TelemetryServer {
   TelemetryServer(const TelemetryServer&) = delete;
   TelemetryServer& operator=(const TelemetryServer&) = delete;
 
-  /// Binds 127.0.0.1:`options.port`, spawns the accept thread. False (with
+  /// Binds 127.0.0.1:`options.port`, starts the event loop. False (with
   /// the reason in `error`) when the bind/listen fails, e.g. port in use.
   bool Start(const Options& options, std::string* error = nullptr);
 
-  /// Unblocks the accept thread and joins it. Idempotent.
+  /// Stops the event loop and joins it. Idempotent.
   void Stop();
 
   /// The bound port (valid after a successful Start).
-  int port() const { return port_; }
+  int port() const { return server_.port(); }
 
-  bool running() const { return running_.load(std::memory_order_acquire); }
+  bool running() const { return server_.running(); }
 
  private:
-  void Serve();
-
   Options options_;
-  int listen_fd_ = -1;
-  int port_ = 0;
-  std::atomic<bool> running_{false};
-  std::thread thread_;
+  HttpServer server_;
 };
 
 /// Health provider wired to a BundleManager: not-ok while
@@ -91,7 +92,7 @@ class TelemetryServer {
 /// previous generation). `manager` must outlive the server.
 std::function<HealthStatus()> BundleManagerHealth(const BundleManager* manager);
 
-/// Minimal blocking HTTP/1.0 GET against 127.0.0.1:`port` (test/tool
+/// Minimal blocking one-shot GET against 127.0.0.1:`port` (test/tool
 /// helper; also used by the chaos healthz scenario). Returns false on
 /// connect/transport failure; otherwise fills `*status` and `*body`.
 bool HttpGet(int port, const std::string& path, int* status,

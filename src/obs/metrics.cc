@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <limits>
+#include <set>
 
 #include "common/check.h"
 
@@ -76,6 +77,39 @@ std::string PrometheusName(const std::string& name) {
   }
   if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(0, 1, '_');
   return out;
+}
+
+/// Expands the registry's label convention into an exposition series name:
+/// `base#k1=v1#k2=v2` becomes `base{k1="v1",k2="v2"}` (with `base` folded
+/// through PrometheusName). `*base_out` receives the folded base so callers
+/// can dedupe `# TYPE` lines across the base series and its labeled
+/// variants. A plain name passes through unchanged.
+std::string PrometheusLabelEscape(const std::string& s);
+std::string PrometheusSeries(const std::string& name, std::string* base_out) {
+  const size_t hash = name.find('#');
+  if (hash == std::string::npos) {
+    *base_out = PrometheusName(name);
+    return *base_out;
+  }
+  *base_out = PrometheusName(name.substr(0, hash));
+  std::string labels;
+  size_t pos = hash;
+  while (pos != std::string::npos) {
+    const size_t next = name.find('#', pos + 1);
+    const std::string pair =
+        name.substr(pos + 1, next == std::string::npos
+                                 ? std::string::npos
+                                 : next - pos - 1);
+    const size_t eq = pair.find('=');
+    const std::string key = eq == std::string::npos ? pair : pair.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? "" : pair.substr(eq + 1);
+    if (!labels.empty()) labels += ",";
+    labels += PrometheusName(key) + "=\"" + PrometheusLabelEscape(value) +
+              "\"";
+    pos = next;
+  }
+  return *base_out + "{" + labels + "}";
 }
 
 /// Label values escape `\`, `"` and newline per the exposition format.
@@ -291,15 +325,21 @@ std::string MetricsRegistry::SnapshotJson() const {
 std::string MetricsRegistry::SnapshotPrometheus() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;
+  // One # TYPE line per exposition family: a labeled series
+  // (`base#shard=0`) shares its family with the plain `base` series, so the
+  // TYPE line is emitted only on the family's first appearance.
+  std::set<std::string> typed;
   for (const auto& [name, counter] : counters_) {
-    const std::string prom = PrometheusName(name);
-    out += "# TYPE " + prom + " counter\n";
-    out += prom + " " + std::to_string(counter->value()) + "\n";
+    std::string base;
+    const std::string series = PrometheusSeries(name, &base);
+    if (typed.insert(base).second) out += "# TYPE " + base + " counter\n";
+    out += series + " " + std::to_string(counter->value()) + "\n";
   }
   for (const auto& [name, gauge] : gauges_) {
-    const std::string prom = PrometheusName(name);
-    out += "# TYPE " + prom + " gauge\n";
-    out += prom + " " + FormatDouble(gauge->value()) + "\n";
+    std::string base;
+    const std::string series = PrometheusSeries(name, &base);
+    if (typed.insert(base).second) out += "# TYPE " + base + " gauge\n";
+    out += series + " " + FormatDouble(gauge->value()) + "\n";
   }
   for (const auto& [name, hist] : histograms_) {
     const std::string prom = PrometheusName(name);

@@ -171,6 +171,12 @@ class MetricsRegistry {
   /// le="+Inf") plus `_sum` and `_count`; span statistics are exported as
   /// `dlinf_span_count{path="..."}` and
   /// `dlinf_span_seconds_total{path="..."}`.
+  ///
+  /// Label convention: a counter or gauge registered as `base#k=v` (e.g.
+  /// `service.shard.hits#shard=0`) is exported as the labeled series
+  /// `base{k="v"}`, sharing one `# TYPE` line with the plain `base` series.
+  /// Multiple labels chain with further `#k=v` suffixes. Histogram names do
+  /// not use the convention (their `le` label is reserved).
   std::string SnapshotPrometheus() const;
 
   /// Writes SnapshotJson() to `path`; false on I/O failure.

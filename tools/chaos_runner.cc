@@ -16,6 +16,7 @@
 // nonzero, by nature). Run under ASan/UBSan/TSan in CI.
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -32,6 +33,7 @@
 
 #include "apps/bundle_manager.h"
 #include "apps/location_service.h"
+#include "apps/query_engine.h"
 #include "apps/telemetry_server.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
@@ -885,6 +887,160 @@ void RunHealthzDuringRollback(Checker& check) {
                  "probes with transport errors or unexpected statuses");
 }
 
+// --- Scenario: sharded reload under live HTTP load --------------------------
+
+/// The sharded query engine's reload contract (DESIGN.md §11) under real
+/// HTTP load: pipelined keep-alive clients hammer `/query` while every
+/// shard's bundle is reloaded — once with `service.reload.corrupt` armed
+/// (every shard rolls back) and once clean (every shard swaps). The checks:
+/// zero non-200 answers on `/query` throughout (the never-drop contract —
+/// a reload must not surface as a 5xx), `/healthz` reads 503 exactly inside
+/// the degraded window and 200 outside it, and the
+/// `service.reload.rollbacks` / `service.reload.success` counter deltas
+/// equal the per-shard outcome counts the reload pass reported.
+void RunShardReloadUnderLoad(Checker& check) {
+  Fixture& fx = GetFixture();
+  const std::string dir = ScratchPath("shard_reload_bundle");
+  std::string error;
+  check.Expect(
+      io::SaveBundle(dir, fx.world, fx.data, fx.samples, *fx.method, &error),
+      "fixture bundle save failed: " + error);
+
+  constexpr int kShards = 2;
+  apps::QueryEngine::Options options;
+  options.bundle_dir = dir;
+  options.num_shards = kShards;
+  std::unique_ptr<apps::QueryEngine> engine =
+      apps::QueryEngine::Create(options, &error);
+  check.Expect(engine != nullptr, "query engine boot failed: " + error);
+  if (engine == nullptr) return;
+  const int port = engine->port();
+  const int64_t address_count =
+      static_cast<int64_t>(fx.world.addresses.size());
+
+  // Continuous pipelined /query load: every response must be 200 no matter
+  // what the control thread does to the shards' bundles.
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> answered{0};
+  std::atomic<int64_t> non_200{0};
+  std::atomic<int64_t> transport_errors{0};
+  std::thread load([&] {
+    apps::HttpClient client;
+    if (!client.Connect(port)) {
+      transport_errors.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    int64_t cursor = 0;
+    constexpr int kPipeline = 8;
+    while (!stop.load(std::memory_order_acquire)) {
+      std::string burst;
+      for (int i = 0; i < kPipeline; ++i) {
+        burst += "GET /query?address_id=" + std::to_string(cursor) +
+                 " HTTP/1.1\r\nHost: h\r\n\r\n";
+        cursor = (cursor + 13) % address_count;
+      }
+      if (!client.SendRaw(burst)) {
+        transport_errors.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      for (int i = 0; i < kPipeline; ++i) {
+        int status = 0;
+        std::string body;
+        if (!client.ReadResponse(&status, &body)) {
+          transport_errors.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        if (status != 200) non_200.fetch_add(1, std::memory_order_relaxed);
+        answered.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  // Bounded wait for the load to actually flow before churning reloads.
+  auto wait_for_answers = [&](int64_t target, const char* when) {
+    for (int spin = 0; spin < 5000 && answered.load() < target; ++spin) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    check.Expect(answered.load() >= target,
+                 std::string("query load stalled ") + when);
+  };
+  wait_for_answers(32, "before the first reload");
+
+  auto healthz_status = [&](const char* when) {
+    int status = 0;
+    std::string body;
+    if (!apps::HttpGetOnce(port, "/healthz", &status, &body)) {
+      check.Expect(false, std::string("healthz unreachable ") + when);
+      return std::make_pair(0, std::string());
+    }
+    return std::make_pair(status, body);
+  };
+
+  const int64_t rollbacks_before = CounterValue("service.reload.rollbacks");
+  const int64_t success_before = CounterValue("service.reload.success");
+
+  // Healthy boot: /healthz is 200 with every shard on generation 0.
+  {
+    const auto [status, body] = healthz_status("at boot");
+    check.ExpectEq(status, 200, "healthz status at boot");
+    check.Expect(body.find("\"ok\":true") != std::string::npos,
+                 "healthz body at boot: " + body);
+  }
+
+  // Corrupt push under load: every shard rolls back, the degraded window
+  // opens, and /query keeps answering 200 throughout.
+  {
+    fault::ScopedFaultPlan armed(
+        fault::FaultPlan().FailAlways("service.reload.corrupt"), g_base_seed);
+    const apps::QueryEngine::ReloadSummary summary =
+        engine->ReloadShardsNow(&error);
+    check.ExpectEq(summary.rolled_back, kShards,
+                   "shards rolled back on corrupt push");
+    check.ExpectEq(summary.swapped, 0, "shards swapped on corrupt push");
+  }
+  check.Expect(engine->AnyShardDegraded(),
+               "corrupt push did not open the degraded window");
+  check.ExpectEq(CounterValue("service.reload.rollbacks") - rollbacks_before,
+                 kShards, "service.reload.rollbacks == rolled-back shards");
+  {
+    const auto [status, body] = healthz_status("during rollback window");
+    check.ExpectEq(status, 503, "healthz status during rollback window");
+    check.Expect(body.find("\"ok\":false") != std::string::npos,
+                 "healthz body during rollback window: " + body);
+  }
+  wait_for_answers(answered.load() + 32, "inside the rollback window");
+
+  // Healthy push under load: every shard swaps, the window closes.
+  {
+    const apps::QueryEngine::ReloadSummary summary =
+        engine->ReloadShardsNow(&error);
+    check.ExpectEq(summary.swapped, kShards,
+                   "shards swapped on healthy push: " + error);
+    check.ExpectEq(summary.rolled_back, 0,
+                   "shards rolled back on healthy push");
+  }
+  check.Expect(!engine->AnyShardDegraded(),
+               "healthy push did not close the degraded window");
+  check.ExpectEq(CounterValue("service.reload.success") - success_before,
+                 kShards, "service.reload.success == swapped shards");
+  {
+    const auto [status, body] = healthz_status("after recovery");
+    check.ExpectEq(status, 200, "healthz status after recovery");
+    check.Expect(body.find("\"ok\":true") != std::string::npos,
+                 "healthz body after recovery: " + body);
+  }
+  wait_for_answers(answered.load() + 32, "after recovery");
+
+  stop.store(true, std::memory_order_release);
+  load.join();
+  engine->Stop();
+  check.Expect(answered.load() > 0, "query load never answered anything");
+  check.ExpectEq(transport_errors.load(), 0,
+                 "transport errors under reload churn");
+  check.ExpectEq(non_200.load(), 0,
+                 "non-200 /query answers under reload churn (5xx contract)");
+}
+
 // --- Registry and driver ---------------------------------------------------
 
 struct Scenario {
@@ -919,6 +1075,9 @@ constexpr Scenario kScenarios[] = {
     {"healthz_during_rollback",
      "/healthz answers 503 for exactly the rollback window", false,
      RunHealthzDuringRollback},
+    {"shard_reload_under_load",
+     "per-shard reload churn under live HTTP load -> zero non-200", false,
+     RunShardReloadUnderLoad},
 };
 
 int RunScenarios(const std::vector<const Scenario*>& selected) {

@@ -22,6 +22,7 @@
 //   dlinf_cli serve --bundle DIR [--queries N] [--batch B] [--threads T]
 //              [--watch-bundle [--poll-every K]]
 //              [--telemetry-port P [--trace-sample R] [--linger-seconds S]]
+//              [--shards N [--port P] [--serve-seconds S] [--poll-every K]]
 //       The online service: warm-start from the bundle (milliseconds, no
 //       retraining), score every delivered address, build the 3-tier
 //       delivery-location service, then answer N address queries (default
@@ -36,7 +37,13 @@
 //       /metrics, /healthz, /varz and /tracez, arms trace recording at
 //       sampling rate R (default 0.01), and keeps the process (and the
 //       endpoint) alive S extra seconds after the query load finishes so
-//       external scrapers can read the final state.
+//       external scrapers can read the final state. With --shards N the
+//       command instead boots the sharded HTTP query engine (DESIGN.md
+//       §11): N shard workers behind one epoll event loop on --port P
+//       (default 0 = ephemeral), serving /query, /query_batch, /metrics,
+//       /healthz, /varz and /inventory until --serve-seconds S elapses
+//       (default 0 = until killed), polling for bundle pushes every
+//       --poll-every K seconds; drive it with tools/load_gen.
 //
 //   dlinf_cli infer (--bundle DIR | --world DIR --model FILE) --out FILE.csv
 //       Write the inferred delivery location of every delivered address as
@@ -71,6 +78,7 @@
 
 #include "apps/bundle_manager.h"
 #include "apps/location_service.h"
+#include "apps/query_engine.h"
 #include "apps/telemetry_server.h"
 #include "baselines/evaluation.h"
 #include "baselines/simple_baselines.h"
@@ -412,8 +420,75 @@ int CmdInfer(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+/// `serve --shards N`: the sharded HTTP query engine (DESIGN.md §11).
+/// Boots a QueryEngine over the bundle, prints the bound port, then serves
+/// until --serve-seconds elapses (0 = until killed), polling every shard's
+/// bundle directory for pushes every --poll-every seconds.
+int CmdServeEngine(const std::map<std::string, std::string>& flags) {
+  const std::string& dir = flags.at("bundle");
+  if (!PathUsable("--bundle", dir, /*want_dir=*/true)) return 1;
+
+  apps::QueryEngine::Options options;
+  options.bundle_dir = dir;
+  options.num_shards = std::max(1, IntFlag(flags, "shards", 4));
+  options.port = IntFlag(flags, "port", 0);
+  Stopwatch watch;
+  std::string error;
+  std::unique_ptr<apps::QueryEngine> engine =
+      apps::QueryEngine::Create(options, &error);
+  if (engine == nullptr) {
+    std::fprintf(stderr, "error: cannot start query engine: %s\n",
+                 error.c_str());
+    return 1;
+  }
+  std::printf(
+      "query engine up in %.2f s: %d shards on http://127.0.0.1:%d "
+      "(/query /query_batch /metrics /healthz /varz /inventory)\n",
+      watch.ElapsedSeconds(), engine->num_shards(), engine->port());
+  std::fflush(stdout);
+
+  const double serve_seconds = DoubleFlag(flags, "serve-seconds", 0.0);
+  const int poll_every_s = std::max(1, IntFlag(flags, "poll-every", 5));
+  watch.Reset();
+  double last_poll = 0.0;
+  while (serve_seconds <= 0.0 || watch.ElapsedSeconds() < serve_seconds) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    if (watch.ElapsedSeconds() - last_poll >= poll_every_s) {
+      last_poll = watch.ElapsedSeconds();
+      const apps::QueryEngine::ReloadSummary summary =
+          engine->PollShards(&error);
+      if (summary.swapped > 0 || summary.rolled_back > 0) {
+        std::printf("hot-reload: %d shard(s) swapped, %d rolled back%s%s\n",
+                    summary.swapped, summary.rolled_back,
+                    summary.rolled_back > 0 ? ": " : "",
+                    summary.rolled_back > 0 ? error.c_str() : "");
+        std::fflush(stdout);
+      }
+    }
+  }
+  engine->Stop();
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  int64_t hits = 0;
+  int64_t shed = 0;
+  for (int shard = 0; shard < engine->num_shards(); ++shard) {
+    hits += registry
+                .GetCounter("service.shard.hits#shard=" +
+                            std::to_string(shard))
+                ->value();
+    shed += registry
+                .GetCounter("service.shard.shed#shard=" +
+                            std::to_string(shard))
+                ->value();
+  }
+  std::printf("query engine done: %lld shard hits, %lld shed\n",
+              static_cast<long long>(hits), static_cast<long long>(shed));
+  return 0;
+}
+
 int CmdServe(const std::map<std::string, std::string>& flags) {
   if (flags.count("bundle") == 0) return Usage();
+  if (flags.count("shards") > 0) return CmdServeEngine(flags);
   const bool watch_bundle = flags.count("watch-bundle") > 0;
   const int poll_every = std::max(1, IntFlag(flags, "poll-every", 8));
 

@@ -1,0 +1,253 @@
+// load_gen — synthetic query traffic against a running query engine
+// (DESIGN.md §11).
+//
+//   load_gen --port P [--threads 4] [--seconds 2] [--pipeline 16]
+//            [--batch 0] [--max-requests 0]
+//
+// Discovers the address keyspace from the engine's /inventory endpoint,
+// then drives it from `--threads` keep-alive connections, each writing
+// pipelined bursts of `--pipeline` GET /query requests (or, with
+// `--batch N`, POST /query_batch bodies of N ids) and reading the
+// responses back in order. Key streams are deterministic per thread.
+//
+// Prints one machine-readable summary line:
+//
+//   load_gen: requests=N qps=Q p50_ms=A p99_ms=B p999_ms=C shed=S errors=E
+//
+// and exits nonzero on any transport failure or non-200 answer, so CI smoke
+// steps can gate on it directly. Latency per request is measured as its
+// burst's round-trip time — an upper bound for every request in the burst.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/http_conn.h"
+
+namespace {
+
+using dlinf::apps::HttpClient;
+using dlinf::apps::HttpGetOnce;
+
+struct Options {
+  int port = 0;
+  int threads = 4;
+  double seconds = 2.0;
+  int pipeline = 16;
+  int batch = 0;  ///< 0: single GETs; N>0: /query_batch of N ids.
+  int64_t max_requests = 0;  ///< 0: until --seconds elapses.
+};
+
+struct ThreadStats {
+  int64_t requests = 0;
+  int64_t shed = 0;
+  int64_t errors = 0;
+  std::vector<double> latency_s;  ///< One entry per request (burst RTT).
+  std::string first_error;
+};
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool ParseArgs(int argc, char** argv, Options* options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--port" && has_value) {
+      options->port = std::atoi(argv[++i]);
+    } else if (arg == "--threads" && has_value) {
+      options->threads = std::atoi(argv[++i]);
+    } else if (arg == "--seconds" && has_value) {
+      options->seconds = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--pipeline" && has_value) {
+      options->pipeline = std::atoi(argv[++i]);
+    } else if (arg == "--batch" && has_value) {
+      options->batch = std::atoi(argv[++i]);
+    } else if (arg == "--max-requests" && has_value) {
+      options->max_requests = std::atoll(argv[++i]);
+    } else {
+      std::fprintf(stderr, "unknown or valueless argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  if (options->port <= 0 || options->threads < 1 || options->pipeline < 1) {
+    std::fprintf(stderr,
+                 "usage: load_gen --port P [--threads N] [--seconds S] "
+                 "[--pipeline D] [--batch B] [--max-requests M]\n");
+    return false;
+  }
+  return true;
+}
+
+void RunClient(const Options& options, int thread_index,
+               int64_t address_count, ThreadStats* stats) {
+  HttpClient client;
+  std::string error;
+  if (!client.Connect(options.port, &error)) {
+    stats->errors = 1;
+    stats->first_error = "connect: " + error;
+    return;
+  }
+  const double deadline = NowSeconds() + options.seconds;
+  // Deterministic per-thread key stream: a fixed stride walk over the
+  // inventory, disjoint phases per thread.
+  int64_t cursor = (thread_index * 7919) % address_count;
+  const int64_t stride = 13;
+  const int64_t per_thread_cap =
+      options.max_requests > 0
+          ? (options.max_requests + options.threads - 1) / options.threads
+          : 0;
+
+  while (NowSeconds() < deadline &&
+         (per_thread_cap == 0 || stats->requests < per_thread_cap)) {
+    const double start = NowSeconds();
+    int in_flight = 0;
+    std::string burst;
+    std::vector<int> expect_answers;
+    if (options.batch > 0) {
+      std::string payload = "{\"address_ids\":[";
+      for (int i = 0; i < options.batch; ++i) {
+        if (i > 0) payload += ",";
+        payload += std::to_string(cursor);
+        cursor = (cursor + stride) % address_count;
+      }
+      payload += "]}";
+      burst = "POST /query_batch HTTP/1.1\r\nHost: h\r\nContent-Type: "
+              "application/json\r\nContent-Length: " +
+              std::to_string(payload.size()) + "\r\n\r\n" + payload;
+      in_flight = 1;
+    } else {
+      for (int i = 0; i < options.pipeline; ++i) {
+        burst += "GET /query?address_id=" + std::to_string(cursor) +
+                 " HTTP/1.1\r\nHost: h\r\n\r\n";
+        cursor = (cursor + stride) % address_count;
+      }
+      in_flight = options.pipeline;
+    }
+    if (!client.SendRaw(burst)) {
+      ++stats->errors;
+      if (stats->first_error.empty()) stats->first_error = "send failed";
+      return;
+    }
+    bool burst_ok = true;
+    int64_t burst_shed = 0;
+    for (int i = 0; i < in_flight; ++i) {
+      int status = 0;
+      std::string body;
+      if (!client.ReadResponse(&status, &body, &error)) {
+        ++stats->errors;
+        if (stats->first_error.empty()) {
+          stats->first_error = "read: " + error;
+        }
+        return;
+      }
+      if (status != 200) {
+        ++stats->errors;
+        burst_ok = false;
+        if (stats->first_error.empty()) {
+          stats->first_error =
+              "status " + std::to_string(status) + ": " + body;
+        }
+      }
+      size_t pos = 0;
+      while ((pos = body.find("\"shed\":true", pos)) != std::string::npos) {
+        ++burst_shed;
+        pos += 11;
+      }
+    }
+    const double elapsed = NowSeconds() - start;
+    const int answered =
+        options.batch > 0 ? options.batch : options.pipeline;
+    stats->requests += answered;
+    stats->shed += burst_shed;
+    if (burst_ok) {
+      for (int i = 0; i < answered; ++i) {
+        stats->latency_s.push_back(elapsed);
+      }
+    }
+  }
+}
+
+double Percentile(std::vector<double>* sorted_in_place, double q) {
+  if (sorted_in_place->empty()) return 0.0;
+  const size_t rank = std::min(
+      sorted_in_place->size() - 1,
+      static_cast<size_t>(q * static_cast<double>(sorted_in_place->size())));
+  return (*sorted_in_place)[rank];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!ParseArgs(argc, argv, &options)) return 2;
+
+  // Keyspace discovery.
+  int status = 0;
+  std::string body;
+  if (!HttpGetOnce(options.port, "/inventory", &status, &body) ||
+      status != 200) {
+    std::fprintf(stderr, "error: /inventory on port %d failed (status %d)\n",
+                 options.port, status);
+    return 2;
+  }
+  const size_t count_pos = body.find("\"count\":");
+  const int64_t address_count =
+      count_pos == std::string::npos
+          ? 0
+          : std::atoll(body.c_str() + count_pos + std::strlen("\"count\":"));
+  if (address_count <= 0) {
+    std::fprintf(stderr, "error: engine reports empty inventory: %s\n",
+                 body.c_str());
+    return 2;
+  }
+  std::printf("load_gen: %lld addresses, %d threads, pipeline %d%s\n",
+              static_cast<long long>(address_count), options.threads,
+              options.pipeline,
+              options.batch > 0 ? (", batch " + std::to_string(options.batch))
+                                      .c_str()
+                                : "");
+
+  std::vector<ThreadStats> stats(static_cast<size_t>(options.threads));
+  const double start = NowSeconds();
+  std::vector<std::thread> threads;
+  for (int i = 0; i < options.threads; ++i) {
+    threads.emplace_back(RunClient, options, i, address_count,
+                         &stats[static_cast<size_t>(i)]);
+  }
+  for (std::thread& thread : threads) thread.join();
+  const double wall = NowSeconds() - start;
+
+  int64_t requests = 0;
+  int64_t shed = 0;
+  int64_t errors = 0;
+  std::vector<double> latency;
+  for (const ThreadStats& thread_stats : stats) {
+    requests += thread_stats.requests;
+    shed += thread_stats.shed;
+    errors += thread_stats.errors;
+    latency.insert(latency.end(), thread_stats.latency_s.begin(),
+                   thread_stats.latency_s.end());
+    if (!thread_stats.first_error.empty()) {
+      std::fprintf(stderr, "error: %s\n", thread_stats.first_error.c_str());
+    }
+  }
+  std::sort(latency.begin(), latency.end());
+  const double qps = wall > 0.0 ? static_cast<double>(requests) / wall : 0.0;
+  std::printf(
+      "load_gen: requests=%lld qps=%.0f p50_ms=%.3f p99_ms=%.3f "
+      "p999_ms=%.3f shed=%lld errors=%lld\n",
+      static_cast<long long>(requests), qps,
+      Percentile(&latency, 0.50) * 1e3, Percentile(&latency, 0.99) * 1e3,
+      Percentile(&latency, 0.999) * 1e3, static_cast<long long>(shed),
+      static_cast<long long>(errors));
+  return errors == 0 ? 0 : 1;
+}
