@@ -1,0 +1,104 @@
+// GEMM kernel microbench (DESIGN.md §12) — isolates the nn/kernels.h
+// matrix-multiply from everything above it, on the shapes the model
+// actually runs:
+//
+//   kernel.gemm.attn       the per-(batch, head) attention score panel
+//                          (N=24 candidates, head dim 8)
+//   kernel.gemm.proj       the flattened [B*N, D] QKV/output projection
+//   kernel.gemm.ff         the transformer feed-forward layer
+//   kernel.gemm.large      a cache-blocking stress shape (256^3)
+//
+// Each shape is also run with the scalar path forced
+// (kernel.gemm.<name>.scalar), so the bench history tracks the SIMD
+// speedup itself — a dispatch regression (e.g. the AVX2 TU silently
+// compiled out) shows up as the two curves collapsing together.
+//
+// Flags: --json PATH (append results), --quick (fewer repetitions).
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "nn/kernels.h"
+
+namespace dlinf {
+namespace bench {
+namespace {
+
+struct GemmCase {
+  const char* name;
+  int64_t m, n, k;
+  int64_t iters;  // Inner repetitions per timed sample.
+};
+
+volatile float g_sink = 0.0f;
+
+double TimeGemm(const GemmCase& c, int reps) {
+  Rng rng(42);
+  std::vector<float> a(static_cast<size_t>(c.m * c.k));
+  std::vector<float> b(static_cast<size_t>(c.k * c.n));
+  std::vector<float> out(static_cast<size_t>(c.m * c.n), 0.0f);
+  for (float& x : a) x = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  for (float& x : b) x = static_cast<float>(rng.Uniform(-1.0, 1.0));
+
+  double best = 1e30;
+  for (int rep = 0; rep < reps; ++rep) {
+    Stopwatch watch;
+    for (int64_t i = 0; i < c.iters; ++i) {
+      nn::kernel::Gemm(c.m, c.n, c.k, a.data(), b.data(), out.data(),
+                       /*accumulate=*/false);
+    }
+    const double seconds = watch.ElapsedSeconds();
+    if (seconds < best) best = seconds;
+    g_sink = out.front() + out.back();
+  }
+  return best;
+}
+
+}  // namespace
+
+int Main(int argc, char** argv) {
+  const std::string metrics_path = ParseMetricsFlag(&argc, argv);
+  const std::string json_path = ParseJsonFlag(&argc, argv);
+  const bool quick = ParseQuickFlag(&argc, argv);
+  const int reps = quick ? 3 : 5;
+  BenchResults results;
+
+  const GemmCase cases[] = {
+      {"attn", 24, 24, 8, 20000},
+      {"proj", 1536, 16, 16, 2000},
+      {"ff", 1536, 32, 16, 1000},
+      {"large", 256, 256, 256, 30},
+  };
+
+  std::printf("== GEMM kernel microbench (path: %s) ==\n",
+              nn::kernel::PathName());
+  std::printf("%-8s %14s %14s %8s\n", "shape", "simd/active(s)", "scalar(s)",
+              "speedup");
+  for (const GemmCase& c : cases) {
+    const double active = TimeGemm(c, reps);
+    results.Add(std::string("kernel.gemm.") + c.name, active);
+
+    nn::kernel::ForceScalar(true);
+    const double scalar = TimeGemm(c, reps);
+    nn::kernel::ForceScalar(false);
+    results.Add(std::string("kernel.gemm.") + c.name + ".scalar", scalar);
+
+    std::printf("%-8s %14.6f %14.6f %7.2fx  (%lldx%lldx%lld)\n", c.name,
+                active, scalar, scalar / active, static_cast<long long>(c.m),
+                static_cast<long long>(c.n), static_cast<long long>(c.k));
+  }
+
+  results.WriteJson(json_path);
+  DumpMetrics(metrics_path);
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace dlinf
+
+int main(int argc, char** argv) { return dlinf::bench::Main(argc, argv); }

@@ -102,7 +102,8 @@ nn::Tensor LocMatcher::Forward(const LocMatcherBatch& batch,
   nn::Tensor time_embed = time_dense_.Forward(batch.time_dist);  // [B,N,r]
   nn::Tensor features =
       nn::Concat({batch.scalar_features, time_embed}, -1);  // [B,N,5+r]
-  nn::Tensor x = nn::Relu(input_dense_.Forward(features));  // [B,N,z]
+  nn::Tensor x =
+      input_dense_.Forward(features, nn::Activation::kRelu);  // [B,N,z]
 
   // Joint correlation modeling across the candidate set.
   nn::Tensor encoded;
@@ -126,76 +127,93 @@ nn::Tensor LocMatcher::Forward(const LocMatcherBatch& batch,
   return nn::Reshape(logits, {b, n});
 }
 
-std::vector<int> LocMatcher::PredictIndices(
-    const std::vector<AddressSample>& samples, int batch_size) const {
-  std::vector<int> predictions;
-  predictions.reserve(samples.size());
+void LocMatcher::ForEachLogitsBatch(
+    const std::vector<AddressSample>& samples, int batch_size,
+    const std::function<void(const LocMatcherBatch&, const nn::Tensor&,
+                             const std::vector<size_t>&)>& fn) const {
+  CHECK(!samples.empty());
+  CHECK_GT(batch_size, 0);
+  // Length-bucketing: chunk in descending candidate-count order so no batch
+  // pads past its own widest sample (see the header for why this cannot
+  // change any sample's logits).
+  std::vector<size_t> order(samples.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return samples[a].features.size() > samples[b].features.size();
+  });
+
+  // Inference-only path: no autograd tape, no gradient buffers.
+  nn::NoGradGuard no_grad;
   nn::FwdCtx eval_ctx;
-  for (size_t begin = 0; begin < samples.size();
+  std::vector<const AddressSample*> chunk;
+  std::vector<size_t> indices;
+  for (size_t begin = 0; begin < order.size();
        begin += static_cast<size_t>(batch_size)) {
     const size_t end =
-        std::min(samples.size(), begin + static_cast<size_t>(batch_size));
-    std::vector<const AddressSample*> chunk;
-    for (size_t i = begin; i < end; ++i) chunk.push_back(&samples[i]);
-    const LocMatcherBatch batch = MakeLocMatcherBatch(chunk);
-    const nn::Tensor logits = Forward(batch, eval_ctx);
-    const int n = logits.dim(1);
-    for (size_t i = 0; i < chunk.size(); ++i) {
-      const float* row = logits.data().data() + i * n;
-      int best = 0;
-      for (int j = 1; j < batch.valid[i]; ++j) {
-        if (row[j] > row[best]) best = j;
-      }
-      predictions.push_back(best);
+        std::min(order.size(), begin + static_cast<size_t>(batch_size));
+    chunk.clear();
+    indices.clear();
+    for (size_t i = begin; i < end; ++i) {
+      chunk.push_back(&samples[order[i]]);
+      indices.push_back(order[i]);
     }
+    const LocMatcherBatch batch = MakeLocMatcherBatch(chunk);
+    fn(batch, Forward(batch, eval_ctx), indices);
   }
+}
+
+std::vector<int> LocMatcher::PredictIndices(
+    const std::vector<AddressSample>& samples, int batch_size) const {
+  std::vector<int> predictions(samples.size(), 0);
+  ForEachLogitsBatch(
+      samples, batch_size,
+      [&](const LocMatcherBatch& batch, const nn::Tensor& logits,
+          const std::vector<size_t>& indices) {
+        const int n = logits.dim(1);
+        for (size_t i = 0; i < indices.size(); ++i) {
+          const float* row = logits.data().data() + i * n;
+          int best = 0;
+          for (int j = 1; j < batch.valid[i]; ++j) {
+            if (row[j] > row[best]) best = j;
+          }
+          predictions[indices[i]] = best;
+        }
+      });
   return predictions;
 }
 
 std::vector<std::vector<float>> LocMatcher::PredictLogits(
     const std::vector<AddressSample>& samples, int batch_size) const {
-  std::vector<std::vector<float>> out;
-  out.reserve(samples.size());
-  nn::FwdCtx eval_ctx;
-  for (size_t begin = 0; begin < samples.size();
-       begin += static_cast<size_t>(batch_size)) {
-    const size_t end =
-        std::min(samples.size(), begin + static_cast<size_t>(batch_size));
-    std::vector<const AddressSample*> chunk;
-    for (size_t i = begin; i < end; ++i) chunk.push_back(&samples[i]);
-    const LocMatcherBatch batch = MakeLocMatcherBatch(chunk);
-    const nn::Tensor logits = Forward(batch, eval_ctx);
-    const int n = logits.dim(1);
-    for (size_t i = 0; i < chunk.size(); ++i) {
-      const float* row = logits.data().data() + i * n;
-      out.emplace_back(row, row + batch.valid[i]);
-    }
-  }
+  std::vector<std::vector<float>> out(samples.size());
+  ForEachLogitsBatch(
+      samples, batch_size,
+      [&](const LocMatcherBatch& batch, const nn::Tensor& logits,
+          const std::vector<size_t>& indices) {
+        const int n = logits.dim(1);
+        for (size_t i = 0; i < indices.size(); ++i) {
+          const float* row = logits.data().data() + i * n;
+          out[indices[i]].assign(row, row + batch.valid[i]);
+        }
+      });
   return out;
 }
 
 double LocMatcher::EvaluateLoss(const std::vector<AddressSample>& samples,
                                 int batch_size) const {
-  CHECK(!samples.empty());
-  nn::FwdCtx eval_ctx;
+  for (const AddressSample& sample : samples) {
+    CHECK_GE(sample.label, 0) << "EvaluateLoss requires labels";
+  }
   double total = 0.0;
   int64_t count = 0;
-  for (size_t begin = 0; begin < samples.size();
-       begin += static_cast<size_t>(batch_size)) {
-    const size_t end =
-        std::min(samples.size(), begin + static_cast<size_t>(batch_size));
-    std::vector<const AddressSample*> chunk;
-    for (size_t i = begin; i < end; ++i) {
-      CHECK_GE(samples[i].label, 0) << "EvaluateLoss requires labels";
-      chunk.push_back(&samples[i]);
-    }
-    const LocMatcherBatch batch = MakeLocMatcherBatch(chunk);
-    const nn::Tensor logits = Forward(batch, eval_ctx);
-    const double loss =
-        nn::MaskedCrossEntropy(logits, batch.valid, batch.labels).item();
-    total += loss * static_cast<double>(chunk.size());
-    count += static_cast<int64_t>(chunk.size());
-  }
+  ForEachLogitsBatch(
+      samples, batch_size,
+      [&](const LocMatcherBatch& batch, const nn::Tensor& logits,
+          const std::vector<size_t>& indices) {
+        const double loss =
+            nn::MaskedCrossEntropy(logits, batch.valid, batch.labels).item();
+        total += loss * static_cast<double>(indices.size());
+        count += static_cast<int64_t>(indices.size());
+      });
   return total / static_cast<double>(count);
 }
 

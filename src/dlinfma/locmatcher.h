@@ -1,6 +1,7 @@
 #ifndef DLINF_DLINFMA_LOCMATCHER_H_
 #define DLINF_DLINFMA_LOCMATCHER_H_
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -85,6 +86,23 @@ class LocMatcher : public nn::Module {
   const LocMatcherConfig& config() const { return config_; }
 
  private:
+  /// Shared batched-inference driver behind PredictIndices / PredictLogits /
+  /// EvaluateLoss: chunks `samples` into padded batches, runs Forward under
+  /// nn::NoGradGuard (no tape, no gradient buffers), and hands each
+  /// (batch, logits, original sample indices) triple to `fn`.
+  ///
+  /// Samples are grouped by descending candidate count before chunking, so
+  /// each padded batch is only as wide as its own widest sample. Per-sample
+  /// logits are invariant to both padding width and batch mates: positions
+  /// never mix outside self-attention, and a padded key's -1e9 additive mask
+  /// drives its softmax weight to exactly zero (exp underflow) — so the
+  /// reordering is a pure speedup, bit-identical results. `fn` receives
+  /// `indices[i]` = the position in `samples` of the batch's row i.
+  void ForEachLogitsBatch(
+      const std::vector<AddressSample>& samples, int batch_size,
+      const std::function<void(const LocMatcherBatch&, const nn::Tensor&,
+                               const std::vector<size_t>&)>& fn) const;
+
   LocMatcherConfig config_;
   nn::Linear time_dense_;
   nn::Linear input_dense_;

@@ -153,14 +153,27 @@ TrainResult TrainLocMatcher(LocMatcher* model,
     Stopwatch epoch_watch;
     epochs_run->Add(1);
     rng.Shuffle(&order);
+    // Chunk a length-sorted view of the shuffled order so no batch pads past
+    // its own widest sample (candidate counts vary ~2-30; mixed batches pad
+    // nearly everything to the epoch max, roughly doubling the attention
+    // work). The stable sort keeps the shuffle's randomness within each
+    // length, so batch composition still varies per epoch. Unlike the
+    // inference-side bucketing (LocMatcher::ForEachLogitsBatch), this does
+    // change which samples share a batch — a batching-policy change that
+    // perturbs the SGD trajectory like any reshuffle, absorbed by the
+    // golden pipeline test's tolerance band.
+    std::vector<int> bucketed = order;
+    std::stable_sort(bucketed.begin(), bucketed.end(), [&](int a, int b) {
+      return train[a].features.size() > train[b].features.size();
+    });
     double epoch_loss = 0.0;
     int num_batches = 0;
-    for (size_t begin = 0; begin < order.size();
+    for (size_t begin = 0; begin < bucketed.size();
          begin += static_cast<size_t>(config.batch_size)) {
       const size_t end = std::min(
-          order.size(), begin + static_cast<size_t>(config.batch_size));
+          bucketed.size(), begin + static_cast<size_t>(config.batch_size));
       std::vector<const AddressSample*> chunk;
-      for (size_t i = begin; i < end; ++i) chunk.push_back(&train[order[i]]);
+      for (size_t i = begin; i < end; ++i) chunk.push_back(&train[bucketed[i]]);
       const LocMatcherBatch batch = MakeLocMatcherBatch(chunk);
 
       nn::FwdCtx train_ctx{/*training=*/true, &rng};

@@ -1,0 +1,349 @@
+#include "nn/kernels.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace dlinf {
+namespace nn {
+namespace kernel {
+namespace detail {
+
+// Provided by kernels_avx2.cc. When that translation unit is compiled
+// without AVX2/FMA support (DLINF_DISABLE_AVX2 or an older compiler), it
+// defines kAvx2Compiled = false and the entry points CHECK-fail; dispatch
+// then never selects them.
+extern const bool kAvx2Compiled;
+void GemmAvx2(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda,
+              const float* b, int64_t ldb, float* c, int64_t ldc,
+              bool accumulate);
+void AddBiasRowsAvx2(float* y, const float* bias, int64_t rows, int64_t n);
+void AddBiasReluRowsAvx2(float* y, const float* bias, int64_t rows,
+                         int64_t n);
+void ReluInPlaceAvx2(float* y, int64_t count);
+
+}  // namespace detail
+
+namespace {
+
+std::atomic<bool> g_force_scalar{false};
+
+/// One-time dispatch decision: compiled-in AVX2 + CPU support + not forced
+/// off via environment. ForceScalar() can still override at runtime.
+bool DetectAvx2() {
+  if (!detail::kAvx2Compiled) return false;
+#if defined(__x86_64__) || defined(__i386__)
+  if (!__builtin_cpu_supports("avx2") || !__builtin_cpu_supports("fma")) {
+    return false;
+  }
+#else
+  return false;
+#endif
+  return true;
+}
+
+bool EnvForcesScalar() {
+  const char* env = std::getenv("DLINF_FORCE_SCALAR");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+bool HardwareAvx2() {
+  static const bool available = DetectAvx2();
+  return available;
+}
+
+struct EnvInit {
+  EnvInit() { g_force_scalar.store(EnvForcesScalar()); }
+};
+const EnvInit g_env_init;
+
+/// Scalar GEMM. std::fmaf is the correctly rounded fused multiply-add, so
+/// each output element sees exactly the same sequence of single-rounding
+/// operations as one lane of the AVX2 microkernel — bit-identical results.
+void GemmScalar(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda,
+                const float* b, int64_t ldb, float* c, int64_t ldc,
+                bool accumulate) {
+  for (int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * ldc;
+    if (!accumulate) std::memset(crow, 0, static_cast<size_t>(n) * 4);
+    const float* arow = a + i * lda;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float aik = arow[kk];
+      const float* brow = b + kk * ldb;
+      for (int64_t j = 0; j < n; ++j) {
+        crow[j] = std::fmaf(aik, brow[j], crow[j]);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+bool Avx2Enabled() {
+  return HardwareAvx2() && !g_force_scalar.load(std::memory_order_relaxed);
+}
+
+const char* PathName() { return Avx2Enabled() ? "avx2" : "scalar"; }
+
+void ForceScalar(bool force) { g_force_scalar.store(force); }
+
+void Gemm(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda,
+          const float* b, int64_t ldb, float* c, int64_t ldc,
+          bool accumulate) {
+  CHECK(m >= 0 && n >= 0 && k >= 0);
+  if (m == 0 || n == 0) return;
+  CHECK(lda >= k && ldb >= n && ldc >= n);
+  if (Avx2Enabled()) {
+    detail::GemmAvx2(m, n, k, a, lda, b, ldb, c, ldc, accumulate);
+  } else {
+    GemmScalar(m, n, k, a, lda, b, ldb, c, ldc, accumulate);
+  }
+}
+
+void Transpose(const float* src, int64_t rows, int64_t cols, int64_t ld_src,
+               float* dst) {
+  // Blocked copy keeps both access patterns within a few cache lines.
+  constexpr int64_t kBlock = 32;
+  for (int64_t i0 = 0; i0 < rows; i0 += kBlock) {
+    const int64_t i1 = std::min(rows, i0 + kBlock);
+    for (int64_t j0 = 0; j0 < cols; j0 += kBlock) {
+      const int64_t j1 = std::min(cols, j0 + kBlock);
+      for (int64_t i = i0; i < i1; ++i) {
+        const float* srow = src + i * ld_src;
+        for (int64_t j = j0; j < j1; ++j) {
+          dst[j * rows + i] = srow[j];
+        }
+      }
+    }
+  }
+}
+
+void AddBiasRows(float* y, const float* bias, int64_t rows, int64_t n) {
+  if (Avx2Enabled()) {
+    detail::AddBiasRowsAvx2(y, bias, rows, n);
+    return;
+  }
+  for (int64_t r = 0; r < rows; ++r) {
+    float* row = y + r * n;
+    for (int64_t j = 0; j < n; ++j) row[j] += bias[j];
+  }
+}
+
+void AddBiasReluRows(float* y, const float* bias, int64_t rows, int64_t n) {
+  if (Avx2Enabled()) {
+    detail::AddBiasReluRowsAvx2(y, bias, rows, n);
+    return;
+  }
+  for (int64_t r = 0; r < rows; ++r) {
+    float* row = y + r * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float v = row[j] + bias[j];
+      row[j] = v > 0.0f ? v : 0.0f;
+    }
+  }
+}
+
+void ReluInPlace(float* y, int64_t count) {
+  if (Avx2Enabled()) {
+    detail::ReluInPlaceAvx2(y, count);
+    return;
+  }
+  for (int64_t i = 0; i < count; ++i) y[i] = y[i] > 0.0f ? y[i] : 0.0f;
+}
+
+void ColumnSumRows(const float* x, int64_t rows, int64_t n, float* out) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = x + r * n;
+    for (int64_t j = 0; j < n; ++j) out[j] += row[j];
+  }
+}
+
+void SoftmaxRows(const float* x, float* y, int64_t rows, int64_t n) {
+  CHECK_GT(n, 0);
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* xr = x + r * n;
+    float* yr = y + r * n;
+    float max_v = xr[0];
+    for (int64_t j = 1; j < n; ++j) max_v = std::max(max_v, xr[j]);
+    double denom = 0.0;
+    for (int64_t j = 0; j < n; ++j) {
+      yr[j] = std::exp(xr[j] - max_v);
+      denom += yr[j];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (int64_t j = 0; j < n; ++j) yr[j] *= inv;
+  }
+}
+
+void SoftmaxBackwardRows(const float* y, const float* gy, float* gx,
+                         int64_t rows, int64_t n) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* yr = y + r * n;
+    const float* gyr = gy + r * n;
+    float* gxr = gx + r * n;
+    double dot = 0.0;
+    for (int64_t j = 0; j < n; ++j) {
+      dot += static_cast<double>(gyr[j]) * yr[j];
+    }
+    const float dot_f = static_cast<float>(dot);
+    for (int64_t j = 0; j < n; ++j) {
+      gxr[j] += yr[j] * (gyr[j] - dot_f);
+    }
+  }
+}
+
+void LayerNormRows(const float* x, const float* gamma, const float* beta,
+                   float eps, int64_t rows, int64_t n, float* y, float* mean,
+                   float* inv_std) {
+  CHECK_GT(n, 0);
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* xr = x + r * n;
+    double mu = 0.0;
+    for (int64_t j = 0; j < n; ++j) mu += xr[j];
+    mu /= static_cast<double>(n);
+    double var = 0.0;
+    for (int64_t j = 0; j < n; ++j) var += (xr[j] - mu) * (xr[j] - mu);
+    var /= static_cast<double>(n);
+    mean[r] = static_cast<float>(mu);
+    inv_std[r] = static_cast<float>(1.0 / std::sqrt(var + eps));
+    float* yr = y + r * n;
+    for (int64_t j = 0; j < n; ++j) {
+      yr[j] = gamma[j] * (xr[j] - mean[r]) * inv_std[r] + beta[j];
+    }
+  }
+}
+
+void LayerNormBackwardRows(const float* x, const float* gamma,
+                           const float* gy, const float* mean,
+                           const float* inv_std, int64_t rows, int64_t n,
+                           float* gx, float* ggamma, float* gbeta) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* xr = x + r * n;
+    const float* gyr = gy + r * n;
+    const float mu = mean[r];
+    const float istd = inv_std[r];
+    if (ggamma != nullptr || gbeta != nullptr) {
+      for (int64_t j = 0; j < n; ++j) {
+        const float xhat = (xr[j] - mu) * istd;
+        if (ggamma != nullptr) ggamma[j] += gyr[j] * xhat;
+        if (gbeta != nullptr) gbeta[j] += gyr[j];
+      }
+    }
+    if (gx != nullptr) {
+      // dL/dx = istd/n * (n*dxhat - sum(dxhat) - xhat*sum(dxhat*xhat)),
+      // dxhat_j = gy_j * gamma_j.
+      double sum_dxhat = 0.0;
+      double sum_dxhat_xhat = 0.0;
+      for (int64_t j = 0; j < n; ++j) {
+        const float dxhat = gyr[j] * gamma[j];
+        const float xhat = (xr[j] - mu) * istd;
+        sum_dxhat += dxhat;
+        sum_dxhat_xhat += static_cast<double>(dxhat) * xhat;
+      }
+      float* gxr = gx + r * n;
+      const float nf = static_cast<float>(n);
+      for (int64_t j = 0; j < n; ++j) {
+        const float dxhat = gyr[j] * gamma[j];
+        const float xhat = (xr[j] - mu) * istd;
+        gxr[j] += istd * (dxhat - static_cast<float>(sum_dxhat) / nf -
+                          xhat * static_cast<float>(sum_dxhat_xhat) / nf);
+      }
+    }
+  }
+}
+
+// --- Buffer pool ------------------------------------------------------------
+
+namespace {
+
+/// Per-thread free lists bucketed by power-of-two capacity. Released
+/// buffers land in the bucket of floor(log2(capacity)); acquisition looks
+/// in ceil(log2(size)), so every pooled hit has sufficient capacity.
+constexpr int kNumBuckets = 31;
+constexpr size_t kMinPooled = 16;           // Tiny buffers: malloc is fine.
+constexpr size_t kMaxPooled = 1u << 26;     // 256 MiB of floats per buffer.
+constexpr size_t kMaxPerBucket = 24;
+
+struct BufferPool {
+  std::vector<std::vector<float>> buckets[kNumBuckets];
+  int64_t reused = 0;
+  int64_t allocated = 0;
+  ~BufferPool();
+};
+
+// Trivially destructible thread-locals are never torn down, so these stay
+// readable during and after the pool's own destruction at thread exit
+// (tensors with static storage duration release their buffers then).
+thread_local BufferPool* t_pool = nullptr;
+thread_local bool t_pool_destroyed = false;
+
+BufferPool::~BufferPool() {
+  t_pool = nullptr;
+  t_pool_destroyed = true;
+}
+
+BufferPool* Pool() {
+  if (t_pool == nullptr && !t_pool_destroyed) {
+    thread_local BufferPool storage;
+    t_pool = &storage;
+  }
+  return t_pool;
+}
+
+int BucketFloor(size_t capacity) {
+  int bucket = 0;
+  while ((static_cast<size_t>(2) << bucket) <= capacity) ++bucket;
+  return bucket;  // 2^bucket <= capacity < 2^(bucket+1)
+}
+
+int BucketCeil(size_t size) {
+  int bucket = 0;
+  while ((static_cast<size_t>(1) << bucket) < size) ++bucket;
+  return bucket;  // 2^bucket >= size
+}
+
+}  // namespace
+
+std::vector<float> AcquireBuffer(size_t size) {
+  BufferPool* pool = Pool();
+  if (pool != nullptr && size >= kMinPooled && size <= kMaxPooled) {
+    const int bucket = BucketCeil(size);
+    if (bucket < kNumBuckets && !pool->buckets[bucket].empty()) {
+      std::vector<float> out = std::move(pool->buckets[bucket].back());
+      pool->buckets[bucket].pop_back();
+      ++pool->reused;
+      out.assign(size, 0.0f);
+      return out;
+    }
+    ++pool->allocated;
+  }
+  return std::vector<float>(size, 0.0f);
+}
+
+void ReleaseBuffer(std::vector<float>&& buffer) {
+  const size_t capacity = buffer.capacity();
+  if (capacity < kMinPooled || capacity > kMaxPooled) return;
+  BufferPool* pool = Pool();
+  if (pool == nullptr) return;
+  const int bucket = BucketFloor(capacity);
+  if (bucket >= kNumBuckets) return;
+  if (pool->buckets[bucket].size() >= kMaxPerBucket) return;
+  pool->buckets[bucket].push_back(std::move(buffer));
+}
+
+BufferPoolStats GetBufferPoolStats() {
+  BufferPoolStats stats;
+  if (BufferPool* pool = Pool(); pool != nullptr) {
+    stats.reused = pool->reused;
+    stats.allocated = pool->allocated;
+  }
+  return stats;
+}
+
+}  // namespace kernel
+}  // namespace nn
+}  // namespace dlinf

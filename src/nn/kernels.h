@@ -1,0 +1,159 @@
+#ifndef DLINF_NN_KERNELS_H_
+#define DLINF_NN_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dlinf {
+namespace nn {
+namespace kernel {
+
+/// \file
+/// The compute-kernel layer under nn/ (DESIGN.md §12): cache-aware GEMM with
+/// an AVX2/FMA microkernel behind runtime CPU dispatch, bias/activation
+/// epilogues, row-wise softmax / layer-norm primitives, and a free-list
+/// buffer pool for autograd temporaries. Everything above (nn/ops.cc,
+/// nn/module.cc) routes its inner loops through these entry points; nothing
+/// here records autograd tape state.
+///
+/// **Determinism contract.** The scalar and AVX2 paths produce bit-identical
+/// results: every output element accumulates its k-products in the same
+/// serial order, the scalar path uses the correctly rounded std::fmaf and
+/// the vector path the hardware vfmadd (the same single-rounding fused
+/// operation), and epilogues/softmax/layer-norm use only per-element ops
+/// whose rounding does not depend on lane width. tests/kernel_test.cc
+/// asserts the bit-identity on every shape it sweeps; the `simd-dispatch`
+/// CI job asserts it end to end on the golden pipeline.
+
+/// --- Dispatch -------------------------------------------------------------
+
+/// True when the AVX2/FMA microkernel is active: compiled in (see
+/// DLINF_DISABLE_AVX2 in src/nn/CMakeLists.txt), supported by this CPU, and
+/// not disabled via the `DLINF_FORCE_SCALAR=1` environment variable or
+/// ForceScalar().
+bool Avx2Enabled();
+
+/// "avx2" or "scalar" — for startup logs and bench labels.
+const char* PathName();
+
+/// Runtime override (test hook; also what DLINF_FORCE_SCALAR sets at static
+/// init). Forcing scalar on an AVX2 machine must not change any result.
+void ForceScalar(bool force);
+
+/// --- GEMM -----------------------------------------------------------------
+
+/// C[m,n] = (accumulate ? C : 0) + A[m,k] @ B[k,n].
+///
+/// Row-major with leading dimensions (elements between consecutive rows)
+/// `lda`/`ldb`/`ldc`, so sub-blocks of larger matrices (e.g. one attention
+/// head's columns) can be multiplied in place. k == 0 zeroes C (or leaves it
+/// untouched when accumulating).
+void Gemm(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda,
+          const float* b, int64_t ldb, float* c, int64_t ldc,
+          bool accumulate);
+
+/// Contiguous convenience overload: lda = k, ldb = n, ldc = n.
+inline void Gemm(int64_t m, int64_t n, int64_t k, const float* a,
+                 const float* b, float* c, bool accumulate) {
+  Gemm(m, n, k, a, k, b, n, c, n, accumulate);
+}
+
+/// dst[cols, rows] = src[rows, cols]^T. `ld_src` is src's leading dimension;
+/// dst is written contiguously (leading dimension rows). Exact (copy only).
+void Transpose(const float* src, int64_t rows, int64_t cols, int64_t ld_src,
+               float* dst);
+
+/// --- Epilogues ------------------------------------------------------------
+
+/// y[r, j] += bias[j] for every row. Exact per-element add.
+void AddBiasRows(float* y, const float* bias, int64_t rows, int64_t n);
+
+/// y[r, j] = max(y[r, j] + bias[j], 0).
+void AddBiasReluRows(float* y, const float* bias, int64_t rows, int64_t n);
+
+/// y[i] = max(y[i], 0) over a flat span.
+void ReluInPlace(float* y, int64_t count);
+
+/// out[j] += sum_r x[r, j], accumulated row by row in row-major order (the
+/// order broadcast-add backward historically used for bias gradients).
+void ColumnSumRows(const float* x, int64_t rows, int64_t n, float* out);
+
+/// --- Softmax --------------------------------------------------------------
+
+/// Numerically stable softmax over each contiguous row of `n` entries;
+/// `x` and `y` may alias. Path-invariant by construction (serial exp and
+/// double-precision denominator on both paths).
+void SoftmaxRows(const float* x, float* y, int64_t rows, int64_t n);
+
+/// gx[r, j] += y[r, j] * (gy[r, j] - sum_i gy[r, i] * y[r, i]) — the softmax
+/// Jacobian product, given the forward result `y`.
+void SoftmaxBackwardRows(const float* y, const float* gy, float* gx,
+                         int64_t rows, int64_t n);
+
+/// --- Layer norm -----------------------------------------------------------
+
+/// y = gamma * (x - mean) * inv_std + beta per row; writes the per-row
+/// `mean` / `inv_std` (length `rows`) for the backward pass.
+void LayerNormRows(const float* x, const float* gamma, const float* beta,
+                   float eps, int64_t rows, int64_t n, float* y, float* mean,
+                   float* inv_std);
+
+/// Accumulates layer-norm gradients. Any of gx / ggamma / gbeta may be null
+/// to skip that output.
+void LayerNormBackwardRows(const float* x, const float* gamma,
+                           const float* gy, const float* mean,
+                           const float* inv_std, int64_t rows, int64_t n,
+                           float* gx, float* ggamma, float* gbeta);
+
+/// --- Buffer pool ----------------------------------------------------------
+
+/// Free-list recycling of float buffers. Training and batched inference
+/// allocate and free tensor-sized buffers thousands of times per second;
+/// AcquireBuffer pops a zero-filled vector with sufficient capacity from a
+/// per-thread size-bucketed pool (falling back to a fresh allocation), and
+/// ReleaseBuffer returns storage to the pool instead of freeing it.
+/// TensorImpl's destructor releases its data/grad here, so the autograd
+/// tape's temporaries stop hammering malloc (DESIGN.md §12).
+std::vector<float> AcquireBuffer(size_t size);
+void ReleaseBuffer(std::vector<float>&& buffer);
+
+/// Pool observability (tests): buffers handed out from the pool vs fresh.
+struct BufferPoolStats {
+  int64_t reused = 0;
+  int64_t allocated = 0;
+};
+BufferPoolStats GetBufferPoolStats();
+
+/// RAII pooled buffer for kernel scratch and saved activations held by
+/// backward closures. Copyable because std::function requires copyable
+/// captures; every instance returns its storage to the pool on destruction.
+class PooledBuffer {
+ public:
+  PooledBuffer() = default;
+  explicit PooledBuffer(size_t size) : v_(AcquireBuffer(size)) {}
+  explicit PooledBuffer(std::vector<float>&& v) : v_(std::move(v)) {}
+  PooledBuffer(const PooledBuffer& other) : v_(other.v_) {}
+  PooledBuffer& operator=(const PooledBuffer& other) {
+    v_ = other.v_;
+    return *this;
+  }
+  PooledBuffer(PooledBuffer&& other) noexcept = default;
+  PooledBuffer& operator=(PooledBuffer&& other) noexcept = default;
+  ~PooledBuffer() { ReleaseBuffer(std::move(v_)); }
+
+  float* data() { return v_.data(); }
+  const float* data() const { return v_.data(); }
+  size_t size() const { return v_.size(); }
+  std::vector<float>& vec() { return v_; }
+  const std::vector<float>& vec() const { return v_; }
+
+ private:
+  std::vector<float> v_;
+};
+
+}  // namespace kernel
+}  // namespace nn
+}  // namespace dlinf
+
+#endif  // DLINF_NN_KERNELS_H_

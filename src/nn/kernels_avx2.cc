@@ -1,0 +1,170 @@
+// AVX2/FMA microkernels, isolated in their own translation unit so only
+// this file is built with -mavx2 -mfma (see src/nn/CMakeLists.txt). The
+// dispatcher in kernels.cc only calls these after a runtime
+// __builtin_cpu_supports check, so the rest of the binary stays runnable on
+// baseline x86-64. Building with -DDLINF_DISABLE_AVX2=ON (or a compiler
+// without AVX2) turns this file into stubs and pins dispatch to scalar.
+//
+// Determinism: each output element accumulates its k-products serially with
+// vfmadd (one fused rounding per step) — exactly the std::fmaf sequence the
+// scalar path performs — so the two paths are bit-identical (kernels.h).
+
+#include <cstdint>
+
+#include "common/check.h"
+
+#if defined(__AVX2__) && defined(__FMA__)
+#include <immintrin.h>
+
+#include <cmath>
+#include <cstring>
+#endif
+
+namespace dlinf {
+namespace nn {
+namespace kernel {
+namespace detail {
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+extern const bool kAvx2Compiled = true;
+
+namespace {
+
+/// 1xN register-tiled row kernel: holds up to 6 8-wide accumulators for one
+/// C row across the whole k loop (48 columns per pass), then an 8-wide
+/// pass, then a scalar fmaf tail. Every accumulator sees products in k
+/// order, matching the scalar path lane for lane.
+inline void GemmRow(int64_t n, int64_t k, const float* arow,
+                    const float* b, int64_t ldb, float* crow,
+                    bool accumulate) {
+  int64_t j = 0;
+  for (; j + 48 <= n; j += 48) {
+    __m256 acc0, acc1, acc2, acc3, acc4, acc5;
+    if (accumulate) {
+      acc0 = _mm256_loadu_ps(crow + j);
+      acc1 = _mm256_loadu_ps(crow + j + 8);
+      acc2 = _mm256_loadu_ps(crow + j + 16);
+      acc3 = _mm256_loadu_ps(crow + j + 24);
+      acc4 = _mm256_loadu_ps(crow + j + 32);
+      acc5 = _mm256_loadu_ps(crow + j + 40);
+    } else {
+      acc0 = acc1 = acc2 = acc3 = acc4 = acc5 = _mm256_setzero_ps();
+    }
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const __m256 av = _mm256_set1_ps(arow[kk]);
+      const float* brow = b + kk * ldb + j;
+      acc0 = _mm256_fmadd_ps(av, _mm256_loadu_ps(brow), acc0);
+      acc1 = _mm256_fmadd_ps(av, _mm256_loadu_ps(brow + 8), acc1);
+      acc2 = _mm256_fmadd_ps(av, _mm256_loadu_ps(brow + 16), acc2);
+      acc3 = _mm256_fmadd_ps(av, _mm256_loadu_ps(brow + 24), acc3);
+      acc4 = _mm256_fmadd_ps(av, _mm256_loadu_ps(brow + 32), acc4);
+      acc5 = _mm256_fmadd_ps(av, _mm256_loadu_ps(brow + 40), acc5);
+    }
+    _mm256_storeu_ps(crow + j, acc0);
+    _mm256_storeu_ps(crow + j + 8, acc1);
+    _mm256_storeu_ps(crow + j + 16, acc2);
+    _mm256_storeu_ps(crow + j + 24, acc3);
+    _mm256_storeu_ps(crow + j + 32, acc4);
+    _mm256_storeu_ps(crow + j + 40, acc5);
+  }
+  for (; j + 8 <= n; j += 8) {
+    __m256 acc = accumulate ? _mm256_loadu_ps(crow + j) : _mm256_setzero_ps();
+    for (int64_t kk = 0; kk < k; ++kk) {
+      acc = _mm256_fmadd_ps(_mm256_set1_ps(arow[kk]),
+                            _mm256_loadu_ps(b + kk * ldb + j), acc);
+    }
+    _mm256_storeu_ps(crow + j, acc);
+  }
+  for (; j < n; ++j) {
+    float acc = accumulate ? crow[j] : 0.0f;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      // Compiled with -mfma this is a vfmadd — the same single rounding as
+      // the vector lanes and the scalar path's std::fmaf.
+      acc = std::fmaf(arow[kk], b[kk * ldb + j], acc);
+    }
+    crow[j] = acc;
+  }
+}
+
+}  // namespace
+
+void GemmAvx2(int64_t m, int64_t n, int64_t k, const float* a, int64_t lda,
+              const float* b, int64_t ldb, float* c, int64_t ldc,
+              bool accumulate) {
+  // Row-block the M dimension so the B panel (k x n, the shared operand)
+  // streams from cache across consecutive rows. With the model widths used
+  // here (k, n <= 64) the whole panel lives in L1; for the occasional
+  // larger shapes it still fits L2.
+  constexpr int64_t kRowBlock = 64;
+  for (int64_t i0 = 0; i0 < m; i0 += kRowBlock) {
+    const int64_t i1 = i0 + kRowBlock < m ? i0 + kRowBlock : m;
+    for (int64_t i = i0; i < i1; ++i) {
+      GemmRow(n, k, a + i * lda, b, ldb, c + i * ldc, accumulate);
+    }
+  }
+}
+
+void AddBiasRowsAvx2(float* y, const float* bias, int64_t rows, int64_t n) {
+  for (int64_t r = 0; r < rows; ++r) {
+    float* row = y + r * n;
+    int64_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+      _mm256_storeu_ps(row + j, _mm256_add_ps(_mm256_loadu_ps(row + j),
+                                              _mm256_loadu_ps(bias + j)));
+    }
+    for (; j < n; ++j) row[j] += bias[j];
+  }
+}
+
+void AddBiasReluRowsAvx2(float* y, const float* bias, int64_t rows,
+                         int64_t n) {
+  const __m256 zero = _mm256_setzero_ps();
+  for (int64_t r = 0; r < rows; ++r) {
+    float* row = y + r * n;
+    int64_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+      const __m256 v = _mm256_add_ps(_mm256_loadu_ps(row + j),
+                                     _mm256_loadu_ps(bias + j));
+      _mm256_storeu_ps(row + j, _mm256_max_ps(v, zero));
+    }
+    for (; j < n; ++j) {
+      const float v = row[j] + bias[j];
+      row[j] = v > 0.0f ? v : 0.0f;
+    }
+  }
+}
+
+void ReluInPlaceAvx2(float* y, int64_t count) {
+  const __m256 zero = _mm256_setzero_ps();
+  int64_t i = 0;
+  for (; i + 8 <= count; i += 8) {
+    _mm256_storeu_ps(y + i, _mm256_max_ps(_mm256_loadu_ps(y + i), zero));
+  }
+  for (; i < count; ++i) y[i] = y[i] > 0.0f ? y[i] : 0.0f;
+}
+
+#else  // !(__AVX2__ && __FMA__)
+
+extern const bool kAvx2Compiled = false;
+
+void GemmAvx2(int64_t, int64_t, int64_t, const float*, int64_t, const float*,
+              int64_t, float*, int64_t, bool) {
+  CHECK(false) << "AVX2 kernel called but not compiled in";
+}
+void AddBiasRowsAvx2(float*, const float*, int64_t, int64_t) {
+  CHECK(false) << "AVX2 kernel called but not compiled in";
+}
+void AddBiasReluRowsAvx2(float*, const float*, int64_t, int64_t) {
+  CHECK(false) << "AVX2 kernel called but not compiled in";
+}
+void ReluInPlaceAvx2(float*, int64_t) {
+  CHECK(false) << "AVX2 kernel called but not compiled in";
+}
+
+#endif
+
+}  // namespace detail
+}  // namespace kernel
+}  // namespace nn
+}  // namespace dlinf

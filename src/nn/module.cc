@@ -43,11 +43,9 @@ Linear::Linear(int in_features, int out_features, Rng* rng, bool bias)
   }
 }
 
-Tensor Linear::Forward(const Tensor& x) const {
+Tensor Linear::Forward(const Tensor& x, Activation act) const {
   CHECK_EQ(x.dim(x.rank() - 1), in_features_);
-  Tensor y = MatMul(x, weight_);
-  if (bias_.defined()) y = Add(y, bias_);
-  return y;
+  return LinearEx(x, weight_, bias_, act);
 }
 
 Embedding::Embedding(int vocab_size, int embed_dim, Rng* rng)
@@ -104,28 +102,14 @@ Tensor MultiHeadSelfAttention::Forward(const Tensor& x,
                                        const Tensor& additive_mask,
                                        const FwdCtx& ctx) const {
   CHECK_EQ(x.rank(), 3);
-  const int batch = x.dim(0);
-  const int n = x.dim(1);
   CHECK_EQ(x.dim(2), model_dim_);
-
-  auto split_heads = [&](const Tensor& t) {
-    // [B, N, D] -> [B, H, N, dh]
-    return Permute(Reshape(t, {batch, n, num_heads_, head_dim_}),
-                   {0, 2, 1, 3});
-  };
-  const Tensor q = split_heads(wq_.Forward(x));
-  const Tensor k = split_heads(wk_.Forward(x));
-  const Tensor v = split_heads(wv_.Forward(x));
-
-  Tensor scores = MulScalar(MatMul(q, TransposeLast2(k)),
-                            1.0f / std::sqrt(static_cast<float>(head_dim_)));
-  if (additive_mask.defined()) scores = Add(scores, additive_mask);
-  Tensor attn = Softmax(scores);
-  attn = Dropout(attn, dropout_, ctx.training, ctx.rng);
-
-  Tensor context = MatMul(attn, v);  // [B, H, N, dh]
-  context = Reshape(Permute(context, {0, 2, 1, 3}), {batch, n, model_dim_});
-  return wo_.Forward(context);
+  // Whole block — projections, score/softmax/weighted-sum per head, output
+  // projection — as one fused autograd node over kernel-layer GEMMs; no
+  // split/merge-head Permute copies and no [B,H,N,N] intermediate tensors.
+  return FusedSelfAttention(x, wq_.weight(), wq_.bias(), wk_.weight(),
+                            wk_.bias(), wv_.weight(), wv_.bias(), wo_.weight(),
+                            wo_.bias(), additive_mask, num_heads_, dropout_,
+                            ctx.training, ctx.rng);
 }
 
 TransformerEncoderLayer::TransformerEncoderLayer(int model_dim, int num_heads,
@@ -151,7 +135,7 @@ Tensor TransformerEncoderLayer::Forward(const Tensor& x,
   attn_out = Dropout(attn_out, dropout_, ctx.training, ctx.rng);
   Tensor h = norm1_.Forward(Add(x, attn_out));
 
-  Tensor ff_out = ff2_.Forward(Relu(ff1_.Forward(h)));
+  Tensor ff_out = ff2_.Forward(ff1_.Forward(h, Activation::kRelu));
   ff_out = Dropout(ff_out, dropout_, ctx.training, ctx.rng);
   return norm2_.Forward(Add(h, ff_out));
 }
@@ -224,8 +208,9 @@ Mlp::Mlp(const std::vector<int>& dims, Rng* rng) {
 Tensor Mlp::Forward(const Tensor& x) const {
   Tensor h = x;
   for (size_t i = 0; i < layers_.size(); ++i) {
-    h = layers_[i]->Forward(h);
-    if (i + 1 < layers_.size()) h = Relu(h);
+    const bool hidden = i + 1 < layers_.size();
+    h = layers_[i]->Forward(h,
+                            hidden ? Activation::kRelu : Activation::kNone);
   }
   return h;
 }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "nn/ops.h"
 #include "nn/tensor.h"
 
 namespace dlinf {
@@ -54,11 +55,15 @@ class Linear : public Module {
   /// (used for the attention score projection v in Eq. 3 of the paper).
   Linear(int in_features, int out_features, Rng* rng, bool bias = true);
 
-  /// `x` is [..., in_features]; result is [..., out_features].
-  Tensor Forward(const Tensor& x) const;
+  /// `x` is [..., in_features]; result is [..., out_features]. Runs as one
+  /// fused LinearEx node; `act` folds a ReLU into the GEMM epilogue.
+  Tensor Forward(const Tensor& x, Activation act = Activation::kNone) const;
 
   int in_features() const { return in_features_; }
   int out_features() const { return out_features_; }
+  const Tensor& weight() const { return weight_; }
+  /// Undefined when constructed with bias = false.
+  const Tensor& bias() const { return bias_; }
 
  private:
   int in_features_;

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+
+#include "nn/kernels.h"
 
 namespace dlinf {
 namespace nn {
@@ -86,6 +89,40 @@ void ForEachBroadcast(const Shape& out_shape,
 template <typename FwdFn, typename DaFn, typename DbFn>
 Tensor ElementwiseBinary(const Tensor& a, const Tensor& b, FwdFn fwd, DaFn da,
                          DbFn db) {
+  // Same-shape fast path: a straight flat loop, no odometer walk.
+  if (a.shape() == b.shape()) {
+    Tensor out = MakeResult(a.shape(), {a, b});
+    const float* av = a.data().data();
+    const float* bv = b.data().data();
+    float* ov = out.data().data();
+    const int64_t total = out.numel();
+    for (int64_t i = 0; i < total; ++i) ov[i] = fwd(av[i], bv[i]);
+    if (out.requires_grad()) {
+      auto out_impl = out.impl();
+      auto a_impl = a.impl();
+      auto b_impl = b.impl();
+      internal::TensorImpl* const self = out_impl.get();
+      out_impl->backward_fn = [self, a_impl, b_impl, total, da, db]() {
+        const float* g = self->grad.data();
+        const float* ad = a_impl->data.data();
+        const float* bd = b_impl->data.data();
+        if (a_impl->requires_grad) {
+          float* ga = a_impl->grad.data();
+          for (int64_t i = 0; i < total; ++i) {
+            ga[i] += g[i] * da(ad[i], bd[i]);
+          }
+        }
+        if (b_impl->requires_grad) {
+          float* gb = b_impl->grad.data();
+          for (int64_t i = 0; i < total; ++i) {
+            gb[i] += g[i] * db(ad[i], bd[i]);
+          }
+        }
+      };
+    }
+    return out;
+  }
+
   const Shape out_shape = BroadcastShapes(a.shape(), b.shape());
   const std::vector<int64_t> a_strides =
       BroadcastStrides(a.shape(), out_shape);
@@ -426,19 +463,15 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const int64_t a_stride = static_cast<int64_t>(m) * k;
   const int64_t b_stride = shared_b ? 0 : static_cast<int64_t>(k) * n;
   const int64_t o_stride = static_cast<int64_t>(m) * n;
-  for (int64_t p = 0; p < batch; ++p) {
-    const float* ap = av.data() + p * a_stride;
-    const float* bp = bv.data() + p * b_stride;
-    float* op = ov.data() + p * o_stride;
-    for (int i = 0; i < m; ++i) {
-      for (int j = 0; j < n; ++j) op[i * n + j] = 0.0f;
-      for (int kk = 0; kk < k; ++kk) {
-        const float aik = ap[i * k + kk];
-        if (aik == 0.0f) continue;
-        const float* brow = bp + kk * n;
-        float* orow = op + i * n;
-        for (int j = 0; j < n; ++j) orow[j] += aik * brow[j];
-      }
+  if (shared_b) {
+    // Shared weight: every batch multiplies the same B, so the whole thing
+    // is one [batch * m, k] x [k, n] GEMM.
+    kernel::Gemm(batch * m, n, k, av.data(), bv.data(), ov.data(),
+                 /*accumulate=*/false);
+  } else {
+    for (int64_t p = 0; p < batch; ++p) {
+      kernel::Gemm(m, n, k, av.data() + p * a_stride, bv.data() + p * b_stride,
+                   ov.data() + p * o_stride, /*accumulate=*/false);
     }
   }
 
@@ -447,37 +480,29 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
     auto a_impl = a.impl();
     auto b_impl = b.impl();
     internal::TensorImpl* const self = out_impl.get();
-    out_impl->backward_fn = [self, a_impl, b_impl, batch, m, n, k,
+    out_impl->backward_fn = [self, a_impl, b_impl, shared_b, batch, m, n, k,
                              a_stride, b_stride, o_stride]() {
-      for (int64_t p = 0; p < batch; ++p) {
+      const int64_t rows = shared_b ? batch * m : m;
+      const int64_t nbatch = shared_b ? 1 : batch;
+      for (int64_t p = 0; p < nbatch; ++p) {
         const float* gp = self->grad.data() + p * o_stride;
         const float* ap = a_impl->data.data() + p * a_stride;
         const float* bp = b_impl->data.data() + p * b_stride;
         if (a_impl->requires_grad) {
-          float* gap = a_impl->grad.data() + p * a_stride;
-          // dA = dC @ B^T
-          for (int i = 0; i < m; ++i) {
-            for (int kk = 0; kk < k; ++kk) {
-              float acc = 0.0f;
-              const float* grow = gp + i * n;
-              const float* brow = bp + kk * n;
-              for (int j = 0; j < n; ++j) acc += grow[j] * brow[j];
-              gap[i * k + kk] += acc;
-            }
-          }
+          // dA += dC @ B^T.
+          kernel::PooledBuffer bt(static_cast<size_t>(k) * n);
+          kernel::Transpose(bp, k, n, n, bt.data());
+          kernel::Gemm(rows, k, n, gp, n, bt.data(), k,
+                       a_impl->grad.data() + p * a_stride, k,
+                       /*accumulate=*/true);
         }
         if (b_impl->requires_grad) {
-          float* gbp = b_impl->grad.data() + p * b_stride;
-          // dB = A^T @ dC (accumulates across batches when B is shared).
-          for (int kk = 0; kk < k; ++kk) {
-            for (int i = 0; i < m; ++i) {
-              const float aik = ap[i * k + kk];
-              if (aik == 0.0f) continue;
-              const float* grow = gp + i * n;
-              float* gbrow = gbp + kk * n;
-              for (int j = 0; j < n; ++j) gbrow[j] += aik * grow[j];
-            }
-          }
+          // dB += A^T @ dC (one flattened GEMM when B is shared).
+          kernel::PooledBuffer at(static_cast<size_t>(rows) * k);
+          kernel::Transpose(ap, rows, k, k, at.data());
+          kernel::Gemm(k, n, rows, at.data(), rows, gp, n,
+                       b_impl->grad.data() + p * b_stride, n,
+                       /*accumulate=*/true);
         }
       }
     };
@@ -512,36 +537,14 @@ Tensor Softmax(const Tensor& x) {
   const int n = x.dim(x.rank() - 1);
   const int64_t rows = x.numel() / n;
   Tensor out = MakeResult(x.shape(), {x});
-  const std::vector<float>& xv = x.data();
-  std::vector<float>& ov = out.data();
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* xr = xv.data() + r * n;
-    float* orow = ov.data() + r * n;
-    float max_v = xr[0];
-    for (int j = 1; j < n; ++j) max_v = std::max(max_v, xr[j]);
-    double denom = 0.0;
-    for (int j = 0; j < n; ++j) {
-      orow[j] = std::exp(xr[j] - max_v);
-      denom += orow[j];
-    }
-    const float inv = static_cast<float>(1.0 / denom);
-    for (int j = 0; j < n; ++j) orow[j] *= inv;
-  }
+  kernel::SoftmaxRows(x.data().data(), out.data().data(), rows, n);
   if (out.requires_grad()) {
     auto out_impl = out.impl();
     auto x_impl = x.impl();
     internal::TensorImpl* const self = out_impl.get();
     out_impl->backward_fn = [self, x_impl, rows, n]() {
-      for (int64_t r = 0; r < rows; ++r) {
-        const float* y = self->data.data() + r * n;
-        const float* gy = self->grad.data() + r * n;
-        float* gx = x_impl->grad.data() + r * n;
-        double dot = 0.0;
-        for (int j = 0; j < n; ++j) dot += static_cast<double>(gy[j]) * y[j];
-        for (int j = 0; j < n; ++j) {
-          gx[j] += y[j] * (gy[j] - static_cast<float>(dot));
-        }
-      }
+      kernel::SoftmaxBackwardRows(self->data.data(), self->grad.data(),
+                                  x_impl->grad.data(), rows, n);
     };
   }
   return out;
@@ -611,28 +614,12 @@ Tensor LayerNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
   const int64_t rows = x.numel() / n;
   Tensor out = MakeResult(x.shape(), {x, gamma, beta});
 
-  // Cache per-row statistics for backward.
-  std::vector<float> inv_std(rows);
-  std::vector<float> means(rows);
-  const std::vector<float>& xv = x.data();
-  const std::vector<float>& gv = gamma.data();
-  const std::vector<float>& bv = beta.data();
-  std::vector<float>& ov = out.data();
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* xr = xv.data() + r * n;
-    double mean = 0.0;
-    for (int j = 0; j < n; ++j) mean += xr[j];
-    mean /= n;
-    double var = 0.0;
-    for (int j = 0; j < n; ++j) var += (xr[j] - mean) * (xr[j] - mean);
-    var /= n;
-    means[r] = static_cast<float>(mean);
-    inv_std[r] = static_cast<float>(1.0 / std::sqrt(var + eps));
-    float* orow = ov.data() + r * n;
-    for (int j = 0; j < n; ++j) {
-      orow[j] = gv[j] * (xr[j] - means[r]) * inv_std[r] + bv[j];
-    }
-  }
+  // Cache per-row statistics (pooled) for backward.
+  kernel::PooledBuffer means(static_cast<size_t>(rows));
+  kernel::PooledBuffer inv_std(static_cast<size_t>(rows));
+  kernel::LayerNormRows(x.data().data(), gamma.data().data(),
+                        beta.data().data(), eps, rows, n, out.data().data(),
+                        means.data(), inv_std.data());
 
   if (out.requires_grad()) {
     auto out_impl = out.impl();
@@ -643,41 +630,316 @@ Tensor LayerNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
     out_impl->backward_fn = [self, x_impl, g_impl, b_impl, rows, n,
                              means = std::move(means),
                              inv_std = std::move(inv_std)]() {
-      for (int64_t r = 0; r < rows; ++r) {
-        const float* xr = x_impl->data.data() + r * n;
-        const float* gy = self->grad.data() + r * n;
-        const float mu = means[r];
-        const float istd = inv_std[r];
-        // xhat_j = (x_j - mu) * istd
-        if (g_impl->requires_grad || b_impl->requires_grad) {
-          for (int j = 0; j < n; ++j) {
-            const float xhat = (xr[j] - mu) * istd;
-            if (g_impl->requires_grad) g_impl->grad[j] += gy[j] * xhat;
-            if (b_impl->requires_grad) b_impl->grad[j] += gy[j];
-          }
+      kernel::LayerNormBackwardRows(
+          x_impl->data.data(), g_impl->data.data(), self->grad.data(),
+          means.data(), inv_std.data(), rows, n,
+          x_impl->requires_grad ? x_impl->grad.data() : nullptr,
+          g_impl->requires_grad ? g_impl->grad.data() : nullptr,
+          b_impl->requires_grad ? b_impl->grad.data() : nullptr);
+    };
+  }
+  return out;
+}
+
+Tensor LinearEx(const Tensor& x, const Tensor& w, const Tensor& b,
+                Activation act) {
+  CHECK_GE(x.rank(), 2);
+  CHECK_EQ(w.rank(), 2);
+  const int k = x.dim(x.rank() - 1);
+  CHECK_EQ(w.dim(0), k) << "linear" << ShapeToString(x.shape())
+                        << ShapeToString(w.shape());
+  const int n = w.dim(1);
+  const bool has_bias = b.defined();
+  if (has_bias) CHECK_EQ(b.numel(), n);
+  const int64_t rows = x.numel() / k;
+
+  Shape out_shape(x.shape().begin(), x.shape().end() - 1);
+  out_shape.push_back(n);
+  std::vector<Tensor> inputs = {x, w};
+  if (has_bias) inputs.push_back(b);
+  Tensor out = MakeResult(out_shape, inputs);
+
+  float* y = out.data().data();
+  kernel::Gemm(rows, n, k, x.data().data(), w.data().data(), y,
+               /*accumulate=*/false);
+  if (has_bias) {
+    if (act == Activation::kRelu) {
+      kernel::AddBiasReluRows(y, b.data().data(), rows, n);
+    } else {
+      kernel::AddBiasRows(y, b.data().data(), rows, n);
+    }
+  } else if (act == Activation::kRelu) {
+    kernel::ReluInPlace(y, rows * static_cast<int64_t>(n));
+  }
+
+  if (out.requires_grad()) {
+    auto out_impl = out.impl();
+    auto x_impl = x.impl();
+    auto w_impl = w.impl();
+    auto b_impl = has_bias ? b.impl() : nullptr;
+    internal::TensorImpl* const self = out_impl.get();
+    out_impl->backward_fn = [self, x_impl, w_impl, b_impl, rows, n, k,
+                             act]() {
+      const float* gy = self->grad.data();
+      kernel::PooledBuffer gpre_buf;
+      // Relu gate: y > 0 iff the pre-activation was > 0 (relu is identity
+      // there), so the saved output doubles as the mask.
+      if (act == Activation::kRelu) {
+        gpre_buf = kernel::PooledBuffer(static_cast<size_t>(rows) * n);
+        const float* y = self->data.data();
+        float* gp = gpre_buf.data();
+        for (int64_t i = 0; i < rows * n; ++i) {
+          gp[i] = y[i] > 0.0f ? gy[i] : 0.0f;
         }
-        if (x_impl->requires_grad) {
-          // dL/dx = istd/n * (n*dxhat - sum(dxhat) - xhat*sum(dxhat*xhat))
-          // where dxhat_j = gy_j * gamma_j.
-          double sum_dxhat = 0.0;
-          double sum_dxhat_xhat = 0.0;
-          for (int j = 0; j < n; ++j) {
-            const float dxhat = gy[j] * g_impl->data[j];
-            const float xhat = (xr[j] - mu) * istd;
-            sum_dxhat += dxhat;
-            sum_dxhat_xhat += static_cast<double>(dxhat) * xhat;
-          }
-          float* gx = x_impl->grad.data() + r * n;
-          for (int j = 0; j < n; ++j) {
-            const float dxhat = gy[j] * g_impl->data[j];
-            const float xhat = (xr[j] - mu) * istd;
-            gx[j] += istd *
-                     (dxhat - static_cast<float>(sum_dxhat) / n -
-                      xhat * static_cast<float>(sum_dxhat_xhat) / n);
-          }
-        }
+        gy = gp;
+      }
+      if (b_impl != nullptr && b_impl->requires_grad) {
+        kernel::ColumnSumRows(gy, rows, n, b_impl->grad.data());
+      }
+      if (w_impl->requires_grad) {
+        // dW += x^T @ gy.
+        kernel::PooledBuffer xt(static_cast<size_t>(rows) * k);
+        kernel::Transpose(x_impl->data.data(), rows, k, k, xt.data());
+        kernel::Gemm(k, n, rows, xt.data(), rows, gy, n, w_impl->grad.data(),
+                     n, /*accumulate=*/true);
+      }
+      if (x_impl->requires_grad) {
+        // dx += gy @ W^T.
+        kernel::PooledBuffer wt(static_cast<size_t>(k) * n);
+        kernel::Transpose(w_impl->data.data(), k, n, n, wt.data());
+        kernel::Gemm(rows, k, n, gy, n, wt.data(), k, x_impl->grad.data(), k,
+                     /*accumulate=*/true);
       }
     };
+  }
+  return out;
+}
+
+Tensor FusedSelfAttention(const Tensor& x, const Tensor& wq, const Tensor& bq,
+                          const Tensor& wk, const Tensor& bk,
+                          const Tensor& wv, const Tensor& bv,
+                          const Tensor& wo, const Tensor& bo,
+                          const Tensor& mask, int num_heads, float dropout_p,
+                          bool training, Rng* rng) {
+  CHECK_EQ(x.rank(), 3);
+  const int B = x.dim(0);
+  const int N = x.dim(1);
+  const int D = x.dim(2);
+  const int H = num_heads;
+  CHECK_GT(H, 0);
+  CHECK_EQ(D % H, 0) << "model dim" << D << "not divisible by heads" << H;
+  const int dh = D / H;
+  const int64_t R = static_cast<int64_t>(B) * N;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+  for (const Tensor* w : {&wq, &wk, &wv, &wo}) {
+    CHECK_EQ(w->rank(), 2);
+    CHECK_EQ(w->dim(0), D);
+    CHECK_EQ(w->dim(1), D);
+  }
+  for (const Tensor* bias : {&bq, &bk, &bv, &bo}) CHECK_EQ(bias->numel(), D);
+  if (mask.defined()) {
+    CHECK_EQ(mask.rank(), 4);
+    CHECK(mask.dim(0) == B && mask.dim(1) == 1 && mask.dim(2) == 1 &&
+          mask.dim(3) == N)
+        << "attention mask must be [B,1,1,N], got"
+        << ShapeToString(mask.shape());
+  }
+
+  // Projections: three [R, D] GEMMs with fused bias, into pooled buffers
+  // the backward closure keeps.
+  kernel::PooledBuffer q(static_cast<size_t>(R) * D);
+  kernel::PooledBuffer kbuf(static_cast<size_t>(R) * D);
+  kernel::PooledBuffer v(static_cast<size_t>(R) * D);
+  const float* xd = x.data().data();
+  kernel::Gemm(R, D, D, xd, wq.data().data(), q.data(), false);
+  kernel::AddBiasRows(q.data(), bq.data().data(), R, D);
+  kernel::Gemm(R, D, D, xd, wk.data().data(), kbuf.data(), false);
+  kernel::AddBiasRows(kbuf.data(), bk.data().data(), R, D);
+  kernel::Gemm(R, D, D, xd, wv.data().data(), v.data(), false);
+  kernel::AddBiasRows(v.data(), bv.data().data(), R, D);
+
+  // Scores -> scale -> mask -> softmax, one [N, N] panel per (batch, head).
+  const int64_t nn = static_cast<int64_t>(N) * N;
+  kernel::PooledBuffer probs(static_cast<size_t>(B) * H * nn);
+  {
+    kernel::PooledBuffer kt(static_cast<size_t>(dh) * N);
+    for (int b = 0; b < B; ++b) {
+      const float* mrow =
+          mask.defined() ? mask.data().data() + static_cast<int64_t>(b) * N
+                         : nullptr;
+      for (int h = 0; h < H; ++h) {
+        const int64_t head_off = static_cast<int64_t>(b) * N * D + h * dh;
+        float* prow = probs.data() + (static_cast<int64_t>(b) * H + h) * nn;
+        kernel::Transpose(kbuf.data() + head_off, N, dh, D, kt.data());
+        kernel::Gemm(N, N, dh, q.data() + head_off, D, kt.data(), N, prow, N,
+                     false);
+        for (int64_t i = 0; i < N; ++i) {
+          float* srow = prow + i * N;
+          for (int64_t j = 0; j < N; ++j) {
+            float s = srow[j] * scale;
+            if (mrow != nullptr) s += mrow[j];
+            srow[j] = s;
+          }
+        }
+        kernel::SoftmaxRows(prow, prow, N, N);
+      }
+    }
+  }
+
+  // Inverted-dropout keep/scale mask, drawn flat over [B, H, N, N] — the
+  // exact RNG order of the Dropout op this fuses.
+  kernel::PooledBuffer dmask;
+  if (training && dropout_p > 0.0f) {
+    CHECK(rng != nullptr);
+    CHECK_LT(dropout_p, 1.0f);
+    dmask = kernel::PooledBuffer(static_cast<size_t>(B) * H * nn);
+    const float keep = 1.0f / (1.0f - dropout_p);
+    float* dm = dmask.data();
+    const int64_t total = static_cast<int64_t>(B) * H * nn;
+    for (int64_t i = 0; i < total; ++i) {
+      dm[i] = rng->Bernoulli(dropout_p) ? 0.0f : keep;
+    }
+  }
+
+  // Context: concat_heads(Pd @ V) written straight into a [R, D] panel via
+  // ldc = D (pre-dropout probs are kept for softmax backward; the dropped
+  // copy is forward-local scratch).
+  kernel::PooledBuffer ctx(static_cast<size_t>(R) * D);
+  {
+    const float* psrc = probs.data();
+    kernel::PooledBuffer dropped;
+    if (dmask.size() > 0) {
+      dropped = kernel::PooledBuffer(static_cast<size_t>(B) * H * nn);
+      const float* dm = dmask.data();
+      float* pd = dropped.data();
+      const int64_t total = static_cast<int64_t>(B) * H * nn;
+      for (int64_t i = 0; i < total; ++i) pd[i] = psrc[i] * dm[i];
+      psrc = pd;
+    }
+    for (int b = 0; b < B; ++b) {
+      for (int h = 0; h < H; ++h) {
+        const int64_t head_off = static_cast<int64_t>(b) * N * D + h * dh;
+        kernel::Gemm(N, dh, N,
+                     psrc + (static_cast<int64_t>(b) * H + h) * nn, N,
+                     v.data() + head_off, D, ctx.data() + head_off, D, false);
+      }
+    }
+  }
+
+  Tensor out = MakeResult(x.shape(), {x, wq, bq, wk, bk, wv, bv, wo, bo});
+  kernel::Gemm(R, D, D, ctx.data(), wo.data().data(), out.data().data(),
+               false);
+  kernel::AddBiasRows(out.data().data(), bo.data().data(), R, D);
+
+  if (out.requires_grad()) {
+    auto out_impl = out.impl();
+    internal::TensorImpl* const self = out_impl.get();
+    out_impl->backward_fn =
+        [self, x_impl = x.impl(), wq_impl = wq.impl(), bq_impl = bq.impl(),
+         wk_impl = wk.impl(), bk_impl = bk.impl(), wv_impl = wv.impl(),
+         bv_impl = bv.impl(), wo_impl = wo.impl(), bo_impl = bo.impl(),
+         q = std::move(q), kbuf = std::move(kbuf), v = std::move(v),
+         probs = std::move(probs), dmask = std::move(dmask),
+         ctx = std::move(ctx), B, N, D, H, dh, R, nn, scale]() {
+          const float* gy = self->grad.data();
+          // Output projection.
+          if (bo_impl->requires_grad) {
+            kernel::ColumnSumRows(gy, R, D, bo_impl->grad.data());
+          }
+          if (wo_impl->requires_grad) {
+            kernel::PooledBuffer ctxt(static_cast<size_t>(R) * D);
+            kernel::Transpose(ctx.data(), R, D, D, ctxt.data());
+            kernel::Gemm(D, D, R, ctxt.data(), R, gy, D,
+                         wo_impl->grad.data(), D, true);
+          }
+          kernel::PooledBuffer dctx(static_cast<size_t>(R) * D);
+          {
+            kernel::PooledBuffer wot(static_cast<size_t>(D) * D);
+            kernel::Transpose(wo_impl->data.data(), D, D, D, wot.data());
+            kernel::Gemm(R, D, D, gy, D, wot.data(), D, dctx.data(), D,
+                         false);
+          }
+          // Per-(batch, head) attention backward into projection grads.
+          kernel::PooledBuffer dq(static_cast<size_t>(R) * D);
+          kernel::PooledBuffer dk(static_cast<size_t>(R) * D);
+          kernel::PooledBuffer dv(static_cast<size_t>(R) * D);
+          kernel::PooledBuffer vt(static_cast<size_t>(dh) * N);
+          kernel::PooledBuffer pd(static_cast<size_t>(nn));
+          kernel::PooledBuffer dpd(static_cast<size_t>(nn));
+          kernel::PooledBuffer ds(static_cast<size_t>(nn));
+          kernel::PooledBuffer tmp_t(static_cast<size_t>(nn));
+          for (int b = 0; b < B; ++b) {
+            for (int h = 0; h < H; ++h) {
+              const int64_t head_off =
+                  static_cast<int64_t>(b) * N * D + h * dh;
+              const int64_t p_off = (static_cast<int64_t>(b) * H + h) * nn;
+              const float* p_bh = probs.data() + p_off;
+              const float* dctx_bh = dctx.data() + head_off;
+              // Re-derive the dropped probabilities (bit-exact re-multiply).
+              const float* pd_bh = p_bh;
+              if (dmask.size() > 0) {
+                const float* dm = dmask.data() + p_off;
+                for (int64_t i = 0; i < nn; ++i) {
+                  pd.data()[i] = p_bh[i] * dm[i];
+                }
+                pd_bh = pd.data();
+              }
+              // dPd = dctx @ V^T; dV += Pd^T @ dctx.
+              kernel::Transpose(v.data() + head_off, N, dh, D, vt.data());
+              kernel::Gemm(N, N, dh, dctx_bh, D, vt.data(), N, dpd.data(), N,
+                           false);
+              kernel::Transpose(pd_bh, N, N, N, tmp_t.data());
+              kernel::Gemm(N, dh, N, tmp_t.data(), N, dctx_bh, D,
+                           dv.data() + head_off, D, true);
+              // Through dropout and softmax, then the 1/sqrt(dh) scale.
+              if (dmask.size() > 0) {
+                const float* dm = dmask.data() + p_off;
+                for (int64_t i = 0; i < nn; ++i) dpd.data()[i] *= dm[i];
+              }
+              std::memset(ds.data(), 0, static_cast<size_t>(nn) * 4);
+              kernel::SoftmaxBackwardRows(p_bh, dpd.data(), ds.data(), N, N);
+              for (int64_t i = 0; i < nn; ++i) ds.data()[i] *= scale;
+              // dQ += dS @ K; dK += dS^T @ Q.
+              kernel::Gemm(N, dh, N, ds.data(), N, kbuf.data() + head_off, D,
+                           dq.data() + head_off, D, true);
+              kernel::Transpose(ds.data(), N, N, N, tmp_t.data());
+              kernel::Gemm(N, dh, N, tmp_t.data(), N, q.data() + head_off, D,
+                           dk.data() + head_off, D, true);
+            }
+          }
+          // Input projections: dX += dP @ W^T, dW += X^T @ dP, db += colsum.
+          kernel::PooledBuffer xt;
+          const bool need_xt = wq_impl->requires_grad ||
+                               wk_impl->requires_grad ||
+                               wv_impl->requires_grad;
+          if (need_xt) {
+            xt = kernel::PooledBuffer(static_cast<size_t>(R) * D);
+            kernel::Transpose(x_impl->data.data(), R, D, D, xt.data());
+          }
+          const struct {
+            kernel::PooledBuffer* dproj;
+            internal::TensorImpl* w;
+            internal::TensorImpl* bias;
+          } branches[] = {{&dq, wq_impl.get(), bq_impl.get()},
+                          {&dk, wk_impl.get(), bk_impl.get()},
+                          {&dv, wv_impl.get(), bv_impl.get()}};
+          kernel::PooledBuffer wt(static_cast<size_t>(D) * D);
+          for (const auto& br : branches) {
+            if (br.bias->requires_grad) {
+              kernel::ColumnSumRows(br.dproj->data(), R, D,
+                                    br.bias->grad.data());
+            }
+            if (br.w->requires_grad) {
+              kernel::Gemm(D, D, R, xt.data(), R, br.dproj->data(), D,
+                           br.w->grad.data(), D, true);
+            }
+            if (x_impl->requires_grad) {
+              kernel::Transpose(br.w->data.data(), D, D, D, wt.data());
+              kernel::Gemm(R, D, D, br.dproj->data(), D, wt.data(), D,
+                           x_impl->grad.data(), D, true);
+            }
+          }
+        };
   }
   return out;
 }

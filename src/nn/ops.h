@@ -57,8 +57,36 @@ Tensor SliceAxis(const Tensor& x, int axis, int start, int length);
 /// --- Linear algebra ------------------------------------------------------
 /// Matrix product. `a` is [..., M, K]. `b` is either [K, N] (a shared weight
 /// applied to every leading batch of `a`) or [..., K, N] with leading dims
-/// identical to `a`'s (a batched product).
+/// identical to `a`'s (a batched product). A shared [K, N] weight is applied
+/// as ONE flattened [batch * M, K] x [K, N] GEMM through nn/kernels.h.
 Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// --- Fused layers ---------------------------------------------------------
+/// Epilogue applied inside LinearEx's GEMM kernel call.
+enum class Activation { kNone, kRelu };
+
+/// Fused y = act(x @ w [+ b]) as a single autograd node: one GEMM over the
+/// flattened [..., K] rows plus a fused bias/activation epilogue — no
+/// intermediate tensors, no broadcast walk. `b` may be undefined (no bias).
+/// `x` is [..., K] (rank >= 2), `w` is [K, N], `b` is [N].
+Tensor LinearEx(const Tensor& x, const Tensor& w, const Tensor& b,
+                Activation act = Activation::kNone);
+
+/// Fused multi-head self-attention block as a single autograd node:
+///   q,k,v = x@Wq+bq, x@Wk+bk, x@Wv+bv           (three [B*N, D] GEMMs)
+///   P     = dropout(softmax(q k^T / sqrt(dh) + mask))  (per batch & head)
+///   out   = concat_heads(P v) @ Wo + bo
+/// `x` is [B, N, D]; weights are [D, D], biases [D]; `mask` (optional,
+/// additive, e.g. -1e9 at padding) is [B, 1, 1, N]. Score -> softmax ->
+/// weighted-sum runs on kernel-layer GEMM/softmax primitives over pooled
+/// scratch; the RNG draw order for dropout matches the unfused
+/// Dropout-on-[B,H,N,N] op it replaces, element for element.
+Tensor FusedSelfAttention(const Tensor& x, const Tensor& wq, const Tensor& bq,
+                          const Tensor& wk, const Tensor& bk,
+                          const Tensor& wv, const Tensor& bv,
+                          const Tensor& wo, const Tensor& bo,
+                          const Tensor& mask, int num_heads, float dropout_p,
+                          bool training, Rng* rng);
 
 /// --- Reductions -----------------------------------------------------------
 /// Sum / mean of all elements into a scalar (rank-0) tensor.

@@ -7,6 +7,8 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "nn/kernels.h"
+
 namespace dlinf {
 namespace nn {
 namespace {
@@ -26,6 +28,26 @@ struct MallocTuner {
 const MallocTuner g_malloc_tuner;
 
 }  // namespace
+
+namespace internal {
+
+TensorImpl::~TensorImpl() {
+  kernel::ReleaseBuffer(std::move(data));
+  kernel::ReleaseBuffer(std::move(grad));
+}
+
+void TensorImpl::EnsureGrad() {
+  if (grad.size() != data.size()) {
+    if (grad.capacity() < data.size()) {
+      kernel::ReleaseBuffer(std::move(grad));
+      grad = kernel::AcquireBuffer(data.size());
+    } else {
+      grad.assign(data.size(), 0.0f);
+    }
+  }
+}
+
+}  // namespace internal
 
 int64_t NumElements(const Shape& shape) {
   int64_t n = 1;
@@ -54,7 +76,10 @@ Tensor Tensor::Zeros(const Shape& shape, bool requires_grad) {
 Tensor Tensor::Full(const Shape& shape, float value, bool requires_grad) {
   auto impl = std::make_shared<internal::TensorImpl>();
   impl->shape = shape;
-  impl->data.assign(NumElements(shape), value);
+  impl->data = kernel::AcquireBuffer(NumElements(shape));
+  if (value != 0.0f) {
+    std::fill(impl->data.begin(), impl->data.end(), value);
+  }
   impl->requires_grad = requires_grad;
   if (requires_grad) impl->EnsureGrad();
   return Wrap(std::move(impl));
@@ -152,16 +177,28 @@ void Tensor::Backward() {
   }
 }
 
+namespace {
+thread_local bool t_grad_enabled = true;
+}  // namespace
+
+bool GradModeEnabled() { return t_grad_enabled; }
+
+NoGradGuard::NoGradGuard() : prev_(t_grad_enabled) { t_grad_enabled = false; }
+
+NoGradGuard::~NoGradGuard() { t_grad_enabled = prev_; }
+
 Tensor MakeResult(const Shape& shape, const std::vector<Tensor>& inputs) {
   auto impl = std::make_shared<internal::TensorImpl>();
   impl->shape = shape;
-  impl->data.assign(NumElements(shape), 0.0f);
-  for (const Tensor& input : inputs) {
-    CHECK(input.defined());
-    impl->inputs.push_back(input.impl());
-    if (input.requires_grad()) impl->requires_grad = true;
+  impl->data = kernel::AcquireBuffer(NumElements(shape));
+  if (t_grad_enabled) {
+    for (const Tensor& input : inputs) {
+      CHECK(input.defined());
+      impl->inputs.push_back(input.impl());
+      if (input.requires_grad()) impl->requires_grad = true;
+    }
+    if (impl->requires_grad) impl->EnsureGrad();
   }
-  if (impl->requires_grad) impl->EnsureGrad();
   return Tensor::Wrap(std::move(impl));
 }
 

@@ -41,9 +41,12 @@ struct TensorImpl {
   std::vector<std::shared_ptr<TensorImpl>> inputs;
   std::function<void()> backward_fn;  // May be empty (leaf).
 
-  void EnsureGrad() {
-    if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);
-  }
+  TensorImpl() = default;
+  /// Returns data/grad storage to the kernel-layer buffer pool
+  /// (nn/kernels.h) so forward/backward stop hammering malloc.
+  ~TensorImpl();
+
+  void EnsureGrad();
 };
 
 }  // namespace internal
@@ -112,7 +115,27 @@ class Tensor {
 
 /// Creates a non-leaf result tensor: requires_grad if any input does, records
 /// inputs for the tape. The caller fills data and sets backward_fn.
+/// Under NoGradGuard the result is a detached leaf (no inputs, no grad).
 Tensor MakeResult(const Shape& shape, const std::vector<Tensor>& inputs);
+
+/// True unless a NoGradGuard is live on this thread.
+bool GradModeEnabled();
+
+/// RAII scope that turns off autograd tape recording on this thread: ops
+/// inside it build no backward closures, record no input edges, and allocate
+/// no gradient buffers. This is the batched-inference hot path — forward
+/// cost only. Calling Backward() on a tensor produced inside the guard is an
+/// error (it has no tape).
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool prev_;
+};
 
 }  // namespace nn
 }  // namespace dlinf

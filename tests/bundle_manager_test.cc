@@ -4,6 +4,8 @@
 // veto, agreement threshold), RCU semantics for pinned generations, and the
 // reload counters + degraded-health flag.
 
+#include <unistd.h>
+
 #include <chrono>
 #include <cmath>
 #include <filesystem>
@@ -62,7 +64,10 @@ struct BundleFixture {
     method = std::make_unique<dlinfma::DlInfMaMethod>(
         "DLInfMA", dlinfma::LocMatcherConfig{}, train_config);
     method->Fit(data, samples);
-    dir = TempDir() + "manager_bundle";
+    // Suffix with the pid: under `ctest -j` each test case is a separate
+    // process, and several of them mutate or corrupt bundle files — a shared
+    // fixed path makes concurrent cases clobber each other's bundles.
+    dir = TempDir() + "manager_bundle." + std::to_string(::getpid());
     std::string error;
     CHECK(io::SaveBundle(dir, world, data, samples, *method, &error)) << error;
   }

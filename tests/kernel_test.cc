@@ -1,0 +1,270 @@
+// Tests for the nn/ compute-kernel layer (DESIGN.md §12).
+//
+// The load-bearing property is the determinism contract: the scalar and
+// AVX2 paths must produce bit-identical results on every shape, because the
+// golden pipeline metrics and checkpoint-resume tests are pinned across
+// machines with and without AVX2. Every sweep below therefore compares the
+// two paths with exact float equality, not a tolerance.
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "grad_check.h"
+#include "gtest/gtest.h"
+#include "nn/kernels.h"
+#include "nn/ops.h"
+#include "nn/tensor.h"
+
+namespace dlinf {
+namespace nn {
+namespace {
+
+/// Forces the scalar path for a scope and restores the previous dispatch.
+class ScopedForceScalar {
+ public:
+  explicit ScopedForceScalar(bool force) : was_avx2_(kernel::Avx2Enabled()) {
+    kernel::ForceScalar(force);
+  }
+  ~ScopedForceScalar() { kernel::ForceScalar(false); }
+
+  /// True when the machine actually has a second path to compare against.
+  bool had_avx2() const { return was_avx2_; }
+
+ private:
+  bool was_avx2_;
+};
+
+std::vector<float> RandomVec(int64_t n, Rng* rng) {
+  std::vector<float> v(static_cast<size_t>(n));
+  for (float& x : v) x = static_cast<float>(rng->Uniform(-2.0, 2.0));
+  return v;
+}
+
+/// The definition the kernel must reproduce bit-for-bit: per output element,
+/// k-products accumulated serially with the correctly rounded fused
+/// multiply-add.
+void ReferenceGemm(int64_t m, int64_t n, int64_t k, const float* a,
+                   int64_t lda, const float* b, int64_t ldb, float* c,
+                   int64_t ldc, bool accumulate) {
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      float acc = accumulate ? c[i * ldc + j] : 0.0f;
+      for (int64_t p = 0; p < k; ++p) {
+        acc = std::fmaf(a[i * lda + p], b[p * ldb + j], acc);
+      }
+      c[i * ldc + j] = acc;
+    }
+  }
+}
+
+struct GemmShape {
+  int64_t m, n, k;
+};
+
+TEST(KernelGemmTest, MatchesReferenceBitExactOnBothPaths) {
+  Rng rng(20220505);
+  // Edge shapes: empty K, single row, single column, pure SIMD tail
+  // (n < 8), exact vector widths, the 48-column microkernel pass plus tail,
+  // and row counts straddling the 64-row block boundary.
+  const GemmShape shapes[] = {
+      {1, 1, 1},   {1, 5, 3},   {3, 1, 4},  {2, 3, 0},  {1, 8, 2},
+      {5, 7, 5},   {4, 16, 16}, {6, 48, 8}, {7, 50, 9}, {63, 9, 4},
+      {64, 17, 3}, {65, 33, 6}, {2, 100, 31}};
+  for (const GemmShape& s : shapes) {
+    for (bool accumulate : {false, true}) {
+      const std::vector<float> a = RandomVec(s.m * s.k, &rng);
+      const std::vector<float> b = RandomVec(s.k * s.n, &rng);
+      const std::vector<float> c0 = RandomVec(s.m * s.n, &rng);
+
+      std::vector<float> want = c0;
+      ReferenceGemm(s.m, s.n, s.k, a.data(), s.k, b.data(), s.n, want.data(),
+                    s.n, accumulate);
+
+      std::vector<float> scalar_c = c0;
+      bool had_avx2 = false;
+      {
+        ScopedForceScalar force(true);
+        had_avx2 = force.had_avx2();
+        ASSERT_FALSE(kernel::Avx2Enabled());
+        kernel::Gemm(s.m, s.n, s.k, a.data(), b.data(), scalar_c.data(),
+                     accumulate);
+      }
+      for (size_t i = 0; i < want.size(); ++i) {
+        ASSERT_EQ(scalar_c[i], want[i])
+            << "scalar path diverges from reference at " << i << " (m="
+            << s.m << " n=" << s.n << " k=" << s.k << " acc=" << accumulate
+            << ")";
+      }
+
+      if (!had_avx2) continue;  // No second path on this machine.
+      std::vector<float> simd_c = c0;
+      kernel::Gemm(s.m, s.n, s.k, a.data(), b.data(), simd_c.data(),
+                   accumulate);
+      for (size_t i = 0; i < want.size(); ++i) {
+        ASSERT_EQ(simd_c[i], want[i])
+            << "AVX2 path diverges from scalar at " << i << " (m=" << s.m
+            << " n=" << s.n << " k=" << s.k << " acc=" << accumulate << ")";
+      }
+    }
+  }
+}
+
+TEST(KernelGemmTest, RandomizedShapeSweep) {
+  Rng rng(7);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int64_t m = rng.UniformInt(1, 70);
+    const int64_t n = rng.UniformInt(1, 70);
+    const int64_t k = rng.UniformInt(0, 40);
+    const std::vector<float> a = RandomVec(m * k, &rng);
+    const std::vector<float> b = RandomVec(k * n, &rng);
+    std::vector<float> want(static_cast<size_t>(m * n), 0.0f);
+    ReferenceGemm(m, n, k, a.data(), k, b.data(), n, want.data(), n, false);
+
+    std::vector<float> got(static_cast<size_t>(m * n), -1.0f);
+    kernel::Gemm(m, n, k, a.data(), b.data(), got.data(), false);
+    for (size_t i = 0; i < want.size(); ++i) {
+      ASSERT_EQ(got[i], want[i]) << "trial " << trial << " element " << i
+                                 << " (m=" << m << " n=" << n << " k=" << k
+                                 << ")";
+    }
+  }
+}
+
+TEST(KernelGemmTest, StridedSubBlocksUseLeadingDimensions) {
+  Rng rng(13);
+  // Multiply an interior sub-block of padded matrices — the layout attention
+  // uses to address one head's columns inside [N, D] projections.
+  const int64_t m = 9, n = 11, k = 6;
+  const int64_t lda = 17, ldb = 23, ldc = 19;
+  const std::vector<float> a = RandomVec(m * lda, &rng);
+  const std::vector<float> b = RandomVec(k * ldb, &rng);
+  const std::vector<float> c0 = RandomVec(m * ldc, &rng);
+
+  std::vector<float> want = c0;
+  ReferenceGemm(m, n, k, a.data() + 2, lda, b.data() + 3, ldb,
+                want.data() + 1, ldc, true);
+  std::vector<float> got = c0;
+  kernel::Gemm(m, n, k, a.data() + 2, lda, b.data() + 3, ldb, got.data() + 1,
+               ldc, true);
+  for (size_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ(got[i], want[i]) << "element " << i;
+  }
+}
+
+TEST(KernelEpilogueTest, RowPrimitivesArePathInvariant) {
+  ScopedForceScalar probe(false);
+  if (!probe.had_avx2()) GTEST_SKIP() << "no AVX2 on this machine";
+
+  Rng rng(99);
+  const int64_t rows = 13, n = 37;
+  const std::vector<float> x = RandomVec(rows * n, &rng);
+  const std::vector<float> bias = RandomVec(n, &rng);
+  const std::vector<float> gamma = RandomVec(n, &rng);
+  const std::vector<float> beta = RandomVec(n, &rng);
+
+  struct Run {
+    std::vector<float> biased, relu, soft, ln, mean, inv_std, colsum;
+  };
+  auto run = [&](bool force_scalar) {
+    ScopedForceScalar force(force_scalar);
+    Run r;
+    r.biased = x;
+    kernel::AddBiasRows(r.biased.data(), bias.data(), rows, n);
+    r.relu = x;
+    kernel::AddBiasReluRows(r.relu.data(), bias.data(), rows, n);
+    r.soft.resize(x.size());
+    kernel::SoftmaxRows(x.data(), r.soft.data(), rows, n);
+    r.ln.resize(x.size());
+    r.mean.resize(rows);
+    r.inv_std.resize(rows);
+    kernel::LayerNormRows(x.data(), gamma.data(), beta.data(), 1e-5f, rows, n,
+                          r.ln.data(), r.mean.data(), r.inv_std.data());
+    r.colsum.assign(n, 0.5f);
+    kernel::ColumnSumRows(x.data(), rows, n, r.colsum.data());
+    return r;
+  };
+
+  const Run scalar = run(true);
+  const Run simd = run(false);
+  EXPECT_EQ(scalar.biased, simd.biased);
+  EXPECT_EQ(scalar.relu, simd.relu);
+  EXPECT_EQ(scalar.soft, simd.soft);
+  EXPECT_EQ(scalar.ln, simd.ln);
+  EXPECT_EQ(scalar.mean, simd.mean);
+  EXPECT_EQ(scalar.inv_std, simd.inv_std);
+  EXPECT_EQ(scalar.colsum, simd.colsum);
+
+  // Softmax rows are probability distributions regardless of path.
+  for (int64_t r = 0; r < rows; ++r) {
+    double sum = 0.0;
+    for (int64_t j = 0; j < n; ++j) sum += scalar.soft[r * n + j];
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(BufferPoolTest, ReleasedBuffersAreReusedAndZeroed) {
+  const size_t size = 4096;
+  // Warm the bucket so the acquire below cannot be a fresh allocation.
+  {
+    std::vector<float> warm = kernel::AcquireBuffer(size);
+    std::fill(warm.begin(), warm.end(), 3.5f);
+    kernel::ReleaseBuffer(std::move(warm));
+  }
+  const kernel::BufferPoolStats before = kernel::GetBufferPoolStats();
+  std::vector<float> buf = kernel::AcquireBuffer(size);
+  const kernel::BufferPoolStats after = kernel::GetBufferPoolStats();
+  EXPECT_EQ(after.reused, before.reused + 1);
+  EXPECT_EQ(buf.size(), size);
+  for (float v : buf) {
+    ASSERT_EQ(v, 0.0f) << "pooled buffers must come back zero-filled";
+  }
+  kernel::ReleaseBuffer(std::move(buf));
+}
+
+TEST(FusedOpGradTest, LinearExMatchesFiniteDifferences) {
+  Rng rng(11);
+  for (Activation act : {Activation::kNone, Activation::kRelu}) {
+    Tensor x = Tensor::RandomUniform({2, 5, 3}, -1.0f, 1.0f, &rng,
+                                     /*requires_grad=*/true);
+    Tensor w = Tensor::RandomUniform({3, 4}, -1.0f, 1.0f, &rng,
+                                     /*requires_grad=*/true);
+    Tensor b = Tensor::RandomUniform({4}, -1.0f, 1.0f, &rng,
+                                     /*requires_grad=*/true);
+    ExpectGradientsMatch(
+        [&]() { return Sum(LinearEx(x, w, b, act)); }, {x, w, b});
+  }
+}
+
+TEST(FusedOpGradTest, FusedSelfAttentionMatchesFiniteDifferences) {
+  Rng rng(23);
+  const int B = 2, N = 3, D = 4, H = 2;
+  Tensor x = Tensor::RandomUniform({B, N, D}, -1.0f, 1.0f, &rng,
+                                   /*requires_grad=*/true);
+  auto weight = [&]() {
+    return Tensor::RandomUniform({D, D}, -0.7f, 0.7f, &rng,
+                                 /*requires_grad=*/true);
+  };
+  auto bias = [&]() {
+    return Tensor::RandomUniform({D}, -0.3f, 0.3f, &rng,
+                                 /*requires_grad=*/true);
+  };
+  Tensor wq = weight(), wk = weight(), wv = weight(), wo = weight();
+  Tensor bq = bias(), bk = bias(), bv = bias(), bo = bias();
+  // Mask the last key of batch 0, as padded batches do.
+  std::vector<float> mask_values = {0.0f, 0.0f, -1e9f, 0.0f, 0.0f, 0.0f};
+  Tensor mask = Tensor::FromVector({B, 1, 1, N}, std::move(mask_values));
+
+  ExpectGradientsMatch(
+      [&]() {
+        return Sum(FusedSelfAttention(x, wq, bq, wk, bk, wv, bv, wo, bo, mask,
+                                      H, /*dropout_p=*/0.0f,
+                                      /*training=*/false, /*rng=*/nullptr));
+      },
+      {x, wq, bq, wk, bk, wv, bv, wo, bo});
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace dlinf

@@ -13,6 +13,8 @@
 //  - the slow-loris fix: a stalled connection cannot delay /healthz.
 // The whole file runs under TSan in CI.
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <memory>
@@ -58,7 +60,9 @@ struct EngineFixture {
     method = std::make_unique<dlinfma::DlInfMaMethod>(
         "DLInfMA", dlinfma::LocMatcherConfig{}, train_config);
     method->Fit(data, samples);
-    dir = TempDir() + "query_engine_bundle";
+    // Pid suffix keeps concurrent `ctest -j` test processes (one per gtest
+    // case) from writing the same bundle directory at the same time.
+    dir = TempDir() + "query_engine_bundle." + std::to_string(::getpid());
     std::string error;
     CHECK(io::SaveBundle(dir, world, data, samples, *method, &error)) << error;
 

@@ -1,7 +1,7 @@
 // bench_compare — the CI benchmark-regression gate.
 //
 //   bench_compare --baseline FILE --pr FILE [--threshold 0.25]
-//                 [--min-seconds 0.001]
+//                 [--min-seconds 0.001] [--summary FILE]
 //
 // Both files are flat {"name": seconds} JSON produced by the bench binaries'
 // --json flag (bench/bench_util.h). Every benchmark present in the baseline
@@ -18,12 +18,18 @@
 // baseline committed from a faster or slower machine than the CI runner
 // still gates correctly. Without calibration entries, raw seconds are
 // compared.
+//
+// --summary FILE additionally writes a GitHub-flavored-markdown digest
+// (regressions first, then ">NN% faster" improvement lines, then the full
+// table) — CI appends it to $GITHUB_STEP_SUMMARY so the comparison is
+// readable from the run page without digging through logs.
 
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/flat_json.h"
 
@@ -35,9 +41,65 @@ constexpr char kCalibrationKey[] = "_calibration";
 struct Options {
   std::string baseline_path;
   std::string pr_path;
+  std::string summary_path;
   double threshold = 0.25;
   double min_seconds = 0.001;
 };
+
+/// One compared benchmark, for the markdown summary.
+struct Row {
+  std::string name;
+  double base_seconds = 0.0;
+  double pr_seconds = 0.0;  // Calibration-normalized.
+  double ratio = 1.0;
+  bool gated = false;  // Above the min-seconds floor.
+  bool regressed = false;
+};
+
+/// Writes the markdown digest: regressions, then improvements beyond the
+/// threshold, then the full comparison table.
+bool WriteSummary(const std::string& path, const Options& options,
+                  const std::vector<Row>& rows, int missing) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "### Benchmark comparison\n\n");
+
+  int regressions = 0;
+  for (const Row& r : rows) regressions += r.regressed ? 1 : 0;
+  if (regressions > 0 || missing > 0) {
+    std::fprintf(f, "**FAIL**: %d regression(s) beyond +%.0f%%, %d missing "
+                 "benchmark(s)\n\n", regressions, options.threshold * 100.0,
+                 missing);
+  } else {
+    std::fprintf(f, "All benchmarks within +%.0f%% of baseline.\n\n",
+                 options.threshold * 100.0);
+  }
+
+  for (const Row& r : rows) {
+    if (r.regressed) {
+      std::fprintf(f, "- :red_circle: `%s` **%.0f%% slower** (%.4fs -> "
+                   "%.4fs)\n", r.name.c_str(), (r.ratio - 1.0) * 100.0,
+                   r.base_seconds, r.pr_seconds);
+    }
+  }
+  for (const Row& r : rows) {
+    if (r.gated && !r.regressed && r.ratio < 1.0 - options.threshold) {
+      std::fprintf(f, "- :zap: `%s` **%.0f%% faster** (%.4fs -> %.4fs)\n",
+                   r.name.c_str(), (1.0 - r.ratio) * 100.0, r.base_seconds,
+                   r.pr_seconds);
+    }
+  }
+
+  std::fprintf(f, "\n| benchmark | baseline(s) | pr(s) | ratio |\n");
+  std::fprintf(f, "|---|---:|---:|---:|\n");
+  for (const Row& r : rows) {
+    std::fprintf(f, "| `%s` | %.4f | %.4f | %.3f%s |\n", r.name.c_str(),
+                 r.base_seconds, r.pr_seconds, r.ratio,
+                 r.gated ? "" : " (not gated)");
+  }
+  std::fclose(f);
+  return true;
+}
 
 std::optional<Options> ParseArgs(int argc, char** argv) {
   Options options;
@@ -52,6 +114,8 @@ std::optional<Options> ParseArgs(int argc, char** argv) {
       options.threshold = std::strtod(argv[++i], nullptr);
     } else if (arg == "--min-seconds" && has_value) {
       options.min_seconds = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--summary" && has_value) {
+      options.summary_path = argv[++i];
     } else {
       std::fprintf(stderr, "unknown or valueless argument: %s\n", arg.c_str());
       return std::nullopt;
@@ -103,6 +167,7 @@ int main(int argc, char** argv) {
 
   int regressions = 0;
   int missing = 0;
+  std::vector<Row> rows;
   std::printf("%-40s %12s %12s %8s\n", "benchmark", "baseline(s)", "pr(s)",
               "ratio");
   for (const auto& [name, base_seconds] : *baseline) {
@@ -114,24 +179,33 @@ int main(int argc, char** argv) {
       ++missing;
       continue;
     }
-    const double pr_seconds = it->second * scale;
-    const double ratio =
-        base_seconds > 0.0 ? pr_seconds / base_seconds : 1.0;
-    const bool below_floor = base_seconds < options->min_seconds;
-    const bool regressed =
-        !below_floor && ratio > 1.0 + options->threshold;
+    Row row;
+    row.name = name;
+    row.base_seconds = base_seconds;
+    row.pr_seconds = it->second * scale;
+    row.ratio = base_seconds > 0.0 ? row.pr_seconds / base_seconds : 1.0;
+    row.gated = base_seconds >= options->min_seconds;
+    row.regressed = row.gated && row.ratio > 1.0 + options->threshold;
     std::printf("%-40s %12.4f %12.4f %8.3f%s\n", name.c_str(), base_seconds,
-                pr_seconds, ratio,
-                regressed ? "  REGRESSION"
-                          : (below_floor ? "  (below floor, not gated)"
-                                         : ""));
-    if (regressed) ++regressions;
+                row.pr_seconds, row.ratio,
+                row.regressed ? "  REGRESSION"
+                              : (row.gated ? ""
+                                           : "  (below floor, not gated)"));
+    if (row.regressed) ++regressions;
+    rows.push_back(row);
   }
   for (const auto& [name, pr_seconds] : *pr) {
     if (name != kCalibrationKey && baseline->count(name) == 0) {
       std::printf("%-40s %12s %12.4f %8s  (new, no baseline)\n",
                   name.c_str(), "-", pr_seconds * scale, "-");
     }
+  }
+
+  if (!options->summary_path.empty() &&
+      !WriteSummary(options->summary_path, *options, rows, missing)) {
+    std::fprintf(stderr, "error: cannot write summary %s\n",
+                 options->summary_path.c_str());
+    return 2;
   }
 
   if (regressions > 0 || missing > 0) {

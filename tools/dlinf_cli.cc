@@ -91,6 +91,7 @@
 #include "dlinfma/inferrer.h"
 #include "io/bundle.h"
 #include "io/checkpoint.h"
+#include "nn/kernels.h"
 #include "obs/metrics.h"
 #include "obs/structured_log.h"
 #include "obs/trace_log.h"
@@ -707,6 +708,12 @@ int main(int argc, char** argv) {
   if (trace_out != flags.end() && trace_out->second != "true") {
     obs::TraceLog::Global().Start(/*sample_rate=*/1.0);
   }
+
+  // Which nn/ kernel path this process dispatched to (DESIGN.md §12) —
+  // first thing in every structured log, so a perf report from the field
+  // states whether it ran vectorized.
+  obs::LogLine(obs::LogSeverity::kInfo, "startup.kernel_path")
+      .Str("path", nn::kernel::PathName());
 
   int status = 2;
   try {
