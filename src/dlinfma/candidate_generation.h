@@ -18,6 +18,10 @@ namespace io {
 class CandidateGenerationCodec;
 }  // namespace io
 
+namespace stream {
+class CandidateIndexUpdater;
+}  // namespace stream
+
 namespace dlinfma {
 
 /// Aggregate profile of a location candidate, mined from the stay points in
@@ -122,6 +126,11 @@ class CandidateGeneration {
   /// full mined state — including the retrieval indexes — so warm-started
   /// serving never re-runs the mining pass.
   friend class dlinf::io::CandidateGenerationCodec;
+
+  /// The streaming ingestion layer (src/stream) maintains the same state
+  /// incrementally (insert/merge per stay point) and materializes snapshots
+  /// without re-running the mining pass.
+  friend class dlinf::stream::CandidateIndexUpdater;
 
   std::vector<StayPoint> stay_points_;
   std::vector<LocationCandidate> candidates_;

@@ -1,0 +1,111 @@
+#ifndef DLINF_STREAM_CANDIDATE_UPDATER_H_
+#define DLINF_STREAM_CANDIDATE_UPDATER_H_
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "dlinfma/candidate_generation.h"
+#include "geo/grid_index.h"
+#include "geo/point.h"
+#include "sim/world.h"
+#include "traj/stay_point.h"
+
+namespace dlinf {
+namespace stream {
+
+/// Incremental maintenance of the candidate pool and its retrieval indexes
+/// (DESIGN.md §13): the streaming counterpart of the batch
+/// dlinfma::CandidateGeneration::Build clustering + indexing stages.
+///
+/// Each finalized stay point is inserted online: it joins the nearest live
+/// cluster within the clustering threshold D (weighted-mean centroid update,
+/// so centroids stay the exact mean of their members, as in the batch
+/// PointCluster arithmetic), or spawns a new cluster; any insertion that
+/// pulls two centroids within D of each other triggers cascading merges.
+/// The invariant the batch agglomerative pass guarantees — no two final
+/// centroids within D — therefore holds after every AddTrip. Per-cluster
+/// profile state (distinct couriers, duration sum, hour histogram) and the
+/// address/building retrieval maps are maintained incrementally too.
+///
+/// Snapshot() materializes a batch-compatible dlinfma::CandidateGeneration
+/// in O(stay points + clusters) — assembling candidate ids, per-trip visit
+/// lists and the retrieval maps from the live state — without re-running
+/// detection or clustering. The online trainer feeds these snapshots to
+/// feature extraction and retraining rounds.
+///
+/// Cluster *identity* is insertion-order greedy rather than the batch
+/// closest-pair order, so cluster compositions can differ from a batch
+/// rebuild on the same data; the equivalence contract at this layer is the
+/// separation invariant + exact-mean centroids (tests/stream_test.cc), with
+/// end-to-end served-answer agreement enforced within golden tolerance by
+/// tests/online_trainer_test.cc.
+class CandidateIndexUpdater {
+ public:
+  using Options = dlinfma::CandidateGeneration::Options;
+
+  explicit CandidateIndexUpdater(const Options& options);
+
+  /// Absorbs one completed trip: its finalized stay points (tagged with the
+  /// trip's id, which must equal the number of trips already added — trips
+  /// arrive in stream order) and its waybill records. `city` resolves
+  /// waybill addresses to buildings.
+  void AddTrip(const sim::World& city, const sim::DeliveryTrip& trip,
+               const std::vector<StayPoint>& stays);
+
+  size_t num_stay_points() const { return stay_points_.size(); }
+  size_t num_clusters() const { return live_clusters_; }
+  int64_t num_trips() const { return num_trips_; }
+
+  /// Batch-compatible snapshot of the mined state (see class comment).
+  dlinfma::CandidateGeneration Snapshot() const;
+
+  /// Test hook: live cluster centroids (stable iteration order).
+  std::vector<Point> LiveCentroids() const;
+
+  /// Test hook: exact mean of each live cluster's member stay points, in
+  /// the same order as LiveCentroids().
+  std::vector<Point> LiveMemberMeans() const;
+
+ private:
+  struct Cluster {
+    Point centroid;
+    double weight = 0.0;
+    std::vector<int64_t> members;  ///< Indexes into stay_points_.
+    bool alive = true;
+    // Incremental profile state (batch BuildProfile equivalents).
+    std::unordered_set<int64_t> couriers;
+    double duration_sum = 0.0;
+    std::array<double, 24> hour_counts{};
+  };
+
+  /// Routes stay_points_[stay_index] into the pool (join / spawn + merges).
+  void AssignStay(int64_t stay_index);
+
+  /// Folds one stay point into a cluster's profile accumulators.
+  static void AbsorbProfile(Cluster* cluster, const StayPoint& sp);
+
+  /// Merges `src` into `dst` (weighted centroid union) and kills `src`.
+  void MergeInto(int64_t dst, int64_t src);
+
+  /// Re-merges until no other live centroid lies within D of `cid`'s.
+  void CascadeMerges(int64_t cid);
+
+  Options options_;
+  GridIndex grid_;  ///< Live cluster centroids, payload = cluster index.
+  std::vector<Cluster> clusters_;
+  size_t live_clusters_ = 0;
+
+  std::vector<StayPoint> stay_points_;
+  std::unordered_map<int64_t, std::vector<dlinfma::AddressTripRecord>>
+      address_trips_;
+  std::unordered_map<int64_t, std::vector<int64_t>> building_trips_;
+  int64_t num_trips_ = 0;
+};
+
+}  // namespace stream
+}  // namespace dlinf
+
+#endif  // DLINF_STREAM_CANDIDATE_UPDATER_H_

@@ -1,0 +1,124 @@
+#include "stream/streaming_stay_point.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "geo/point.h"
+
+namespace dlinf {
+namespace stream {
+
+StreamingNoiseFilter::StreamingNoiseFilter(const NoiseFilterOptions& options)
+    : options_(options) {
+  CHECK_GT(options_.max_speed_mps, 0.0);
+}
+
+bool StreamingNoiseFilter::Push(const TrajPoint& p) {
+  // Mirror of the batch loop body in traj/noise_filter.cc: the batch pass
+  // only ever consults output.points.back() and the drop counter, which is
+  // exactly the state persisted here.
+  if (!std::isfinite(p.x) || !std::isfinite(p.y) || !std::isfinite(p.t)) {
+    return false;
+  }
+  if (!has_last_) {
+    has_last_ = true;
+    last_kept_ = p;
+    return true;
+  }
+  const double dt = p.t - last_kept_.t;
+  if (dt <= 0) return false;  // Out-of-order or duplicate timestamp.
+  const double speed = Distance(p.position(), last_kept_.position()) / dt;
+  if (speed > options_.max_speed_mps &&
+      consecutive_drops_ < options_.max_consecutive_drops) {
+    ++consecutive_drops_;
+    return false;
+  }
+  consecutive_drops_ = 0;
+  last_kept_ = p;
+  return true;
+}
+
+void StreamingNoiseFilter::Reset() {
+  has_last_ = false;
+  consecutive_drops_ = 0;
+}
+
+StreamingStayPointDetector::StreamingStayPointDetector(
+    const StayPointOptions& options, int64_t courier_id)
+    : options_(options), courier_id_(courier_id) {
+  CHECK_GT(options_.distance_threshold_m, 0.0);
+  CHECK_GT(options_.time_threshold_s, 0.0);
+}
+
+StayPoint StreamingStayPointDetector::Emit(size_t count) const {
+  // Same accumulator types and index-order summation as the batch
+  // MakeStayPoint, so the centroid bits match exactly.
+  double sx = 0.0;
+  double sy = 0.0;
+  for (size_t k = 0; k < count; ++k) {
+    sx += buffer_[k].x;
+    sy += buffer_[k].y;
+  }
+  const double n = static_cast<double>(count);
+  StayPoint sp;
+  sp.location = Point{sx / n, sy / n};
+  sp.start_time = buffer_.front().t;
+  sp.end_time = buffer_[count - 1].t;
+  sp.courier_id = courier_id_;
+  return sp;
+}
+
+size_t StreamingStayPointDetector::Drain(bool end_of_stream,
+                                         std::vector<StayPoint>* out) {
+  size_t emitted = 0;
+  while (!buffer_.empty()) {
+    // Batch inner loop: advance j while p_j stays within D_max of the
+    // anchor. scan_ is j relative to the anchor at buffer_[0].
+    while (scan_ < buffer_.size() &&
+           Distance(buffer_.front().position(), buffer_[scan_].position()) <=
+               options_.distance_threshold_m) {
+      ++scan_;
+    }
+    if (scan_ == buffer_.size() && !end_of_stream) {
+      // The window is still open: the batch loop would read p_j next, and
+      // that point has not arrived yet. Suspend with the cursor intact.
+      return emitted;
+    }
+    // Window [anchor, scan_) is closed — by a too-far point or by
+    // end-of-stream (the batch j == n case).
+    if (buffer_[scan_ - 1].t - buffer_.front().t >= options_.time_threshold_s) {
+      out->push_back(Emit(scan_));
+      ++emitted;
+      buffer_.erase(buffer_.begin(),
+                    buffer_.begin() + static_cast<ptrdiff_t>(scan_));
+      scan_ = 1;  // Batch restart: i = j, j = i + 1.
+    } else {
+      buffer_.pop_front();
+      scan_ = 1;  // Batch anchor advance: ++i, j = i + 1.
+    }
+  }
+  return emitted;
+}
+
+size_t StreamingStayPointDetector::Push(const TrajPoint& p,
+                                        std::vector<StayPoint>* out) {
+  buffer_.push_back(p);
+  max_buffered_ = std::max(max_buffered_, buffer_.size());
+  return Drain(/*end_of_stream=*/false, out);
+}
+
+size_t StreamingStayPointDetector::Flush(std::vector<StayPoint>* out) {
+  const size_t emitted = Drain(/*end_of_stream=*/true, out);
+  scan_ = 1;
+  return emitted;
+}
+
+void StreamingStayPointDetector::Reset(int64_t courier_id) {
+  courier_id_ = courier_id;
+  buffer_.clear();
+  scan_ = 1;
+}
+
+}  // namespace stream
+}  // namespace dlinf

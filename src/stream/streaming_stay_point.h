@@ -1,0 +1,112 @@
+#ifndef DLINF_STREAM_STREAMING_STAY_POINT_H_
+#define DLINF_STREAM_STREAMING_STAY_POINT_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "traj/noise_filter.h"
+#include "traj/stay_point.h"
+#include "traj/trajectory.h"
+
+/// \file
+/// Point-at-a-time ports of the batch trajectory-cleaning stages
+/// (DESIGN.md §13). Both are *provably equivalent* to their batch
+/// counterparts on any replayed point sequence:
+///
+///  - StreamingNoiseFilter mirrors traj::FilterNoise, whose batch loop is
+///    already a single forward pass over (last kept point, consecutive-drop
+///    counter); the streaming class simply persists that state between
+///    Push() calls, so the kept subsequence is identical by construction.
+///
+///  - StreamingStayPointDetector mirrors traj::DetectStayPoints (the
+///    anchor-scan algorithm of Li et al. [7]). The batch loop is a nested
+///    scan: anchor i, advance j while Distance(p_i, p_j) <= D_max; on the
+///    window break, emit [i, j) if it spans >= T_min and restart at j, else
+///    advance the anchor by one. The only data the algorithm ever reads
+///    again are the points from the current anchor onward, so the streaming
+///    port keeps exactly that suffix in a deque and suspends the scan at
+///    "j == end of input" until the next point arrives (or Flush() declares
+///    end-of-stream, which is precisely the batch loop's j == n case).
+///    Centroids are summed in the same index order with the same double
+///    accumulators, so emitted stay points are bit-identical — enforced on
+///    >= 1000 randomized trajectories by tests/stream_test.cc.
+///
+/// Memory is bounded by the current open window (the points within D_max of
+/// the live anchor, plus the one that broke the window) — the dwell length,
+/// not the trajectory length.
+
+namespace dlinf {
+namespace stream {
+
+/// Streaming twin of traj::FilterNoise: feed raw points in arrival order;
+/// Push() returns true exactly when the batch filter would have kept the
+/// point (same speed gate, same consecutive-drop cap, same finiteness and
+/// chronology rules).
+class StreamingNoiseFilter {
+ public:
+  explicit StreamingNoiseFilter(const NoiseFilterOptions& options = {});
+
+  /// True when `p` survives the filter (forward it downstream).
+  bool Push(const TrajPoint& p);
+
+  /// Forgets all state (start of a new trajectory).
+  void Reset();
+
+ private:
+  NoiseFilterOptions options_;
+  bool has_last_ = false;
+  TrajPoint last_kept_{};
+  int consecutive_drops_ = 0;
+};
+
+/// Streaming twin of traj::DetectStayPoints. Feed (noise-filtered) points in
+/// chronological order; finalized stay points are appended to the caller's
+/// vector as soon as the algorithm can prove them complete. Call Flush() at
+/// end-of-stream to finalize the tail exactly as the batch detector does at
+/// j == n.
+class StreamingStayPointDetector {
+ public:
+  explicit StreamingStayPointDetector(const StayPointOptions& options = {},
+                                      int64_t courier_id = -1);
+
+  /// Ingests one point; appends any stay points this point finalizes.
+  /// Returns the number of stay points emitted (almost always 0 or 1).
+  size_t Push(const TrajPoint& p, std::vector<StayPoint>* out);
+
+  /// End-of-stream: finalizes the buffered tail. After Flush the buffer is
+  /// empty and the detector is ready for a new trajectory.
+  size_t Flush(std::vector<StayPoint>* out);
+
+  /// Drops buffered state and retags future emissions with `courier_id`.
+  void Reset(int64_t courier_id);
+
+  /// Points currently buffered (the open anchor window).
+  size_t buffered_points() const { return buffer_.size(); }
+
+  /// High-water mark of the buffer — the bounded-memory claim, observable.
+  size_t max_buffered_points() const { return max_buffered_; }
+
+ private:
+  /// Runs the batch loop as far as the buffered data allows. With
+  /// `end_of_stream` the buffer end is treated as the batch algorithm's n.
+  size_t Drain(bool end_of_stream, std::vector<StayPoint>* out);
+
+  /// Emits the window [0, count) of the buffer — the exact arithmetic of
+  /// the batch MakeStayPoint (index-order double summation).
+  StayPoint Emit(size_t count) const;
+
+  StayPointOptions options_;
+  int64_t courier_id_;
+  std::deque<TrajPoint> buffer_;  ///< Points from the current anchor on.
+  /// The batch scan cursor j, relative to the anchor at buffer_[0]. All
+  /// points [0, scan_) are proven within D_max of the anchor; invariant
+  /// 1 <= scan_ <= buffer_.size() while the buffer is non-empty.
+  size_t scan_ = 1;
+  size_t max_buffered_ = 0;
+};
+
+}  // namespace stream
+}  // namespace dlinf
+
+#endif  // DLINF_STREAM_STREAMING_STAY_POINT_H_

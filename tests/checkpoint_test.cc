@@ -7,6 +7,7 @@
 
 #include <cstring>
 #include <filesystem>
+#include <unistd.h>
 #include <fstream>
 #include <memory>
 #include <optional>
@@ -29,6 +30,18 @@ namespace io {
 namespace {
 
 using ::testing::TempDir;
+
+// Pid-suffixed scratch dir: parallel ctest invocations of this binary must
+// not clobber each other's fixture files.
+std::string CkptPath(const std::string& name) {
+  static const std::string dir = [] {
+    const std::string d =
+        TempDir() + "checkpoint_test." + std::to_string(::getpid());
+    std::filesystem::create_directories(d);
+    return d;
+  }();
+  return dir + "/" + name;
+}
 
 std::string ReadFileBytes(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
@@ -102,7 +115,7 @@ void ExpectCheckpointsEqual(const dlinfma::TrainCheckpoint& got,
 }
 
 TEST(CheckpointCodecTest, RoundTripsEveryField) {
-  const std::string path = TempDir() + "ckpt_roundtrip.art";
+  const std::string path = CkptPath("ckpt_roundtrip.art");
   const dlinfma::TrainCheckpoint original = MakeCheckpoint();
   ASSERT_TRUE(SaveCheckpointArtifact(original, path));
 
@@ -114,8 +127,8 @@ TEST(CheckpointCodecTest, RoundTripsEveryField) {
 }
 
 TEST(CheckpointCodecTest, SaveLoadSaveIsByteIdentical) {
-  const std::string first = TempDir() + "ckpt_bytes_1.art";
-  const std::string second = TempDir() + "ckpt_bytes_2.art";
+  const std::string first = CkptPath("ckpt_bytes_1.art");
+  const std::string second = CkptPath("ckpt_bytes_2.art");
   const dlinfma::TrainCheckpoint original = MakeCheckpoint();
   ASSERT_TRUE(SaveCheckpointArtifact(original, first));
 
@@ -129,7 +142,7 @@ TEST(CheckpointCodecTest, SaveLoadSaveIsByteIdentical) {
 
 TEST(CheckpointCodecTest, EmptyBestParamsRoundTrips) {
   // No epoch improved yet: best_params is legitimately empty.
-  const std::string path = TempDir() + "ckpt_no_best.art";
+  const std::string path = CkptPath("ckpt_no_best.art");
   dlinfma::TrainCheckpoint original = MakeCheckpoint();
   original.best_params.clear();
   ASSERT_TRUE(SaveCheckpointArtifact(original, path));
@@ -142,10 +155,10 @@ TEST(CheckpointCodecTest, EmptyBestParamsRoundTrips) {
 }
 
 TEST(CheckpointCodecTest, CorruptionFailsWithTypedError) {
-  const std::string valid_path = TempDir() + "ckpt_valid.art";
+  const std::string valid_path = CkptPath("ckpt_valid.art");
   ASSERT_TRUE(SaveCheckpointArtifact(MakeCheckpoint(), valid_path));
   const std::string valid = ReadFileBytes(valid_path);
-  const std::string path = TempDir() + "ckpt_corrupt.art";
+  const std::string path = CkptPath("ckpt_corrupt.art");
 
   auto expect_load_fails = [&](const std::string& label) {
     std::string error;
@@ -167,7 +180,7 @@ TEST(CheckpointCodecTest, CorruptionFailsWithTypedError) {
   expect_load_fails("truncation");
 
   std::string missing_error;
-  EXPECT_FALSE(LoadCheckpointArtifact(TempDir() + "ckpt_nonexistent.art",
+  EXPECT_FALSE(LoadCheckpointArtifact(CkptPath("ckpt_nonexistent.art"),
                                       &missing_error)
                    .has_value());
   EXPECT_FALSE(missing_error.empty());
@@ -176,7 +189,7 @@ TEST(CheckpointCodecTest, CorruptionFailsWithTypedError) {
 TEST(CheckpointCodecTest, RejectsWrongArtifactKind) {
   // A structurally valid artifact of a different kind must be refused by
   // the envelope's kind check, not half-decoded.
-  const std::string path = TempDir() + "ckpt_wrong_kind.art";
+  const std::string path = CkptPath("ckpt_wrong_kind.art");
   {
     ArtifactWriter writer(ArtifactKind::kWorld);
     writer.WriteI32(7);
@@ -190,7 +203,7 @@ TEST(CheckpointCodecTest, RejectsWrongArtifactKind) {
 TEST(CheckpointCodecTest, RejectsStructurallyUnsoundPayload) {
   // Well-formed envelope, malformed content: adam moments whose shapes do
   // not match the parameters.
-  const std::string path = TempDir() + "ckpt_unsound.art";
+  const std::string path = CkptPath("ckpt_unsound.art");
   dlinfma::TrainCheckpoint bad = MakeCheckpoint();
   bad.adam_m.pop_back();
   ASSERT_TRUE(SaveCheckpointArtifact(bad, path));
@@ -200,7 +213,7 @@ TEST(CheckpointCodecTest, RejectsStructurallyUnsoundPayload) {
 }
 
 TEST(CheckpointCodecTest, InjectedWriteFailureLeavesNoFile) {
-  const std::string path = TempDir() + "ckpt_write_fail.art";
+  const std::string path = CkptPath("ckpt_write_fail.art");
   std::filesystem::remove(path);
   fault::ScopedFaultPlan armed(
       fault::FaultPlan().FailAlways("train.checkpoint.write_fail"),
@@ -213,7 +226,7 @@ TEST(CheckpointCodecTest, InjectedWriteFailureLeavesNoFile) {
 TEST(CheckpointCodecTest, FailedOverwriteKeepsPreviousCheckpoint) {
   // The atomic temp+rename contract: a failed write must not clobber the
   // checkpoint already on disk.
-  const std::string path = TempDir() + "ckpt_keep_previous.art";
+  const std::string path = CkptPath("ckpt_keep_previous.art");
   const dlinfma::TrainCheckpoint original = MakeCheckpoint();
   ASSERT_TRUE(SaveCheckpointArtifact(original, path));
   const std::string before = ReadFileBytes(path);
@@ -294,7 +307,7 @@ TEST(CheckpointResumeTest, ResumedRunIsBitIdenticalToUninterrupted) {
   ASSERT_TRUE(at_kill.has_value());
 
   // Kill -> restart through the on-disk artifact.
-  const std::string path = TempDir() + "ckpt_resume.art";
+  const std::string path = CkptPath("ckpt_resume.art");
   ASSERT_TRUE(SaveCheckpointArtifact(*at_kill, path));
   std::string error;
   const std::optional<dlinfma::TrainCheckpoint> restored =

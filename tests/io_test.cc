@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <cstring>
 #include <filesystem>
+#include <unistd.h>
 #include <fstream>
 #include <optional>
 #include <sstream>
@@ -79,8 +80,16 @@ PipelineFixture& Fixture() {
   return *fixture;
 }
 
+// Pid-suffixed scratch dir: parallel ctest invocations of this binary must
+// not clobber each other's fixture files.
 std::string TestPath(const std::string& name) {
-  return TempDir() + "/io_test_" + name;
+  static const std::string dir = [] {
+    const std::string d =
+        TempDir() + "/io_test." + std::to_string(::getpid());
+    std::filesystem::create_directories(d);
+    return d;
+  }();
+  return dir + "/" + name;
 }
 
 // --- Envelope -------------------------------------------------------------

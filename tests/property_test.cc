@@ -8,6 +8,7 @@
 #include "common/random.h"
 #include "geo/grid_index.h"
 #include "gtest/gtest.h"
+#include "random_trajectory.h"
 #include "sim/generator.h"
 #include "traj/stay_point.h"
 
@@ -27,36 +28,10 @@ TEST_P(StayPointPropertyTest, DetectedStaysSatisfyDefinition4) {
   options.distance_threshold_m = d_max;
   options.time_threshold_s = t_min;
 
-  // A random walk with planted dwell segments.
+  // A random walk with planted dwell segments (shared generator, so the
+  // streaming equivalence suite exercises the same distribution of tracks).
   Rng rng(static_cast<uint64_t>(d_max * 100 + t_min));
-  Trajectory traj;
-  traj.courier_id = 1;
-  double t = 0.0;
-  Point pos{0, 0};
-  for (int segment = 0; segment < 12; ++segment) {
-    if (segment % 3 == 0) {
-      // Dwell: jitter around pos for 2-4 minutes.
-      const double duration = rng.Uniform(120, 240);
-      for (double dt = 0; dt < duration; dt += 12.0) {
-        traj.points.push_back(TrajPoint{pos.x + rng.Normal(0, 2),
-                                        pos.y + rng.Normal(0, 2), t + dt});
-      }
-      t += duration;
-    } else {
-      // Move ~200 m.
-      const Point next{pos.x + rng.Uniform(100, 250),
-                       pos.y + rng.Uniform(-100, 100)};
-      const double duration = Distance(pos, next) / 3.0;
-      for (double dt = 0; dt < duration; dt += 12.0) {
-        const double frac = dt / duration;
-        traj.points.push_back(TrajPoint{pos.x + frac * (next.x - pos.x),
-                                        pos.y + frac * (next.y - pos.y),
-                                        t + dt});
-      }
-      pos = next;
-      t += duration;
-    }
-  }
+  const Trajectory traj = testing_support::MakeRandomTrajectory(&rng);
 
   const std::vector<StayPoint> stays = DetectStayPoints(traj, options);
   ASSERT_FALSE(stays.empty());

@@ -1,0 +1,416 @@
+// Property-style equivalence suite for the streaming ingestion layer
+// (src/stream): the streamed stay-point pipeline must be *bit-identical* to
+// the batch pipeline on any replayed point sequence — across >= 1000
+// randomized trajectories, a full (D_max, T_min) sweep, and GPS corruption
+// — and the incremental candidate index must uphold the batch clustering
+// invariants and replay-consistency of its snapshots.
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/random.h"
+#include "dlinfma/candidate_generation.h"
+#include "fault/fault.h"
+#include "gtest/gtest.h"
+#include "random_trajectory.h"
+#include "sim/generator.h"
+#include "stream/candidate_updater.h"
+#include "stream/stream_pipeline.h"
+#include "stream/streaming_stay_point.h"
+#include "traj/corruption.h"
+#include "traj/noise_filter.h"
+#include "traj/stay_point.h"
+
+namespace dlinf {
+namespace {
+
+using testing_support::MakeRandomTrajectory;
+
+// Exact float-bit equality: NaN-proof and -0.0-strict, unlike operator==.
+bool BitEqual(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+bool BitEqual(const StayPoint& a, const StayPoint& b) {
+  return BitEqual(a.location.x, b.location.x) &&
+         BitEqual(a.location.y, b.location.y) &&
+         BitEqual(a.start_time, b.start_time) &&
+         BitEqual(a.end_time, b.end_time) && a.courier_id == b.courier_id &&
+         a.trip_id == b.trip_id;
+}
+
+::testing::AssertionResult StaysBitIdentical(
+    const std::vector<StayPoint>& batch,
+    const std::vector<StayPoint>& streamed) {
+  if (batch.size() != streamed.size()) {
+    return ::testing::AssertionFailure()
+           << "stay counts differ: batch " << batch.size() << ", streamed "
+           << streamed.size();
+  }
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (!BitEqual(batch[i], streamed[i])) {
+      return ::testing::AssertionFailure()
+             << "stay " << i << " differs: batch (" << batch[i].location.x
+             << "," << batch[i].location.y << ") [" << batch[i].start_time
+             << "," << batch[i].end_time << "] vs streamed ("
+             << streamed[i].location.x << "," << streamed[i].location.y
+             << ") [" << streamed[i].start_time << ","
+             << streamed[i].end_time << "]";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+std::vector<StayPoint> StreamDetect(const Trajectory& traj,
+                                    const StayPointOptions& options) {
+  stream::StreamingStayPointDetector detector(options, traj.courier_id);
+  std::vector<StayPoint> streamed;
+  for (const TrajPoint& p : traj.points) detector.Push(p, &streamed);
+  detector.Flush(&streamed);
+  return streamed;
+}
+
+// The sweep of detector options each randomized trajectory is checked
+// under, mirroring the batch property suite's (D_max, T_min) grid.
+StayPointOptions SweepOptions(int index) {
+  static constexpr double kDistances[] = {15.0, 20.0, 30.0, 50.0};
+  static constexpr double kTimes[] = {30.0, 60.0, 90.0};
+  StayPointOptions options;
+  options.distance_threshold_m = kDistances[index % 4];
+  options.time_threshold_s = kTimes[(index / 4) % 3];
+  return options;
+}
+
+// --- Streamed vs batch stay points: >= 1000 randomized replays -------------
+
+TEST(StreamingStayPointTest, BitIdenticalToBatchOnThousandTrajectories) {
+  constexpr int kTrajectories = 1008;  // 84 per (D_max, T_min) combination.
+  int64_t total_stays = 0;
+  for (int seed = 0; seed < kTrajectories; ++seed) {
+    const StayPointOptions options = SweepOptions(seed);
+    Rng rng(static_cast<uint64_t>(seed) + 1);
+    testing_support::RandomTrajectoryOptions traj_options;
+    traj_options.courier_id = seed % 7;
+    const Trajectory traj = MakeRandomTrajectory(&rng, traj_options);
+
+    const std::vector<StayPoint> batch = DetectStayPoints(traj, options);
+    const std::vector<StayPoint> streamed = StreamDetect(traj, options);
+    ASSERT_TRUE(StaysBitIdentical(batch, streamed))
+        << "seed " << seed << ", D=" << options.distance_threshold_m
+        << ", T=" << options.time_threshold_s;
+    total_stays += static_cast<int64_t>(batch.size());
+  }
+  // The sweep must actually exercise emissions, not trivially agree on
+  // empty outputs.
+  EXPECT_GT(total_stays, kTrajectories);
+}
+
+// Degenerate shapes the random sweep may miss: empty input, a single
+// point, an all-dwell track (flush emits the tail), and a pure move (no
+// stay at all).
+TEST(StreamingStayPointTest, BitIdenticalOnDegenerateShapes) {
+  const StayPointOptions options;
+  std::vector<Trajectory> shapes;
+
+  shapes.emplace_back();  // Empty.
+
+  Trajectory single;
+  single.points.push_back({3.0, 4.0, 100.0});
+  shapes.push_back(single);
+
+  Trajectory dwell;  // One long dwell: only Flush can finalize it.
+  for (int i = 0; i < 50; ++i) {
+    dwell.points.push_back({1.0 + 0.01 * i, 2.0, 10.0 * i});
+  }
+  shapes.push_back(dwell);
+
+  Trajectory move;  // Steps larger than D_max: nothing ever accumulates.
+  for (int i = 0; i < 50; ++i) {
+    move.points.push_back({40.0 * i, 0.0, 10.0 * i});
+  }
+  shapes.push_back(move);
+
+  for (size_t i = 0; i < shapes.size(); ++i) {
+    shapes[i].courier_id = static_cast<int64_t>(i);
+    EXPECT_TRUE(StaysBitIdentical(DetectStayPoints(shapes[i], options),
+                                  StreamDetect(shapes[i], options)))
+        << "shape " << i;
+  }
+}
+
+// --- Equivalence under GPS corruption --------------------------------------
+
+// The full cleaning chain (noise filter -> detector) streamed point-at-a-
+// time over corrupted tracks must match the batch chain bit-for-bit: the
+// faults produce NaNs, duplicates, out-of-order and clock-skewed samples,
+// exercising every filter branch.
+TEST(StreamingStayPointTest, BitIdenticalUnderGpsFaults) {
+  constexpr int kTrajectories = 250;
+  const NoiseFilterOptions filter_options;
+  int64_t total_stays = 0;
+  int64_t total_dropped = 0;
+  for (int seed = 0; seed < kTrajectories; ++seed) {
+    const StayPointOptions options = SweepOptions(seed);
+    Rng rng(static_cast<uint64_t>(seed) + 10007);
+    const Trajectory clean = MakeRandomTrajectory(&rng);
+
+    Trajectory corrupted;
+    {
+      fault::FaultPlan plan;
+      plan.FailWithProbability("traj.gps.dropout", 0.05)
+          .FailWithProbability("traj.gps.duplicate", 0.05)
+          .FailWithProbability("traj.gps.out_of_order", 0.03)
+          .FailWithProbability("traj.gps.nan", 0.02)
+          .Inject({.point = "traj.gps.clock_skew",
+                   .probability = 0.01,
+                   .param = 600});
+      fault::ScopedFaultPlan armed(plan, static_cast<uint64_t>(seed));
+      corrupted = traj::ApplyTrajectoryFaults(clean);
+    }
+
+    // Batch chain.
+    const Trajectory cleaned = FilterNoise(corrupted, filter_options);
+    const std::vector<StayPoint> batch = DetectStayPoints(cleaned, options);
+    total_dropped +=
+        static_cast<int64_t>(corrupted.size() - cleaned.size());
+
+    // Streaming chain over the exact corrupted arrival order.
+    stream::StreamingNoiseFilter filter(filter_options);
+    stream::StreamingStayPointDetector detector(options,
+                                                corrupted.courier_id);
+    std::vector<StayPoint> streamed;
+    for (const TrajPoint& p : corrupted.points) {
+      if (filter.Push(p)) detector.Push(p, &streamed);
+    }
+    detector.Flush(&streamed);
+
+    ASSERT_TRUE(StaysBitIdentical(batch, streamed)) << "seed " << seed;
+    total_stays += static_cast<int64_t>(batch.size());
+  }
+  EXPECT_GT(total_stays, 0);
+  EXPECT_GT(total_dropped, 0) << "corruption never exercised the filter";
+}
+
+// The streaming filter alone must keep exactly the batch filter's
+// subsequence (same points, same order) on corrupted input.
+TEST(StreamingNoiseFilterTest, KeepsExactlyTheBatchSubsequence) {
+  for (int seed = 0; seed < 100; ++seed) {
+    Rng rng(static_cast<uint64_t>(seed) + 77);
+    const Trajectory clean = MakeRandomTrajectory(&rng);
+    Trajectory corrupted;
+    {
+      fault::FaultPlan plan;
+      plan.FailWithProbability("traj.gps.nan", 0.05)
+          .FailWithProbability("traj.gps.duplicate", 0.05)
+          .FailWithProbability("traj.gps.out_of_order", 0.05);
+      fault::ScopedFaultPlan armed(plan, static_cast<uint64_t>(seed) + 77);
+      corrupted = traj::ApplyTrajectoryFaults(clean);
+    }
+
+    const Trajectory batch = FilterNoise(corrupted, {});
+    stream::StreamingNoiseFilter filter;
+    std::vector<TrajPoint> streamed;
+    for (const TrajPoint& p : corrupted.points) {
+      if (filter.Push(p)) streamed.push_back(p);
+    }
+    ASSERT_EQ(batch.points.size(), streamed.size()) << "seed " << seed;
+    for (size_t i = 0; i < streamed.size(); ++i) {
+      ASSERT_TRUE(BitEqual(batch.points[i].x, streamed[i].x) &&
+                  BitEqual(batch.points[i].y, streamed[i].y) &&
+                  BitEqual(batch.points[i].t, streamed[i].t))
+          << "seed " << seed << ", point " << i;
+    }
+  }
+}
+
+// --- Bounded memory ---------------------------------------------------------
+
+TEST(StreamingStayPointTest, BufferBoundedByDwellNotTrajectoryLength) {
+  const StayPointOptions options;  // D = 20 m.
+
+  // Pure motion with 40 m steps: the window never holds more than the
+  // anchor and its breaker, regardless of trajectory length.
+  stream::StreamingStayPointDetector moving(options, 1);
+  std::vector<StayPoint> out;
+  for (int i = 0; i < 20000; ++i) {
+    moving.Push({40.0 * i, 0.0, 5.0 * i}, &out);
+  }
+  EXPECT_TRUE(out.empty());
+  EXPECT_LE(moving.max_buffered_points(), 2u);
+  moving.Flush(&out);
+  EXPECT_EQ(moving.buffered_points(), 0u);
+
+  // Long dwells separated by moves: the high-water mark tracks the dwell
+  // size (plus the breaker), not the total point count.
+  Rng rng(42);
+  testing_support::RandomTrajectoryOptions traj_options;
+  traj_options.num_segments = 30;
+  const Trajectory traj = MakeRandomTrajectory(&rng, traj_options);
+  stream::StreamingStayPointDetector detector(options, 1);
+  size_t longest_dwell = 0;
+  {
+    // Upper bound on any dwell window: max points within 240 s (the dwell
+    // cap) at the 12 s sample period, plus slack for the move lead-in.
+    longest_dwell = 240 / 12 + 8;
+  }
+  for (const TrajPoint& p : traj.points) detector.Push(p, &out);
+  detector.Flush(&out);
+  EXPECT_FALSE(out.empty());
+  EXPECT_LT(detector.max_buffered_points(), longest_dwell);
+  EXPECT_LT(detector.max_buffered_points(), traj.points.size() / 4);
+}
+
+// --- Incremental candidate index -------------------------------------------
+
+// Replays randomized stay points (as single-stay trips against an empty
+// world) and checks the batch clustering invariants after every insertion
+// batch: pairwise centroid separation > D, centroids are the exact mean of
+// their members, and membership partitions the input.
+TEST(CandidateIndexUpdaterTest, SeparationMeanAndPartitionInvariants) {
+  dlinfma::CandidateGeneration::Options options;
+  options.cluster_distance_m = 40.0;
+  stream::CandidateIndexUpdater updater(options);
+  const sim::World empty_world;
+
+  Rng rng(99);
+  int64_t total_stays = 0;
+  for (int trip_id = 0; trip_id < 40; ++trip_id) {
+    std::vector<StayPoint> stays;
+    const int n = 1 + static_cast<int>(rng.Uniform(0, 6));
+    for (int i = 0; i < n; ++i) {
+      StayPoint sp;
+      sp.location = {rng.Uniform(0, 600), rng.Uniform(0, 600)};
+      sp.start_time = rng.Uniform(0, 86400);
+      sp.end_time = sp.start_time + rng.Uniform(30, 300);
+      sp.courier_id = trip_id % 5;
+      sp.trip_id = trip_id;
+      stays.push_back(sp);
+    }
+    total_stays += n;
+    sim::DeliveryTrip trip;
+    trip.id = trip_id;
+    trip.courier_id = trip_id % 5;
+    updater.AddTrip(empty_world, trip, stays);
+
+    const std::vector<Point> centroids = updater.LiveCentroids();
+    const std::vector<Point> means = updater.LiveMemberMeans();
+    ASSERT_EQ(centroids.size(), means.size());
+    ASSERT_EQ(centroids.size(), updater.num_clusters());
+    for (size_t i = 0; i < centroids.size(); ++i) {
+      for (size_t j = i + 1; j < centroids.size(); ++j) {
+        EXPECT_GT(Distance(centroids[i], centroids[j]),
+                  options.cluster_distance_m)
+            << "separation violated after trip " << trip_id;
+      }
+      EXPECT_LT(Distance(centroids[i], means[i]), 1e-6)
+          << "centroid drifted from member mean after trip " << trip_id;
+    }
+  }
+  EXPECT_EQ(updater.num_stay_points(), static_cast<size_t>(total_stays));
+
+  // Snapshot membership partitions the stays exactly.
+  const dlinfma::CandidateGeneration snapshot = updater.Snapshot();
+  int64_t assigned = 0;
+  for (const dlinfma::LocationCandidate& candidate : snapshot.candidates()) {
+    assigned += candidate.num_stay_points;
+    EXPECT_GT(candidate.num_stay_points, 0);
+  }
+  EXPECT_EQ(assigned, total_stays);
+}
+
+// --- End-to-end replay: ingestor vs batch pipeline --------------------------
+
+// Replaying a generated world point-at-a-time must leave the ingestor's
+// world able to reproduce the *identical* stay-point list under the batch
+// pipeline, with identical retrieval records, and a snapshot whose
+// candidate pool covers every stay.
+TEST(StreamIngestorTest, SnapshotConsistentWithBatchRebuild) {
+  sim::SimConfig config = sim::SynDowBJConfig();
+  config.num_days = 2;
+  config.num_communities = 5;
+  const sim::World world = sim::GenerateWorld(config);
+  ASSERT_FALSE(world.trips.empty());
+
+  stream::StreamIngestor ingestor(world, {});
+  for (const sim::DeliveryTrip& trip : world.trips) {
+    ingestor.ReplayTrip(trip);
+  }
+  ASSERT_EQ(ingestor.num_trips(),
+            static_cast<int64_t>(world.trips.size()));
+  ASSERT_FALSE(ingestor.trip_open());
+
+  const dlinfma::CandidateGeneration streamed = ingestor.Snapshot();
+  const dlinfma::CandidateGeneration batch =
+      dlinfma::CandidateGeneration::Build(ingestor.world(), {});
+
+  // Stay points: bit-identical, in the same trip order.
+  ASSERT_TRUE(StaysBitIdentical(batch.stay_points(), streamed.stay_points()));
+  EXPECT_EQ(batch.num_trips(), streamed.num_trips());
+
+  // Address retrieval records: identical trips and recorded times.
+  for (int64_t id : world.DeliveredAddressIds()) {
+    const auto& batch_records = batch.address_trips(id);
+    const auto& stream_records = streamed.address_trips(id);
+    ASSERT_EQ(batch_records.size(), stream_records.size()) << "address " << id;
+    for (size_t i = 0; i < batch_records.size(); ++i) {
+      EXPECT_EQ(batch_records[i].trip_id, stream_records[i].trip_id);
+      EXPECT_TRUE(BitEqual(batch_records[i].recorded_delivery_time,
+                           stream_records[i].recorded_delivery_time));
+    }
+    // Retrieval produces a non-degenerate, sorted, deduplicated candidate
+    // set from the streamed snapshot too.
+    const std::vector<int64_t> retrieved = streamed.Retrieve(id);
+    EXPECT_TRUE(std::is_sorted(retrieved.begin(), retrieved.end()));
+    EXPECT_TRUE(std::adjacent_find(retrieved.begin(), retrieved.end()) ==
+                retrieved.end());
+  }
+
+  // Candidate pools agree in coverage (cluster identity may differ between
+  // greedy-online and batch closest-pair order, but both partition the same
+  // stays under the same D, so the pools are close in size and every
+  // streamed centroid respects the separation invariant).
+  ASSERT_FALSE(streamed.candidates().empty());
+  int64_t covered = 0;
+  for (const dlinfma::LocationCandidate& candidate : streamed.candidates()) {
+    covered += candidate.num_stay_points;
+  }
+  EXPECT_EQ(covered, static_cast<int64_t>(streamed.stay_points().size()));
+  for (const auto& visits : streamed.trip_visits()) {
+    for (size_t i = 1; i < visits.size(); ++i) {
+      EXPECT_LE(visits[i - 1].time, visits[i].time);
+    }
+  }
+}
+
+// Streamed replay under armed ingest faults must still leave a replayable
+// world: a batch rebuild over the ingested (post-fault) trajectories
+// reproduces the streamed stay points exactly, because the ingested world
+// records what was actually delivered.
+TEST(StreamIngestorTest, FaultedIngestStillMatchesBatchOverIngestedWorld) {
+  sim::SimConfig config = sim::SynDowBJConfig();
+  config.num_days = 2;
+  config.num_communities = 4;
+  const sim::World world = sim::GenerateWorld(config);
+
+  stream::StreamIngestor ingestor(world, {});
+  {
+    fault::FaultPlan plan;
+    plan.FailWithProbability("stream.ingest.drop_point", 0.1)
+        .FailWithProbability("stream.ingest.duplicate_point", 0.05);
+    fault::ScopedFaultPlan armed(plan, 4242);
+    for (const sim::DeliveryTrip& trip : world.trips) {
+      ingestor.ReplayTrip(trip);
+    }
+    EXPECT_GT(fault::FireCount("stream.ingest.drop_point"), 0);
+  }
+
+  const dlinfma::CandidateGeneration streamed = ingestor.Snapshot();
+  const dlinfma::CandidateGeneration batch =
+      dlinfma::CandidateGeneration::Build(ingestor.world(), {});
+  EXPECT_TRUE(StaysBitIdentical(batch.stay_points(), streamed.stay_points()));
+}
+
+}  // namespace
+}  // namespace dlinf

@@ -46,6 +46,8 @@
 #include "io/codecs.h"
 #include "obs/metrics.h"
 #include "sim/generator.h"
+#include "stream/online_trainer.h"
+#include "stream/stream_pipeline.h"
 
 namespace dlinf {
 namespace {
@@ -1041,6 +1043,222 @@ void RunShardReloadUnderLoad(Checker& check) {
                  "non-200 /query answers under reload churn (5xx contract)");
 }
 
+// --- Scenario: streaming ingest + online loop under faults ------------------
+
+/// The streaming loop's degradation contract (DESIGN.md §13) end to end:
+/// sustained point-at-a-time ingest with `stream.ingest.*` faults armed
+/// (drops, duplicates, latency) must absorb every trip; the online retrain
+/// rounds over the faulted stream must publish servable bundles; and the
+/// publication path into the hot-reload watcher must honor the same
+/// rollback contract as offline pushes — a corrupt publication rolls back
+/// (degraded /healthz window, counters exact) while a background QueryBatch
+/// load never sees a dropped or non-finite answer, and an injected
+/// `stream.publish.fail` surfaces as a counted typed error, not a crash.
+void RunStreamIngestUnderFaults(Checker& check) {
+  Fixture& fx = GetFixture();
+  const std::string dir = ScratchPath("stream_chaos_bundle");
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+
+  // Phase 1: sustained ingest with the stream fault points armed.
+  stream::StreamIngestor ingestor(fx.world, {});
+  const int64_t points_before = CounterValue("stream.ingest.points");
+  const int64_t dropped_before = CounterValue("stream.ingest.dropped_points");
+  const int64_t dup_before = CounterValue("stream.ingest.duplicated_points");
+  int64_t raw_points = 0;
+  {
+    fault::FaultPlan plan;
+    plan.FailWithProbability("stream.ingest.drop_point", 0.05)
+        .FailWithProbability("stream.ingest.duplicate_point", 0.03)
+        .Inject({.point = "stream.ingest.latency",
+                 .probability = 0.0005,
+                 .latency_ms = 1.0});
+    fault::ScopedFaultPlan armed(plan, g_base_seed);
+    for (const sim::DeliveryTrip& trip : fx.world.trips) {
+      raw_points += static_cast<int64_t>(trip.trajectory.size());
+      ingestor.ReplayTrip(trip);
+    }
+  }
+  const int64_t drops = fault::FireCount("stream.ingest.drop_point");
+  const int64_t dups = fault::FireCount("stream.ingest.duplicate_point");
+  check.Expect(drops > 0, "stream.ingest.drop_point never fired");
+  check.Expect(dups > 0, "stream.ingest.duplicate_point never fired");
+  check.Expect(fault::HitCount("stream.ingest.latency") > 0,
+               "stream.ingest.latency never hit");
+  check.ExpectEq(ingestor.num_trips(),
+                 static_cast<int64_t>(fx.world.trips.size()),
+                 "every trip ingested despite stream faults");
+  check.ExpectEq(CounterValue("stream.ingest.dropped_points") - dropped_before,
+                 drops, "stream.ingest.dropped_points == drop fires");
+  check.ExpectEq(CounterValue("stream.ingest.duplicated_points") - dup_before,
+                 dups, "stream.ingest.duplicated_points == duplicate fires");
+  // Delivered = raw - drops + duplicate redeliveries, exactly.
+  check.ExpectEq(CounterValue("stream.ingest.points") - points_before,
+                 raw_points - drops + dups,
+                 "stream.ingest.points accounting");
+  check.Expect(ingestor.updater().num_stay_points() > 0,
+               "faulted stream produced no stay points");
+
+  // Phase 2: online round 1 over the faulted stream publishes the boot
+  // bundle (faults disarmed: publication itself is healthy here).
+  stream::OnlineTrainer::Options trainer_options;
+  trainer_options.train.max_epochs = 2;
+  trainer_options.train.early_stop_patience = 2;
+  trainer_options.publish_dir = dir;
+  stream::OnlineTrainer trainer(trainer_options);
+  {
+    const stream::OnlineTrainer::RoundResult round =
+        trainer.Retrain(ingestor.world(), ingestor.Snapshot());
+    check.Expect(round.trained, "round 1 skipped: " + round.skip_reason);
+    check.Expect(round.published,
+                 "round 1 publish failed: " + round.publish_error);
+    if (!round.published) return;
+  }
+
+  // Serve the published bundle through the hot-reload watcher. Online
+  // rounds legitimately drift from the boot generation, so the shadow
+  // probes only gate on sanity (finite, in-bounds), not agreement.
+  apps::BundleManager::Config config;
+  config.dir = dir;
+  config.min_agree_fraction = 0.0;
+  std::string error;
+  std::unique_ptr<apps::BundleManager> manager =
+      apps::BundleManager::Create(config, &error);
+  check.Expect(manager != nullptr, "bundle manager boot failed: " + error);
+  if (manager == nullptr) return;
+
+  apps::TelemetryServer telemetry;
+  apps::TelemetryServer::Options telemetry_options;
+  telemetry_options.port = 0;
+  telemetry_options.health = apps::BundleManagerHealth(manager.get());
+  check.Expect(telemetry.Start(telemetry_options, &error),
+               "telemetry server start failed: " + error);
+  if (!telemetry.running()) return;
+  const int port = telemetry.port();
+  auto healthz_status = [&](const char* when) {
+    int status = 0;
+    std::string body;
+    if (!apps::HttpGet(port, "/healthz", &status, &body)) {
+      check.Expect(false, std::string("healthz unreachable ") + when);
+      return 0;
+    }
+    return status;
+  };
+
+  // Background QueryBatch load for the whole publish/reload cycle: the
+  // zero-dropped-queries contract — every query answered, every answer
+  // finite, regardless of what the publication side does.
+  std::vector<int64_t> ids;
+  for (const dlinfma::AddressSample& sample : manager->state()->samples) {
+    ids.push_back(sample.address_id);
+    if (ids.size() >= 64) break;
+  }
+  check.Expect(!ids.empty(), "published bundle has no serving inventory");
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> answered{0};
+  std::atomic<int64_t> bad_answers{0};
+  ThreadPool pool(2);
+  std::thread load([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const std::shared_ptr<const apps::BundleManager::ServingState> pinned =
+          manager->state();
+      const std::vector<apps::DeliveryLocationService::Answer> answers =
+          pinned->service->QueryBatch(ids, &pool);
+      if (answers.size() != ids.size()) {
+        bad_answers.fetch_add(1, std::memory_order_relaxed);
+      }
+      for (const auto& answer : answers) {
+        if (!std::isfinite(answer.location.x) ||
+            !std::isfinite(answer.location.y)) {
+          bad_answers.fetch_add(1, std::memory_order_relaxed);
+        }
+        answered.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  const int64_t attempts_before = CounterValue("service.reload.attempts");
+  const int64_t success_before = CounterValue("service.reload.success");
+  const int64_t rollbacks_before = CounterValue("service.reload.rollbacks");
+  const int64_t publish_failures_before =
+      CounterValue("stream.publish.failures");
+  check.ExpectEq(healthz_status("at boot"), 200, "healthz status at boot");
+
+  // Round 2: a healthy online publication swaps in under load.
+  {
+    const stream::OnlineTrainer::RoundResult round =
+        trainer.Retrain(ingestor.world(), ingestor.Snapshot());
+    check.Expect(round.trained && round.published,
+                 "round 2 did not publish: " + round.skip_reason +
+                     round.publish_error);
+    check.Expect(manager->ReloadNow(&error) ==
+                     apps::BundleManager::ReloadOutcome::kSwapped,
+                 "healthy online publication did not swap: " + error);
+  }
+  check.ExpectEq(static_cast<int64_t>(manager->generation()), 1,
+                 "generation after healthy online publication");
+  check.ExpectEq(healthz_status("after round 2 swap"), 200,
+                 "healthz status after round 2 swap");
+
+  // Corrupt publication: one flipped payload byte in the pushed model
+  // artifact must take the rollback path and open the degraded window.
+  const std::string model_path = dir + "/model.art";
+  const std::string model_bytes = ReadFileBytes(model_path);
+  check.Expect(model_bytes.size() > 64, "published model implausibly small");
+  {
+    std::string mutated = model_bytes;
+    mutated[mutated.size() / 2] ^= 0x01;
+    WriteFileBytes(model_path, mutated);
+    check.Expect(manager->ReloadNow(&error) ==
+                     apps::BundleManager::ReloadOutcome::kRolledBack,
+                 "corrupt online publication did not roll back");
+  }
+  check.Expect(manager->reload_degraded(),
+               "corrupt publication did not raise the degraded flag");
+  check.ExpectEq(healthz_status("during rollback window"), 503,
+                 "healthz status during rollback window");
+
+  // Injected publication failure: the round trains but reports a typed
+  // publish error, leaving the (corrupt) on-disk push untouched.
+  {
+    fault::ScopedFaultPlan armed(
+        fault::FaultPlan().FailAlways("stream.publish.fail"), g_base_seed);
+    const stream::OnlineTrainer::RoundResult round =
+        trainer.Retrain(ingestor.world(), ingestor.Snapshot());
+    check.Expect(round.trained, "round 3 skipped: " + round.skip_reason);
+    check.Expect(!round.published && !round.publish_error.empty(),
+                 "injected stream.publish.fail did not surface");
+  }
+  check.ExpectEq(CounterValue("stream.publish.failures") -
+                     publish_failures_before,
+                 1, "stream.publish.failures");
+  check.ExpectEq(healthz_status("while last push still bad"), 503,
+                 "healthz while the last push is still bad");
+
+  // Heal the push: the degraded window closes on the next reload.
+  WriteFileBytes(model_path, model_bytes);
+  check.Expect(manager->ReloadNow(&error) ==
+                   apps::BundleManager::ReloadOutcome::kSwapped,
+               "healed publication did not swap: " + error);
+  check.Expect(!manager->reload_degraded(),
+               "healed swap did not clear the degraded flag");
+  check.ExpectEq(healthz_status("after recovery"), 200,
+                 "healthz status after recovery");
+
+  stop.store(true, std::memory_order_release);
+  load.join();
+  telemetry.Stop();
+  check.Expect(answered.load() > 0, "query load never answered anything");
+  check.ExpectEq(bad_answers.load(), 0,
+                 "dropped or non-finite answers under publication churn");
+  check.ExpectEq(CounterValue("service.reload.attempts") - attempts_before, 3,
+                 "service.reload.attempts");
+  check.ExpectEq(CounterValue("service.reload.success") - success_before, 2,
+                 "service.reload.success");
+  check.ExpectEq(CounterValue("service.reload.rollbacks") - rollbacks_before,
+                 1, "service.reload.rollbacks");
+}
+
 // --- Registry and driver ---------------------------------------------------
 
 struct Scenario {
@@ -1078,6 +1296,10 @@ constexpr Scenario kScenarios[] = {
     {"shard_reload_under_load",
      "per-shard reload churn under live HTTP load -> zero non-200", false,
      RunShardReloadUnderLoad},
+    {"stream_ingest_under_faults",
+     "streamed ingest + online publish under stream.* faults -> rollback "
+     "contract, zero dropped queries",
+     false, RunStreamIngestUnderFaults},
 };
 
 int RunScenarios(const std::vector<const Scenario*>& selected) {

@@ -51,6 +51,32 @@
 //       warm-started from artifacts; the legacy --world/--model path
 //       re-mines candidates and only loads the checkpoint.
 //
+//   dlinf_cli stream --world DIR --publish-dir DIR [--retrain-every N]
+//              [--max-trips M] [--rate R] [--quick] [--epochs E]
+//              [--watch [--agree-frac F]] [--ckpt FILE [--ckpt-every K]]
+//              [--telemetry-port P [--linger-seconds S]]
+//       The streaming ingestion + online learning loop (DESIGN.md §13):
+//       replay the world's recorded trips as a live GPS feed, one point at
+//       a time, through the incremental stay-point detector and candidate
+//       index (src/stream). Every N completed trips (and once at end of
+//       stream; default N=0 means end-of-stream only) an online retrain
+//       round runs over the accumulated snapshot — warm-started from the
+//       previous round's weights — and publishes a fresh artifact bundle
+//       into --publish-dir with the manifest-last protocol the hot-reload
+//       watcher keys on. --rate R throttles the replay to R points/second
+//       (0 = full speed). --quick caps rounds at 20 epochs (--epochs
+//       overrides exactly). --watch additionally boots a BundleManager on
+//       the publish directory after the first publication and hot-reloads
+//       it after each subsequent one, printing swap/rollback outcomes
+//       (--agree-frac relaxes the shadow-validation agreement threshold;
+//       online rounds legitimately drift from the boot generation).
+//       --ckpt writes a crash-safe CKPT artifact every K epochs during
+//       each round, so a round killed mid-training resumes without losing
+//       accumulated samples (`dlinf_cli train --resume` semantics).
+//       --telemetry-port starts the /metrics endpoint up front, so
+//       scrapers watch stream.ingest.* counters live, and keeps it up S
+//       extra seconds after the feed drains.
+//
 //   dlinf_cli evaluate --world DIR [--quick]
 //       Compare DLInfMA against the heuristic baselines on the test split.
 //
@@ -97,6 +123,8 @@
 #include "obs/trace_log.h"
 #include "sim/generator.h"
 #include "sim/world_io.h"
+#include "stream/online_trainer.h"
+#include "stream/stream_pipeline.h"
 
 namespace {
 
@@ -119,7 +147,8 @@ std::map<std::string, std::string> ParseFlags(int argc, char** argv) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: dlinf_cli <generate|stats|train|serve|infer|evaluate> "
+               "usage: dlinf_cli "
+               "<generate|stats|train|serve|infer|stream|evaluate> "
                "[--flags]\n(see the header comment of tools/dlinf_cli.cc)\n");
   return 2;
 }
@@ -662,6 +691,169 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+/// `stream`: replay recorded trips as a live GPS feed through the
+/// incremental pipeline, retraining and publishing bundles as the stream
+/// progresses (see the header comment).
+int CmdStream(const std::map<std::string, std::string>& flags) {
+  if (flags.count("world") == 0 || flags.count("publish-dir") == 0) {
+    return Usage();
+  }
+  const auto world = LoadWorldFlag(flags);
+  if (!world) return 1;
+  const std::string publish_dir = flags.at("publish-dir");
+
+  // Telemetry comes up before the first point, so scrapers watch the
+  // stream.ingest.* counters move while the feed is live.
+  apps::TelemetryServer telemetry;
+  if (auto it = flags.find("telemetry-port"); it != flags.end()) {
+    apps::TelemetryServer::Options options;
+    options.port = it->second == "true" ? 0 : std::stoi(it->second);
+    std::string error;
+    if (!telemetry.Start(options, &error)) {
+      std::fprintf(stderr, "error: cannot start telemetry server: %s\n",
+                   error.c_str());
+      return 1;
+    }
+    std::printf("telemetry: http://127.0.0.1:%d (/metrics /healthz /varz "
+                "/tracez)\n",
+                telemetry.port());
+    std::fflush(stdout);
+  }
+
+  const int retrain_every = IntFlag(flags, "retrain-every", 0);
+  const int max_trips =
+      IntFlag(flags, "max-trips", static_cast<int>(world->trips.size()));
+  const double rate = DoubleFlag(flags, "rate", 0.0);
+
+  stream::StreamIngestor ingestor(*world, {});
+  stream::OnlineTrainer::Options trainer_options;
+  if (flags.count("quick") > 0) {
+    trainer_options.train.max_epochs = 20;
+    trainer_options.train.early_stop_patience = 5;
+  }
+  if (flags.count("epochs") > 0) {
+    trainer_options.train.max_epochs = IntFlag(flags, "epochs", 20);
+  }
+  if (auto ckpt = flags.find("ckpt"); ckpt != flags.end()) {
+    trainer_options.checkpoint_path = ckpt->second;
+    trainer_options.checkpoint_every_epochs =
+        std::max(1, IntFlag(flags, "ckpt-every", 5));
+  }
+  trainer_options.publish_dir = publish_dir;
+  stream::OnlineTrainer trainer(trainer_options);
+
+  const bool watch = flags.count("watch") > 0;
+  std::unique_ptr<apps::BundleManager> manager;
+
+  auto retrain = [&]() {
+    const stream::OnlineTrainer::RoundResult result =
+        trainer.Retrain(ingestor.world(), ingestor.Snapshot());
+    if (!result.trained) {
+      std::printf("round %d skipped after %lld trips: %s\n", result.round,
+                  static_cast<long long>(ingestor.num_trips()),
+                  result.skip_reason.c_str());
+      return;
+    }
+    std::printf(
+        "round %d: %lld trips, %zu/%zu train/val samples, %d epochs, "
+        "val loss %.4f\n",
+        result.round, static_cast<long long>(ingestor.num_trips()),
+        result.train_samples, result.val_samples, result.train.epochs_run,
+        result.train.best_val_loss);
+    if (!result.published) {
+      std::fprintf(stderr, "error: publish failed: %s\n",
+                   result.publish_error.c_str());
+      return;
+    }
+    std::printf("published bundle -> %s\n", publish_dir.c_str());
+    if (!watch) return;
+    std::string error;
+    if (manager == nullptr) {
+      apps::BundleManager::Config config;
+      config.dir = publish_dir;
+      config.min_agree_fraction = DoubleFlag(flags, "agree-frac", 0.0);
+      manager = apps::BundleManager::Create(config, &error);
+      if (manager == nullptr) {
+        std::fprintf(stderr, "error: cannot watch %s: %s\n",
+                     publish_dir.c_str(), error.c_str());
+      } else {
+        std::printf("watching %s (generation %llu live)\n",
+                    publish_dir.c_str(),
+                    static_cast<unsigned long long>(manager->generation()));
+      }
+      return;
+    }
+    switch (manager->ReloadNow(&error)) {
+      case apps::BundleManager::ReloadOutcome::kSwapped:
+        std::printf("hot-reload: swapped to generation %llu\n",
+                    static_cast<unsigned long long>(manager->generation()));
+        break;
+      case apps::BundleManager::ReloadOutcome::kRolledBack:
+        std::printf("hot-reload: rolled back (%s)\n", error.c_str());
+        break;
+      case apps::BundleManager::ReloadOutcome::kUnchanged:
+        std::printf("hot-reload: unchanged\n");
+        break;
+    }
+  };
+
+  Stopwatch watch_time;
+  int trips = 0;
+  for (const sim::DeliveryTrip& trip : world->trips) {
+    if (trips >= max_trips) break;
+    ingestor.StartTrip(trip);
+    for (const TrajPoint& point : trip.trajectory.points) {
+      ingestor.PushPoint(point);
+      if (rate > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(1.0 / rate));
+      }
+    }
+    ingestor.FinishTrip();
+    ++trips;
+    if (retrain_every > 0 && trips % retrain_every == 0) retrain();
+    std::fflush(stdout);
+  }
+  // End-of-stream round, unless the last periodic round already saw every
+  // trip.
+  if (trips > 0 && (retrain_every <= 0 || trips % retrain_every != 0)) {
+    retrain();
+  }
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  std::printf(
+      "stream done in %.1f s: %lld points (%lld dropped), %lld trips, "
+      "%lld stay points, %zu clusters, %lld/%lld rounds trained/skipped, "
+      "%lld/%lld publishes ok/failed\n",
+      watch_time.ElapsedSeconds(),
+      static_cast<long long>(
+          registry.GetCounter("stream.ingest.points")->value()),
+      static_cast<long long>(
+          registry.GetCounter("stream.ingest.dropped_points")->value()),
+      static_cast<long long>(ingestor.num_trips()),
+      static_cast<long long>(
+          registry.GetCounter("stream.ingest.stay_points")->value()),
+      ingestor.updater().num_clusters(),
+      static_cast<long long>(
+          registry.GetCounter("stream.retrain.rounds")->value()),
+      static_cast<long long>(
+          registry.GetCounter("stream.retrain.skipped")->value()),
+      static_cast<long long>(
+          registry.GetCounter("stream.publish.success")->value()),
+      static_cast<long long>(
+          registry.GetCounter("stream.publish.failures")->value()));
+  if (telemetry.running()) {
+    const int linger = IntFlag(flags, "linger-seconds", 0);
+    if (linger > 0) {
+      std::printf("telemetry: lingering %d s for scrapers\n", linger);
+      std::fflush(stdout);
+      std::this_thread::sleep_for(std::chrono::seconds(linger));
+    }
+    telemetry.Stop();
+  }
+  return 0;
+}
+
 int CmdEvaluate(const std::map<std::string, std::string>& flags) {
   const auto world = LoadWorldFlag(flags);
   if (!world) return 1;
@@ -727,6 +919,8 @@ int main(int argc, char** argv) {
       status = CmdServe(flags);
     } else if (command == "infer") {
       status = CmdInfer(flags);
+    } else if (command == "stream") {
+      status = CmdStream(flags);
     } else if (command == "evaluate") {
       status = CmdEvaluate(flags);
     } else {
