@@ -398,14 +398,18 @@ HttpParser::Status HttpParser::Next(HttpRequest* out) {
 
 // --- Response serialization -------------------------------------------------
 
-std::string BuildHttpResponse(int status, const std::string& content_type,
-                              const std::string& body, bool keep_alive,
-                              bool head_only) {
+std::string BuildHttpResponse(
+    int status, const std::string& content_type, const std::string& body,
+    bool keep_alive, bool head_only,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers) {
   std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
                     ReasonPhrase(status) + "\r\n";
   out += "Content-Type: " + content_type + "\r\n";
   out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
   if (!keep_alive) out += "Connection: close\r\n";
+  for (const auto& [name, value] : extra_headers) {
+    out += name + ": " + value + "\r\n";
+  }
   out += "\r\n";
   if (!head_only) out += body;
   return out;
@@ -440,10 +444,17 @@ struct ServerMetrics {
 void HttpServer::ResponseHandle::Respond(int status,
                                          const std::string& content_type,
                                          const std::string& body) const {
+  RespondWithHeaders(status, content_type, body, {});
+}
+
+void HttpServer::ResponseHandle::RespondWithHeaders(
+    int status, const std::string& content_type, const std::string& body,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers)
+    const {
   if (server_ == nullptr) return;
   server_->Complete(conn_id_, seq_,
                     BuildHttpResponse(status, content_type, body, keep_alive_,
-                                      head_only_));
+                                      head_only_, extra_headers));
 }
 
 HttpServer::~HttpServer() { Stop(); }
@@ -835,6 +846,12 @@ bool HttpClient::SendPost(const std::string& target,
 
 bool HttpClient::ReadResponse(int* status, std::string* body,
                               std::string* error) {
+  return ReadResponse(status, nullptr, body, error);
+}
+
+bool HttpClient::ReadResponse(
+    int* status, std::vector<std::pair<std::string, std::string>>* headers,
+    std::string* body, std::string* error) {
   auto fail = [&](const std::string& reason) {
     if (error != nullptr) *error = reason;
     return false;
@@ -859,6 +876,29 @@ bool HttpClient::ReadResponse(int* status, std::string* body,
     return fail("malformed status line");
   }
   const int parsed_status = std::atoi(head.c_str() + space + 1);
+
+  if (headers != nullptr) {
+    headers->clear();
+    size_t line_begin = head.find("\r\n");
+    while (line_begin != std::string::npos && line_begin + 2 < head.size()) {
+      line_begin += 2;
+      size_t line_end = head.find("\r\n", line_begin);
+      if (line_end == std::string::npos) line_end = head.size();
+      const std::string line = head.substr(line_begin, line_end - line_begin);
+      const size_t colon = line.find(':');
+      if (colon != std::string::npos) {
+        std::string value = line.substr(colon + 1);
+        const size_t first = value.find_first_not_of(" \t");
+        const size_t last = value.find_last_not_of(" \t");
+        value = first == std::string::npos
+                    ? ""
+                    : value.substr(first, last - first + 1);
+        headers->emplace_back(ToLower(line.substr(0, colon)),
+                              std::move(value));
+      }
+      line_begin = line_end == head.size() ? std::string::npos : line_end;
+    }
+  }
 
   // Content-Length (every response from our servers carries one).
   size_t content_length = 0;

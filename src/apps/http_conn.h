@@ -105,9 +105,13 @@ class HttpParser {
 
 /// Serializes a full response with Content-Length (and `Connection: close`
 /// when `keep_alive` is false). `head_only` omits the body bytes (HEAD).
-std::string BuildHttpResponse(int status, const std::string& content_type,
-                              const std::string& body, bool keep_alive,
-                              bool head_only = false);
+/// `extra_headers` are emitted verbatim after the standard ones (used for
+/// e.g. `Retry-After` on 429 backpressure responses).
+std::string BuildHttpResponse(
+    int status, const std::string& content_type, const std::string& body,
+    bool keep_alive, bool head_only = false,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers =
+        {});
 
 /// Non-blocking epoll HTTP server. One loop thread owns all I/O; request
 /// handlers run on the loop thread and either answer inline or hand the
@@ -135,6 +139,12 @@ class HttpServer {
 
     void Respond(int status, const std::string& content_type,
                  const std::string& body) const;
+
+    /// Respond with additional response headers (e.g. Retry-After).
+    void RespondWithHeaders(
+        int status, const std::string& content_type, const std::string& body,
+        const std::vector<std::pair<std::string, std::string>>& extra_headers)
+        const;
 
    private:
     friend class HttpServer;
@@ -249,6 +259,12 @@ class HttpClient {
   /// transport/parse failure or timeout.
   bool ReadResponse(int* status, std::string* body,
                     std::string* error = nullptr);
+
+  /// Like ReadResponse but also returns the response headers (names
+  /// lowercased, values trimmed) so callers can read e.g. Retry-After.
+  bool ReadResponse(int* status,
+                    std::vector<std::pair<std::string, std::string>>* headers,
+                    std::string* body, std::string* error = nullptr);
 
   void Close();
   bool connected() const { return fd_ >= 0; }

@@ -62,6 +62,8 @@ const char* ArtifactKindName(ArtifactKind kind) {
       return "manifest";
     case ArtifactKind::kCheckpoint:
       return "checkpoint";
+    case ArtifactKind::kIngestState:
+      return "ingest_state";
   }
   return "unknown";
 }

@@ -55,6 +55,7 @@ enum class ArtifactKind : uint32_t {
   kModel = 5,        ///< Model config + nn parameter blob.
   kManifest = 6,     ///< Bundle manifest (bundle.h).
   kCheckpoint = 7,   ///< Mid-training resume state (checkpoint.h, "CKPT").
+  kIngestState = 8,  ///< Ingest-server snapshot (stream/ingest_server.h).
 };
 
 /// Name of a kind for error messages ("world", "model", ...).

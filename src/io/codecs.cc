@@ -247,6 +247,14 @@ sim::World DecodeWorld(ArtifactReader* r) {
 
 }  // namespace
 
+void EncodeWorldPayload(const sim::World& world, ArtifactWriter* writer) {
+  EncodeWorld(world, writer);
+}
+
+sim::World DecodeWorldPayload(ArtifactReader* reader) {
+  return DecodeWorld(reader);
+}
+
 bool SaveWorldArtifact(const sim::World& world, const std::string& path) {
   ArtifactWriter writer(ArtifactKind::kWorld);
   EncodeWorld(world, &writer);

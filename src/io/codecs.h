@@ -28,6 +28,12 @@ bool SaveWorldArtifact(const sim::World& world, const std::string& path);
 std::optional<sim::World> LoadWorldArtifact(const std::string& path,
                                             std::string* error = nullptr);
 
+/// Raw world payload codec for artifacts that embed a world alongside other
+/// fields (e.g. the ingest-server snapshot, kIngestState). DecodeWorldPayload
+/// leaves failure signalling to the reader's sticky ok() flag.
+void EncodeWorldPayload(const sim::World& world, ArtifactWriter* writer);
+sim::World DecodeWorldPayload(ArtifactReader* reader);
+
 /// --- Extracted stay points (kStayPoints) ----------------------------------
 
 bool SaveStayPointsArtifact(const std::vector<StayPoint>& stay_points,

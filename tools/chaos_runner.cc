@@ -44,10 +44,14 @@
 #include "io/bundle.h"
 #include "io/checkpoint.h"
 #include "io/codecs.h"
+#include "apps/http_conn.h"
+#include "io/wal_frame.h"
 #include "obs/metrics.h"
 #include "sim/generator.h"
+#include "stream/ingest_server.h"
 #include "stream/online_trainer.h"
 #include "stream/stream_pipeline.h"
+#include "stream/wal.h"
 
 namespace dlinf {
 namespace {
@@ -1259,6 +1263,289 @@ void RunStreamIngestUnderFaults(Checker& check) {
                  1, "service.reload.rollbacks");
 }
 
+// --- Scenario: kill -9 mid network ingest, recover from the WAL -------------
+
+namespace ingest_chaos {
+
+/// The protocol lines of one trip from producer `client`, advancing *seq.
+std::vector<std::string> TripLines(const std::string& client,
+                                   const sim::DeliveryTrip& trip,
+                                   uint64_t* seq) {
+  std::vector<std::string> lines;
+  stream::IngestRecord start;
+  start.kind = stream::IngestRecord::Kind::kStartTrip;
+  start.client_id = client;
+  start.seq = ++*seq;
+  start.courier_id = trip.courier_id;
+  start.start_time = trip.start_time;
+  start.end_time = trip.end_time;
+  start.waybills = trip.waybills;
+  lines.push_back(stream::FormatIngestLine(start));
+  for (const TrajPoint& point : trip.trajectory.points) {
+    stream::IngestRecord record;
+    record.kind = stream::IngestRecord::Kind::kPoint;
+    record.client_id = client;
+    record.seq = ++*seq;
+    record.x = point.x;
+    record.y = point.y;
+    record.t = point.t;
+    lines.push_back(stream::FormatIngestLine(record));
+  }
+  stream::IngestRecord finish;
+  finish.kind = stream::IngestRecord::Kind::kFinishTrip;
+  finish.client_id = client;
+  finish.seq = ++*seq;
+  lines.push_back(stream::FormatIngestLine(finish));
+  return lines;
+}
+
+std::string JoinLines(const std::vector<std::string>& lines) {
+  std::string body;
+  for (const std::string& line : lines) {
+    body += line;
+    body += '\n';
+  }
+  return body;
+}
+
+/// POSTs one batch; returns the HTTP status, -1 on transport failure.
+int PostBatch(apps::HttpClient* client, const std::string& body) {
+  if (!client->SendPost("/ingest", body)) return -1;
+  int status = 0;
+  std::string response;
+  if (!client->ReadResponse(&status, &response)) return -1;
+  return status;
+}
+
+/// True when the two ingestors mined byte-identical stay-point lists.
+bool StaysBitIdentical(const stream::StreamIngestor& a,
+                       const stream::StreamIngestor& b) {
+  const auto stays_a = a.Snapshot().stay_points();
+  const auto stays_b = b.Snapshot().stay_points();
+  if (stays_a.size() != stays_b.size()) return false;
+  for (size_t i = 0; i < stays_a.size(); ++i) {
+    if (std::memcmp(&stays_a[i], &stays_b[i], sizeof(StayPoint)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ingest_chaos
+
+/// The durable-ingestion crash contract (DESIGN.md §14): a node SIGKILL'd
+/// mid network ingest must restart from its WAL with every acked record
+/// intact (recovered == acked, cross-checked against stream.ingest.*), ack
+/// the producer's retry of the in-flight batch as an exact dedup no-op, and
+/// finish the stream with stay points bit-identical to a run that was never
+/// killed.
+void RunKillMidIngestRecover(Checker& check) {
+  Fixture& fx = GetFixture();
+  sim::World city = fx.world;
+  city.trips.clear();
+
+  const std::string dir = ScratchPath("ingest_kill_wal");
+  const std::string golden_dir = ScratchPath("ingest_kill_wal_golden");
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  std::filesystem::remove_all(golden_dir, ec);
+
+  uint64_t seq = 0;
+  std::vector<std::string> bodies;
+  for (const sim::DeliveryTrip& trip : fx.world.trips) {
+    bodies.push_back(ingest_chaos::JoinLines(
+        ingest_chaos::TripLines("chaos", trip, &seq)));
+  }
+  const size_t kill_after = bodies.size() / 2;
+
+  // Golden run: the same stream against a server that is never killed.
+  stream::IngestServer::Options golden_options;
+  golden_options.wal.dir = golden_dir;
+  golden_options.city = city;
+  stream::IngestServer golden(golden_options);
+  std::string error;
+  check.Expect(golden.Start(&error), "golden ingest start: " + error);
+  if (!golden.running()) return;
+  {
+    apps::HttpClient client;
+    check.Expect(client.Connect(golden.port(), &error),
+                 "golden connect: " + error);
+    for (const std::string& body : bodies) {
+      check.ExpectEq(ingest_chaos::PostBatch(&client, body), 200,
+                     "golden ingest batch status");
+    }
+  }
+  check.Expect(golden.WaitIdle(30.0), "golden ingest never went idle");
+  golden.Stop();
+
+  // Chaos run, phase 1: stream half, then die like SIGKILL (no fsync, no
+  // drain, a torn tail may remain).
+  const int64_t acked_counter_before = CounterValue("stream.ingest.acked");
+  int64_t acked_at_kill = 0;
+  {
+    stream::IngestServer::Options options;
+    options.wal.dir = dir;
+    options.city = city;
+    stream::IngestServer server(options);
+    check.Expect(server.Start(&error), "ingest start: " + error);
+    if (!server.running()) return;
+    apps::HttpClient client;
+    check.Expect(client.Connect(server.port(), &error),
+                 "ingest connect: " + error);
+    for (size_t i = 0; i < kill_after; ++i) {
+      check.ExpectEq(ingest_chaos::PostBatch(&client, bodies[i]), 200,
+                     "pre-kill batch status");
+    }
+    check.Expect(server.WaitIdle(30.0), "pre-kill ingest never went idle");
+    acked_at_kill = server.stats().acked;
+    server.CrashForTest();
+  }
+
+  // Phase 2: restart on the same WAL dir. Every acked record is recovered
+  // — the exact cross-check of the durability contract.
+  const int64_t recovered_before = CounterValue("stream.ingest.recovered");
+  stream::IngestServer::Options options;
+  options.wal.dir = dir;
+  options.city = city;
+  stream::IngestServer server(options);
+  check.Expect(server.Start(&error), "ingest restart: " + error);
+  if (!server.running()) return;
+  check.ExpectEq(server.stats().recovered, acked_at_kill,
+                 "records recovered after kill == records acked before");
+  check.ExpectEq(CounterValue("stream.ingest.recovered") - recovered_before,
+                 acked_at_kill, "stream.ingest.recovered counter");
+
+  // Phase 3: the producer retries its last acked batch (it never saw the
+  // crash) — an exact dedup no-op — then streams the rest.
+  const int64_t deduped_before = CounterValue("stream.ingest.deduped");
+  {
+    apps::HttpClient client;
+    check.Expect(client.Connect(server.port(), &error),
+                 "post-restart connect: " + error);
+    if (kill_after > 0) {
+      check.ExpectEq(ingest_chaos::PostBatch(&client, bodies[kill_after - 1]),
+                     200, "retried batch status");
+    }
+    for (size_t i = kill_after; i < bodies.size(); ++i) {
+      check.ExpectEq(ingest_chaos::PostBatch(&client, bodies[i]), 200,
+                     "post-restart batch status");
+    }
+  }
+  check.Expect(server.WaitIdle(30.0), "post-restart ingest never went idle");
+  server.Stop();
+
+  int64_t retried_records = 0;
+  if (kill_after > 0) {
+    for (char c : bodies[kill_after - 1]) retried_records += c == '\n';
+  }
+  check.ExpectEq(CounterValue("stream.ingest.deduped") - deduped_before,
+                 retried_records,
+                 "retried batch deduped exactly once per record");
+  check.ExpectEq(server.stats().acked + acked_at_kill,
+                 static_cast<int64_t>(seq),
+                 "acked records across kill == records sent");
+  // acked_counter_before was read after the golden run, so the delta covers
+  // exactly the killed-and-recovered pair of server instances.
+  check.ExpectEq(CounterValue("stream.ingest.acked") - acked_counter_before,
+                 static_cast<int64_t>(seq),
+                 "stream.ingest.acked counter across the kill");
+  check.Expect(ingest_chaos::StaysBitIdentical(server.ingestor(),
+                                               golden.ingestor()),
+               "stay points after kill/recover != never-killed run");
+}
+
+// --- Scenario: corrupt WAL tail is truncated, serving continues -------------
+
+/// The WAL corruption contract (DESIGN.md §14): a bit-flipped or torn tail
+/// frame yields a typed replay stop (never a crash), recovery truncates at
+/// exactly the last whole frame (wal.truncated_bytes counts the discarded
+/// tail), and the reopened log accepts appends whose replay returns the
+/// clean prefix plus the new records.
+void RunWalCorruptTailTruncate(Checker& check) {
+  const std::string dir = ScratchPath("wal_corrupt_tail");
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+
+  stream::WalOptions options;
+  options.dir = dir;
+  const int kRecords = 24;
+  {
+    std::optional<stream::WalWriter> writer = stream::WalWriter::Open(options);
+    check.Expect(writer.has_value(), "wal open failed");
+    if (!writer) return;
+    std::string error;
+    for (int i = 0; i < kRecords; ++i) {
+      check.Expect(writer->Append(1, "record-" + std::to_string(i), &error),
+                   "wal append: " + error);
+    }
+    writer->AbandonForCrashTest();  // SIGKILL: bytes stay, no fsync.
+  }
+  const std::string segment_path =
+      dir + "/" + io::WalSegmentFileName(0);
+
+  // Corrupt the tail: flip one bit inside the last frame's payload.
+  std::string bytes = ReadFileBytes(segment_path);
+  check.Expect(bytes.size() > io::kWalSegmentHeaderSize,
+               "wal segment unexpectedly empty");
+  if (bytes.size() <= io::kWalSegmentHeaderSize) return;
+  bytes[bytes.size() - 2] = static_cast<char>(bytes[bytes.size() - 2] ^ 0x10);
+  WriteFileBytes(segment_path, bytes);
+
+  // Replay stops at the last whole frame with a typed status — never an
+  // abort — and reports the poisoned tail exactly.
+  stream::WalReplayStats stats;
+  std::string error;
+  int64_t replayed = 0;
+  check.Expect(
+      stream::ReplayWal(options,
+                        [&](uint64_t, uint32_t, const std::string&) {
+                          ++replayed;
+                        },
+                        &stats, &error),
+      "replay over corrupt tail reported an environmental error: " + error);
+  check.ExpectEq(replayed, kRecords - 1, "clean-prefix frames replayed");
+  check.Expect(stats.tail_status == io::WalStatus::kBadCrc,
+               "corrupt tail status != kBadCrc");
+
+  // Reopen for append: the poisoned tail is truncated (counted), and the
+  // log keeps serving appends.
+  const int64_t truncated_before = CounterValue("wal.truncated_bytes");
+  {
+    std::optional<stream::WalWriter> writer =
+        stream::WalWriter::Open(options, &error);
+    check.Expect(writer.has_value(), "wal reopen after corruption: " + error);
+    if (!writer) return;
+    check.Expect(writer->Append(1, "post-corruption", &error),
+                 "append after truncation: " + error);
+    writer->Close();
+  }
+  const int64_t truncated_bytes =
+      CounterValue("wal.truncated_bytes") - truncated_before;
+  check.Expect(truncated_bytes > 0, "truncated tail was not counted");
+
+  stream::WalReplayStats stats_after;
+  std::vector<std::string> payloads;
+  check.Expect(
+      stream::ReplayWal(options,
+                        [&](uint64_t, uint32_t, const std::string& payload) {
+                          payloads.push_back(payload);
+                        },
+                        &stats_after, &error),
+      "replay after truncation failed: " + error);
+  check.ExpectEq(static_cast<int64_t>(payloads.size()), kRecords,
+                 "frames after truncate + append");
+  check.Expect(stats_after.tail_status == io::WalStatus::kEof,
+               "reopened log does not end clean");
+  check.Expect(!payloads.empty() && payloads.back() == "post-corruption",
+               "post-truncation append not replayed last");
+  // The truncate point is exactly the last whole frame: the poisoned
+  // record is gone, its predecessor survives.
+  check.Expect(payloads.size() >= 2 &&
+                   payloads[payloads.size() - 2] ==
+                       "record-" + std::to_string(kRecords - 2),
+               "truncate point is not the last whole frame");
+}
+
 // --- Registry and driver ---------------------------------------------------
 
 struct Scenario {
@@ -1300,6 +1587,14 @@ constexpr Scenario kScenarios[] = {
      "streamed ingest + online publish under stream.* faults -> rollback "
      "contract, zero dropped queries",
      false, RunStreamIngestUnderFaults},
+    {"kill_mid_ingest_recover",
+     "kill -9 mid network ingest -> WAL recovery, dedup'd retry, "
+     "bit-identical stay points",
+     false, RunKillMidIngestRecover},
+    {"wal_corrupt_tail_truncate",
+     "bit-flipped WAL tail -> typed stop, exact truncate point, appends "
+     "continue",
+     false, RunWalCorruptTailTruncate},
 };
 
 int RunScenarios(const std::vector<const Scenario*>& selected) {

@@ -77,6 +77,22 @@
 //       scrapers watch stream.ingest.* counters live, and keeps it up S
 //       extra seconds after the feed drains.
 //
+//   dlinf_cli stream --listen PORT --wal-dir DIR [--city DIR]
+//              [--serve-seconds S] [--fsync-every N] [--fsync-interval S]
+//              [--segment-bytes B] [--snapshot-every K] [--max-queue Q]
+//       Durable network ingestion (DESIGN.md §14): instead of replaying a
+//       recorded world, serve POST /ingest on PORT (0 = ephemeral) and
+//       stream whatever producers send through the same incremental
+//       pipeline. Every accepted record is WAL-committed under --wal-dir
+//       before it is acked; on startup the WAL (plus the newest state
+//       snapshot, written every K segment rotations) is replayed, so a
+//       kill -9'd listener resumes with zero acked-record loss — drive it
+//       with `load_gen --ingest`. --city seeds the static world (station,
+//       buildings, addresses) from a world dir; the default is the
+//       built-in synthetic city. Mutually exclusive with --world. Serves
+//       until S elapses (0 = until SIGINT/SIGTERM), then drains and
+//       prints the final counters.
+//
 //   dlinf_cli evaluate --world DIR [--quick]
 //       Compare DLInfMA against the heuristic baselines on the test split.
 //
@@ -94,6 +110,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <exception>
@@ -123,6 +140,8 @@
 #include "obs/trace_log.h"
 #include "sim/generator.h"
 #include "sim/world_io.h"
+#include "sim/config.h"
+#include "stream/ingest_server.h"
 #include "stream/online_trainer.h"
 #include "stream/stream_pipeline.h"
 
@@ -691,10 +710,113 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void HandleStopSignal(int) { g_stop_requested = 1; }
+
+/// `stream --listen`: durable network ingestion (see the header comment).
+int CmdStreamListen(const std::map<std::string, std::string>& flags) {
+  stream::IngestServer::Options options;
+  {
+    const std::string& value = flags.at("listen");
+    char* end = nullptr;
+    options.port = static_cast<int>(std::strtol(value.c_str(), &end, 10));
+    if (end == value.c_str() || *end != '\0' || options.port < 0) {
+      std::fprintf(stderr, "error: --listen wants a port number, got %s\n",
+                   value.c_str());
+      return 2;
+    }
+  }
+  if (flags.count("wal-dir") == 0 || flags.at("wal-dir") == "true") {
+    std::fprintf(stderr, "error: --listen requires --wal-dir DIR\n");
+    return 2;
+  }
+  options.wal.dir = flags.at("wal-dir");
+  std::error_code ec;
+  std::filesystem::create_directories(options.wal.dir, ec);
+
+  if (auto city = flags.find("city"); city != flags.end()) {
+    std::optional<sim::World> world = sim::LoadWorldCsv(city->second);
+    if (!world) {
+      std::fprintf(stderr, "error: cannot load city world from %s\n",
+                   city->second.c_str());
+      return 1;
+    }
+    world->trips.clear();  // Trips arrive over the wire, not from disk.
+    options.city = std::move(*world);
+  } else {
+    sim::SimConfig config = sim::SynDowBJConfig();
+    config.num_days = 1;
+    options.city = sim::GenerateWorld(config);
+    options.city.trips.clear();
+  }
+
+  options.wal.fsync_every_n = IntFlag(flags, "fsync-every", 0);
+  options.wal.fsync_interval_s = DoubleFlag(flags, "fsync-interval", 0.0);
+  options.wal.segment_bytes =
+      static_cast<uint64_t>(IntFlag(flags, "segment-bytes", 4 << 20));
+  options.snapshot_every_segments =
+      static_cast<uint64_t>(IntFlag(flags, "snapshot-every", 0));
+  options.max_queue_records =
+      static_cast<uint64_t>(IntFlag(flags, "max-queue", 4096));
+
+  stream::IngestServer server(std::move(options));
+  std::string error;
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "error: cannot start ingest server: %s\n",
+                 error.c_str());
+    return 1;
+  }
+  const stream::IngestServer::Stats boot = server.stats();
+  std::printf("ingest: http://127.0.0.1:%d/ingest (wal %s)\n", server.port(),
+              flags.at("wal-dir").c_str());
+  std::printf(
+      "ingest: recovered %lld records (%lld trips) from snapshot + wal\n",
+      static_cast<long long>(boot.recovered),
+      static_cast<long long>(boot.trips));
+  std::fflush(stdout);
+
+  g_stop_requested = 0;
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  const double serve_seconds = DoubleFlag(flags, "serve-seconds", 0.0);
+  Stopwatch serve_time;
+  while (g_stop_requested == 0 &&
+         (serve_seconds <= 0.0 ||
+          serve_time.ElapsedSeconds() < serve_seconds)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.Stop();  // Drains the queue and fsyncs the WAL.
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+
+  const stream::IngestServer::Stats stats = server.stats();
+  std::printf(
+      "ingest done in %.1f s: received=%lld acked=%lld deduped=%lld "
+      "shed=%lld rejected=%lld recovered=%lld trips=%lld\n",
+      serve_time.ElapsedSeconds(), static_cast<long long>(stats.received),
+      static_cast<long long>(stats.acked),
+      static_cast<long long>(stats.deduped),
+      static_cast<long long>(stats.shed),
+      static_cast<long long>(stats.rejected),
+      static_cast<long long>(stats.recovered),
+      static_cast<long long>(stats.trips));
+  return 0;
+}
+
 /// `stream`: replay recorded trips as a live GPS feed through the
 /// incremental pipeline, retraining and publishing bundles as the stream
 /// progresses (see the header comment).
 int CmdStream(const std::map<std::string, std::string>& flags) {
+  if (flags.count("listen") > 0) {
+    if (flags.count("world") > 0 || flags.count("publish-dir") > 0) {
+      std::fprintf(stderr,
+                   "error: stream --listen (network ingestion) and --world/"
+                   "--publish-dir (recorded replay) are mutually exclusive\n");
+      return 2;
+    }
+    return CmdStreamListen(flags);
+  }
   if (flags.count("world") == 0 || flags.count("publish-dir") == 0) {
     return Usage();
   }
