@@ -78,7 +78,10 @@ struct IngestMetrics {
   obs::Counter* rejected_malformed;
   obs::Counter* rejected_gap;
   obs::Counter* rejected_protocol;
+  obs::Counter* rejected_oversized;
+  obs::Counter* rejected_client_cap;
   obs::Counter* rejected_wal;
+  obs::Counter* clients_evicted;
   obs::Counter* snapshot_errors;
   obs::Histogram* ack_seconds;
 
@@ -96,7 +99,10 @@ struct IngestMetrics {
           r.GetCounter("stream.ingest.rejected#reason=malformed"),
           r.GetCounter("stream.ingest.rejected#reason=gap"),
           r.GetCounter("stream.ingest.rejected#reason=protocol"),
+          r.GetCounter("stream.ingest.rejected#reason=oversized"),
+          r.GetCounter("stream.ingest.rejected#reason=client_cap"),
           r.GetCounter("stream.ingest.rejected#reason=wal"),
+          r.GetCounter("stream.ingest.clients_evicted"),
           r.GetCounter("stream.ingest.snapshot_errors"),
           r.GetHistogram("stream.ingest.ack_seconds"),
       };
@@ -108,14 +114,33 @@ struct IngestMetrics {
 constexpr const char* kJsonType = "application/json";
 
 std::string ErrorJson(const std::string& message) {
+  // Messages echo client-supplied tokens, so every control character must
+  // be escaped or the error body itself stops being valid JSON.
   std::string escaped;
-  for (char c : message) {
-    if (c == '"' || c == '\\') escaped.push_back('\\');
-    if (c == '\n') {
-      escaped += "\\n";
-      continue;
+  for (const char c : message) {
+    switch (c) {
+      case '"':
+        escaped += "\\\"";
+        break;
+      case '\\':
+        escaped += "\\\\";
+        break;
+      case '\n':
+        escaped += "\\n";
+        break;
+      case '\r':
+        escaped += "\\r";
+        break;
+      case '\t':
+        escaped += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          escaped += StrPrintf("\\u%04x", static_cast<unsigned char>(c));
+        } else {
+          escaped.push_back(c);
+        }
     }
-    escaped.push_back(c);
   }
   return "{\"error\":\"" + escaped + "\"}\n";
 }
@@ -320,12 +345,14 @@ std::string IngestServer::StatsJson() const {
   return StrPrintf(
       "{\"received\":%lld,\"acked\":%lld,\"deduped\":%lld,\"shed\":%lld,"
       "\"rejected\":%lld,\"recovered\":%lld,\"batches\":%lld,"
-      "\"trips\":%lld,\"queue_records\":%lld}\n",
+      "\"trips\":%lld,\"queue_records\":%lld,\"tracked_clients\":%lld}\n",
       static_cast<long long>(s.received), static_cast<long long>(s.acked),
       static_cast<long long>(s.deduped), static_cast<long long>(s.shed),
       static_cast<long long>(s.rejected), static_cast<long long>(s.recovered),
       static_cast<long long>(s.batches), static_cast<long long>(s.trips),
-      static_cast<long long>(queue_records_.load(std::memory_order_relaxed)));
+      static_cast<long long>(queue_records_.load(std::memory_order_relaxed)),
+      static_cast<long long>(
+          tracked_clients_.load(std::memory_order_relaxed)));
 }
 
 void IngestServer::HandleRequest(const apps::HttpRequest& request,
@@ -351,7 +378,7 @@ void IngestServer::HandleRequest(const apps::HttpRequest& request,
   Batch batch;
   batch.enqueue_monotonic_s = MonotonicSeconds();
 
-  size_t line_count = 0;
+  std::vector<std::string> lines;
   size_t begin = 0;
   const std::string& body = request.body;
   while (begin < body.size()) {
@@ -360,15 +387,18 @@ void IngestServer::HandleRequest(const apps::HttpRequest& request,
     std::string line = body.substr(begin, end - begin);
     if (!line.empty() && line.back() == '\r') line.pop_back();
     begin = end + 1;
-    if (line.empty()) continue;
-    ++line_count;
+    if (!line.empty()) lines.push_back(std::move(line));
+  }
+  // A 400 rejects the whole batch, so the rejected counters carry every
+  // record in it (the Stats contract), not just the lines parsed so far.
+  const int64_t total_lines = static_cast<int64_t>(lines.size());
+  for (const std::string& line : lines) {
     IngestRecord record;
     std::string parse_error;
     if (!ParseIngestLine(line, &record, &parse_error)) {
-      metrics.rejected_malformed->Add(static_cast<int64_t>(line_count));
+      metrics.rejected_malformed->Add(total_lines);
       metrics.batches->Add(1);
-      rejected_.fetch_add(static_cast<int64_t>(line_count),
-                          std::memory_order_relaxed);
+      rejected_.fetch_add(total_lines, std::memory_order_relaxed);
       batches_.fetch_add(1, std::memory_order_relaxed);
       handle.Respond(400, kJsonType,
                      ErrorJson("malformed record: " + parse_error));
@@ -457,7 +487,13 @@ void IngestServer::ProcessBatch(Batch* batch) {
     metrics.batches->Add(1);
     rejected_.fetch_add(n, std::memory_order_relaxed);
     batches_.fetch_add(1, std::memory_order_relaxed);
-    batch->handle.Respond(status, kJsonType, ErrorJson(message));
+    if (status == 429) {
+      batch->handle.RespondWithHeaders(
+          status, kJsonType, ErrorJson(message),
+          {{"Retry-After", std::to_string(options_.retry_after_s)}});
+    } else {
+      batch->handle.Respond(status, kJsonType, ErrorJson(message));
+    }
   };
 
   // Classify against an overlay of the authoritative per-client state so a
@@ -465,10 +501,13 @@ void IngestServer::ProcessBatch(Batch* batch) {
   struct Overlay {
     uint64_t last_seq = 0;
     bool trip_open = false;
+    bool is_new = false;  ///< client_id not yet in the tracked table.
   };
   std::unordered_map<std::string, Overlay> overlay;
   std::vector<const IngestRecord*> fresh;
+  std::vector<std::string> fresh_lines;
   int64_t dups = 0;
+  size_t new_clients = 0;
   for (const IngestRecord& record : batch->records) {
     auto [it, inserted] = overlay.try_emplace(record.client_id);
     if (inserted) {
@@ -476,6 +515,9 @@ void IngestServer::ProcessBatch(Batch* batch) {
       if (found != clients_.end()) {
         it->second.last_seq = found->second.last_seq;
         it->second.trip_open = found->second.trip_open;
+      } else {
+        it->second.is_new = true;
+        ++new_clients;
       }
     }
     Overlay& state = it->second;
@@ -499,16 +541,64 @@ void IngestServer::ProcessBatch(Batch* batch) {
                        static_cast<unsigned long long>(record.seq)));
       return;
     }
+    std::string line = FormatIngestLine(record);
+    // The WAL stores exactly this line; a payload past max_record_bytes
+    // must bounce here, before the append, or AppendFrames would refuse
+    // the whole batch as a 503 (and a hypothetical ack of it would be
+    // unreadable to recovery).
+    if (line.size() > options_.wal.max_record_bytes) {
+      reject(400, metrics.rejected_oversized,
+             StrPrintf("record for client %s at seq %llu encodes to %zu "
+                       "bytes, over the WAL record limit %llu",
+                       record.client_id.c_str(),
+                       static_cast<unsigned long long>(record.seq),
+                       line.size(),
+                       static_cast<unsigned long long>(
+                           options_.wal.max_record_bytes)));
+      return;
+    }
     state.last_seq = record.seq;
     state.trip_open = record.kind != IngestRecord::Kind::kFinishTrip;
     fresh.push_back(&record);
+    fresh_lines.push_back(std::move(line));
+  }
+
+  // Bound the dedup table before admitting new client_ids: evict the
+  // longest-idle clients with no open trip, and when every tracked client
+  // is mid-trip, shed the batch typed — retrying is safe and capacity
+  // frees as trips finish. An evicted client's retry turns into a typed
+  // 409 gap (its dedup state is gone), never a silent double-apply.
+  if (options_.max_clients > 0 && new_clients > 0) {
+    while (clients_.size() + new_clients > options_.max_clients) {
+      auto victim = clients_.end();
+      for (auto it = clients_.begin(); it != clients_.end(); ++it) {
+        if (it->second.trip_open) continue;
+        if (overlay.count(it->first) > 0) continue;  // Touched this batch.
+        if (victim == clients_.end() ||
+            it->second.last_active < victim->second.last_active) {
+          victim = it;
+        }
+      }
+      if (victim == clients_.end()) {
+        reject(429, metrics.rejected_client_cap,
+               StrPrintf("tracked client limit %llu reached and every "
+                         "client has an open trip",
+                         static_cast<unsigned long long>(
+                             options_.max_clients)));
+        return;
+      }
+      clients_.erase(victim);
+      metrics.clients_evicted->Add(1);
+    }
+    tracked_clients_.store(static_cast<int64_t>(clients_.size()),
+                           std::memory_order_relaxed);
   }
 
   if (!fresh.empty()) {
     std::string frames;
-    for (const IngestRecord* record : fresh) {
-      io::AppendWalFrame(static_cast<uint32_t>(record->kind),
-                         FormatIngestLine(*record), &frames);
+    for (size_t i = 0; i < fresh.size(); ++i) {
+      io::AppendWalFrame(static_cast<uint32_t>(fresh[i]->kind),
+                         fresh_lines[i], &frames);
     }
     std::string wal_error;
     if (!wal_->AppendFrames(frames, fresh.size(), &wal_error)) {
@@ -516,6 +606,8 @@ void IngestServer::ProcessBatch(Batch* batch) {
       return;
     }
     for (const IngestRecord* record : fresh) ApplyRecord(*record);
+    tracked_clients_.store(static_cast<int64_t>(clients_.size()),
+                           std::memory_order_relaxed);
     MaybeSnapshot();
   }
 
@@ -538,6 +630,7 @@ void IngestServer::ProcessBatch(Batch* batch) {
 void IngestServer::ApplyRecord(const IngestRecord& record) {
   ClientState& state = clients_[record.client_id];
   state.last_seq = record.seq;
+  state.last_active = ++activity_clock_;
   switch (record.kind) {
     case IngestRecord::Kind::kStartTrip: {
       state.trip_open = true;
@@ -659,6 +752,8 @@ bool IngestServer::RecoverState(std::string* error) {
   if (!ok) return false;
   metrics.recovered->Add(replayed);
   recovered_.fetch_add(replayed, std::memory_order_relaxed);
+  tracked_clients_.store(static_cast<int64_t>(clients_.size()),
+                         std::memory_order_relaxed);
   return true;
 }
 

@@ -43,14 +43,28 @@
 ///   200  every fresh record WAL-committed and applied; body reports
 ///        {"acked":n,"deduped":m}. A retried POST whose records were all
 ///        committed before is an exact no-op: 200 with acked=0.
-///   400  malformed record — nothing applied.
+///   400  malformed record, or a record whose wire form exceeds the WAL
+///        record limit (`WalOptions::max_record_bytes`) — nothing applied.
 ///   409  sequence gap (seq beyond last+1) or trip-lifecycle violation —
 ///        nothing applied. Gaps are rejected, not buffered: the producer
 ///        owns ordering (`ingest.reorder` injects this branch).
-///   429  bounded ingest queue full — shed *before* any work, with a
-///        Retry-After header. Never blocks the event loop, never silent.
+///   429  bounded ingest queue full (shed *before* any work), or the
+///        tracked-client cap is reached with every client mid-trip
+///        (rejected, reason=client_cap). Both carry a Retry-After header.
+///        Never blocks the event loop, never silent.
 ///   503  WAL append failed (wal.{write_fail,disk_full,torn_write,
 ///        fsync_fail}) — dedup state unchanged, the retry is safe.
+///
+/// ## Client cardinality
+///
+/// Per-client dedup state is bounded by `Options::max_clients`. Admitting a
+/// new client_id past the cap evicts the longest-idle client with no open
+/// trip (counter `stream.ingest.clients_evicted`); if every tracked client
+/// is mid-trip the batch is rejected with 429. Eviction drops dedup state
+/// only: a retry from an evicted client gets a typed 409 sequence-gap,
+/// never a silent double-apply. The cap also bounds snapshot size — the
+/// trust model is that producers do not cycle client_ids adversarially; if
+/// they do, the cost is their own 409s, not server memory.
 ///
 /// ## Durability & recovery
 ///
@@ -70,9 +84,9 @@
 /// bit-identical anchor), and completes responses through ResponseHandle.
 ///
 /// Counters: `stream.ingest.{received,acked,deduped,shed,recovered,
-/// batches,trips_completed}`, `stream.ingest.rejected#reason=
-/// <malformed|gap|protocol|wal>`, histogram `stream.ingest.ack_seconds`,
-/// plus the `wal.*` family from wal.h.
+/// batches,trips_completed,clients_evicted}`, `stream.ingest.rejected#
+/// reason=<malformed|gap|protocol|oversized|client_cap|wal>`, histogram
+/// `stream.ingest.ack_seconds`, plus the `wal.*` family from wal.h.
 
 namespace dlinf {
 namespace stream {
@@ -122,6 +136,10 @@ class IngestServer {
     /// Records admitted to the ingest queue before POSTs shed with 429.
     uint64_t max_queue_records = 4096;
     int retry_after_s = 1;  ///< Retry-After header value on 429.
+    /// Client_ids tracked for dedup before idle clients are evicted (and,
+    /// when none is evictable, new-client batches rejected with 429).
+    /// 0 disables the cap. Bounds dedup memory and snapshot size.
+    uint64_t max_clients = 4096;
     /// Write a state snapshot (and retire covered segments) every this
     /// many segment rotations; 0 disables snapshots + retention.
     uint64_t snapshot_every_segments = 0;
@@ -133,8 +151,8 @@ class IngestServer {
     int64_t received = 0;   ///< Parsed records admitted to the queue.
     int64_t acked = 0;      ///< Fresh records WAL-committed and applied.
     int64_t deduped = 0;    ///< Retried records acked as no-ops.
-    int64_t shed = 0;       ///< Records turned away with 429.
-    int64_t rejected = 0;   ///< Records in 400/409/503 batches.
+    int64_t shed = 0;       ///< Records turned away with 429 (queue full).
+    int64_t rejected = 0;   ///< Records in 400/409/429-cap/503 batches.
     int64_t recovered = 0;  ///< Records replayed from snapshot+WAL at Start.
     int64_t batches = 0;    ///< POSTs fully processed (any status).
     int64_t trips = 0;      ///< finish_trip records applied (incl. recovery).
@@ -177,6 +195,7 @@ class IngestServer {
   struct ClientState {
     uint64_t last_seq = 0;
     bool trip_open = false;
+    uint64_t last_active = 0;        ///< activity_clock_ at the last apply.
     sim::DeliveryTrip pending;       ///< Metadata while a trip is open.
     std::vector<TrajPoint> points;   ///< Buffered fixes of the open trip.
   };
@@ -205,6 +224,7 @@ class IngestServer {
   std::unique_ptr<StreamIngestor> ingestor_;
   std::optional<WalWriter> wal_;
   std::unordered_map<std::string, ClientState> clients_;
+  uint64_t activity_clock_ = 0;  ///< Writer-thread LRU tick for eviction.
   int64_t last_covered_segment_ = -1;  ///< Newest segment a snapshot covers.
   bool running_ = false;
 
@@ -227,6 +247,7 @@ class IngestServer {
   std::atomic<int64_t> recovered_{0};
   std::atomic<int64_t> batches_{0};
   std::atomic<int64_t> trips_{0};
+  std::atomic<int64_t> tracked_clients_{0};
 };
 
 }  // namespace stream

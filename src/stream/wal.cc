@@ -182,6 +182,25 @@ std::optional<WalWriter> WalWriter::Open(const WalOptions& options,
   WalReplayStats stats;
   if (!ReplayWal(options, nullptr, &stats, error)) return std::nullopt;
 
+  // Only torn-tail statuses (kBadCrc/kTruncated/kBadMagic) are recoverable
+  // by truncation (wal_frame.h). kBadVersion means a compatible reader —
+  // e.g. the newer binary that wrote the segment — could still decode
+  // everything past the stop point; kOversized likewise can mean a writer
+  // configured with a larger max_record_bytes. Truncating would destroy
+  // that data, so refuse and leave the files untouched for the operator.
+  if (stats.tail_status == io::WalStatus::kBadVersion ||
+      stats.tail_status == io::WalStatus::kOversized) {
+    CountError("open");
+    SetError(error,
+             StrPrintf("refusing to open WAL: segment %llu stops with "
+                       "status '%s' at offset %llu, which truncation cannot "
+                       "recover (version skew or max_record_bytes mismatch?)",
+                       static_cast<unsigned long long>(stats.stop_segment),
+                       io::WalStatusName(stats.tail_status),
+                       static_cast<unsigned long long>(stats.stop_offset)));
+    return std::nullopt;
+  }
+
   WalWriter writer;
   writer.options_ = options;
   writer.last_fsync_monotonic_s_ = MonotonicSeconds();
@@ -295,15 +314,39 @@ bool WalWriter::Append(uint32_t type, const std::string& payload,
 bool WalWriter::AppendFrames(const std::string& encoded, uint64_t frame_count,
                              std::string* error) {
   if (dead_) return SetError(error, "wal writer is dead (crashed or closed)");
-  if (encoded.size() > options_.max_record_bytes + io::kWalFrameHeaderSize &&
-      frame_count == 1) {
+  // Every frame must individually honour max_record_bytes: recovery decodes
+  // with the same limit, and a frame it refuses to read would become the
+  // truncation point, silently discarding every acked frame after it.
+  size_t offset = 0;
+  uint64_t frames_seen = 0;
+  while (encoded.size() - offset >= io::kWalFrameHeaderSize) {
+    uint32_t payload_size = 0;
+    std::memcpy(&payload_size, encoded.data() + offset + 4,
+                sizeof(payload_size));
+    if (payload_size > options_.max_record_bytes) {
+      CountError("write");
+      return SetError(
+          error,
+          StrPrintf("frame %llu payload of %u bytes exceeds max_record_bytes "
+                    "%llu",
+                    static_cast<unsigned long long>(frames_seen), payload_size,
+                    static_cast<unsigned long long>(
+                        options_.max_record_bytes)));
+    }
+    if (payload_size > encoded.size() - offset - io::kWalFrameHeaderSize) {
+      break;  // Payload overruns the buffer; the check below reports it.
+    }
+    offset += io::kWalFrameHeaderSize + payload_size;
+    ++frames_seen;
+  }
+  if (offset != encoded.size() || frames_seen != frame_count) {
     CountError("write");
-    return SetError(error, StrPrintf(
-                               "record of %zu bytes exceeds max_record_bytes "
-                               "%llu",
-                               encoded.size(),
-                               static_cast<unsigned long long>(
-                                   options_.max_record_bytes)));
+    return SetError(error,
+                    StrPrintf("malformed frame batch: %llu frames spanning "
+                              "%zu of %zu bytes (caller claimed %llu frames)",
+                              static_cast<unsigned long long>(frames_seen),
+                              offset, encoded.size(),
+                              static_cast<unsigned long long>(frame_count)));
   }
   if (!RotateIfNeeded(encoded.size(), error)) return false;
 

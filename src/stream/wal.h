@@ -34,7 +34,7 @@
 ///
 /// Counters: `wal.appends`, `wal.append_bytes`, `wal.fsyncs`,
 /// `wal.rotations`, `wal.truncated_bytes` (recovery truncation),
-/// `wal.errors#kind=<write|disk_full|torn|fsync>`.
+/// `wal.errors#kind=<write|disk_full|torn|fsync|open>`.
 
 namespace dlinf {
 namespace stream {
@@ -75,7 +75,10 @@ bool ReplayWal(const WalOptions& options, const WalReplayFn& fn,
 /// Append-side of the log. Open() re-runs the replay scan to find the valid
 /// prefix, truncates the tail segment there, deletes any post-corruption
 /// segments, and resumes appending — so Open after ReplayWal continues the
-/// exact log the replay delivered.
+/// exact log the replay delivered. Truncation only happens for torn-tail
+/// statuses (kBadCrc/kTruncated/kBadMagic); when the scan stops on
+/// kBadVersion or kOversized — data a compatible reader could still decode
+/// — Open refuses with a typed error and leaves every file untouched.
 class WalWriter {
  public:
   WalWriter() = default;
@@ -95,7 +98,9 @@ class WalWriter {
 
   /// Appends `frame_count` pre-encoded frames (AppendWalFrame output,
   /// concatenated) in a single write(2), so a batch commits all-or-nothing
-  /// with respect to injected write failures.
+  /// with respect to injected write failures. Every frame in the batch is
+  /// validated against max_record_bytes before any byte is written — a
+  /// frame recovery would refuse to decode must never be acked.
   bool AppendFrames(const std::string& encoded, uint64_t frame_count,
                     std::string* error = nullptr);
 

@@ -321,6 +321,133 @@ TEST(IngestServerTest, SequenceGapAndLifecycleViolationsAreTyped409s) {
   server.Stop();
 }
 
+TEST(IngestServerTest, MalformedBatchRejectsEveryRecordInIt) {
+  IngestServer server(BaseOptions(ScratchDir("malformed-count")));
+  ASSERT_TRUE(server.Start());
+  HttpClient client;
+  ASSERT_TRUE(client.Connect(server.port()));
+
+  // Three lines with the malformed one in the middle: the 400 rejects the
+  // whole batch, so all three records count as rejected — not just the
+  // prefix parsed before the bad line.
+  std::string response;
+  ASSERT_EQ(PostIngest(&client,
+                       "start_trip m 1 1 0 100\n"
+                       "point m 2 not-a-number 0 0\n"
+                       "point m 3 1 2 3\n",
+                       &response),
+            400);
+  ASSERT_TRUE(server.WaitIdle(10.0));
+  const IngestServer::Stats stats = server.stats();
+  EXPECT_EQ(stats.rejected, 3);
+  EXPECT_EQ(stats.acked, 0);
+  server.Stop();
+}
+
+TEST(IngestServerTest, ErrorBodiesEscapeControlCharacters) {
+  IngestServer server(BaseOptions(ScratchDir("escape")));
+  ASSERT_TRUE(server.Start());
+  HttpClient client;
+  ASSERT_TRUE(client.Connect(server.port()));
+
+  // The unknown verb, tab and all, is echoed into the parse error; the
+  // JSON body must escape it rather than emit a raw control character.
+  std::string response;
+  ASSERT_EQ(PostIngest(&client, "bad\tverb c 1\n", &response), 400);
+  EXPECT_NE(response.find("\\t"), std::string::npos) << response;
+  EXPECT_EQ(response.find('\t'), std::string::npos) << response;
+  server.Stop();
+}
+
+TEST(IngestServerTest, OversizedRecordIsATyped400NeverAcked) {
+  IngestServer::Options options = BaseOptions(ScratchDir("oversized"));
+  options.wal.max_record_bytes = 256;
+  int64_t acked_before_restart = 0;
+  {
+    IngestServer server(options);
+    ASSERT_TRUE(server.Start());
+    HttpClient client;
+    ASSERT_TRUE(client.Connect(server.port()));
+
+    // A parseable record whose wire form exceeds the WAL record limit must
+    // bounce as a 400 before the WAL append — were it acked, recovery
+    // would refuse the frame and truncate away later acked records.
+    const std::string long_client(400, 'c');
+    std::string response;
+    ASSERT_EQ(PostIngest(&client,
+                         "start_trip " + long_client + " 1 1 0 100\n",
+                         &response),
+              400);
+    EXPECT_NE(response.find("record limit"), std::string::npos) << response;
+
+    // Normal traffic proceeds, including after the rejected batch.
+    ASSERT_EQ(PostIngest(&client,
+                         "start_trip ok 1 1 0 100\n"
+                         "point ok 2 1 2 3\n"
+                         "finish_trip ok 3\n",
+                         &response),
+              200);
+    ASSERT_TRUE(server.WaitIdle(10.0));
+    const IngestServer::Stats stats = server.stats();
+    EXPECT_EQ(stats.acked, 3);
+    EXPECT_EQ(stats.rejected, 1);
+    acked_before_restart = stats.acked;
+    server.Stop();
+  }
+
+  // Restart on the same WAL dir: every acked record replays, nothing lost.
+  IngestServer restarted(options);
+  ASSERT_TRUE(restarted.Start());
+  EXPECT_EQ(restarted.stats().recovered, acked_before_restart);
+  restarted.Stop();
+}
+
+TEST(IngestServerTest, ClientCapEvictsIdleThenRejectsTyped) {
+  IngestServer::Options options = BaseOptions(ScratchDir("client-cap"));
+  options.max_clients = 2;
+  IngestServer server(options);
+  ASSERT_TRUE(server.Start());
+  HttpClient client;
+  ASSERT_TRUE(client.Connect(server.port()));
+
+  // Client a completes a trip (idle), b leaves one open.
+  std::string response;
+  ASSERT_EQ(PostIngest(&client,
+                       "start_trip a 1 1 0 100\n"
+                       "point a 2 1 2 3\n"
+                       "finish_trip a 3\n",
+                       &response),
+            200);
+  ASSERT_EQ(PostIngest(&client, "start_trip b 1 1 0 100\n", &response), 200);
+
+  // A third client at cap 2: the idle client a is evicted to admit it.
+  ASSERT_EQ(PostIngest(&client, "start_trip c 1 1 0 100\n", &response), 200);
+
+  // Now every tracked client (b, c) is mid-trip: a fourth is shed typed.
+  ASSERT_EQ(PostIngest(&client, "start_trip d 1 1 0 100\n", &response), 429);
+  EXPECT_NE(response.find("client"), std::string::npos) << response;
+
+  // The evicted client's continuation is a typed 409 gap (dedup state is
+  // gone), never a silent double-apply.
+  ASSERT_EQ(PostIngest(&client, "start_trip a 4 1 0 100\n", &response), 409);
+  EXPECT_NE(response.find("expected 1"), std::string::npos) << response;
+
+  // The surviving clients' open trips are untouched by the eviction.
+  ASSERT_EQ(PostIngest(&client, "point b 2 1 2 3\nfinish_trip b 3\n",
+                       &response),
+            200);
+  ASSERT_EQ(PostIngest(&client, "point c 2 1 2 3\nfinish_trip c 3\n",
+                       &response),
+            200);
+
+  ASSERT_TRUE(server.WaitIdle(10.0));
+  const IngestServer::Stats stats = server.stats();
+  EXPECT_EQ(stats.acked, 9);
+  EXPECT_EQ(stats.rejected, 2);
+  EXPECT_EQ(stats.trips, 3);
+  server.Stop();
+}
+
 TEST(IngestServerTest, ReorderFaultDrivesTheGapBranch) {
   IngestServer server(BaseOptions(ScratchDir("reorder")));
   ASSERT_TRUE(server.Start());

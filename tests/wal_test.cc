@@ -513,5 +513,126 @@ TEST(WalWriterTest, OversizedRecordIsRejectedTyped) {
   writer->Close();
 }
 
+TEST(WalWriterTest, OversizedFrameInsideBatchIsRejectedBeforeAnyWrite) {
+  WalOptions options;
+  options.dir = ScratchDir("oversize-batch");
+  options.max_record_bytes = 64;
+  auto writer = WalWriter::Open(options);
+  ASSERT_TRUE(writer.has_value());
+  ASSERT_TRUE(writer->Append(1, "kept"));
+
+  // A multi-frame batch whose *middle* frame is oversized: the whole batch
+  // must bounce typed, with nothing written — an acked oversized frame
+  // would become recovery's truncation point and drop later acked frames.
+  std::string batch;
+  io::AppendWalFrame(1, "ok-1", &batch);
+  io::AppendWalFrame(1, std::string(1000, 'x'), &batch);
+  io::AppendWalFrame(1, "ok-2", &batch);
+  std::string error;
+  EXPECT_FALSE(writer->AppendFrames(batch, 3, &error));
+  EXPECT_NE(error.find("max_record_bytes"), std::string::npos);
+
+  // A mis-framed batch (frame count lies) is also refused.
+  std::string good;
+  io::AppendWalFrame(1, "solo", &good);
+  EXPECT_FALSE(writer->AppendFrames(good, 2, &error));
+  EXPECT_NE(error.find("malformed frame batch"), std::string::npos);
+
+  ASSERT_TRUE(writer->Append(1, "after"));
+  writer->Close();
+
+  std::vector<std::string> got;
+  WalReplayStats stats;
+  ASSERT_TRUE(ReplayWal(
+      options,
+      [&](uint64_t, uint32_t, const std::string& payload) {
+        got.push_back(payload);
+      },
+      &stats));
+  EXPECT_EQ(got, (std::vector<std::string>{"kept", "after"}));
+  EXPECT_EQ(stats.tail_status, WalStatus::kEof);
+}
+
+TEST(WalWriterTest, OpenRefusesToTruncateVersionSkew) {
+  WalOptions options;
+  options.dir = ScratchDir("version-skew");
+  {
+    auto writer = WalWriter::Open(options);
+    ASSERT_TRUE(writer.has_value());
+    ASSERT_TRUE(writer->Append(1, "from-the-future"));
+    writer->Close();
+  }
+
+  // Bump the segment header's version field, as if a newer binary wrote it.
+  const std::string path = SegmentPath(options, 0);
+  std::string bytes = ReadFile(path);
+  ASSERT_GE(bytes.size(), io::kWalSegmentHeaderSize);
+  const uint32_t newer = io::kWalVersion + 1;
+  std::memcpy(&bytes[4], &newer, sizeof(newer));
+  WriteFile(path, bytes);
+
+  std::string error;
+  auto reopened = WalWriter::Open(options, &error);
+  EXPECT_FALSE(reopened.has_value());
+  EXPECT_NE(error.find("bad_version"), std::string::npos) << error;
+  // Refusal is non-destructive: the segment is byte-identical.
+  EXPECT_EQ(ReadFile(path), bytes);
+
+  // Restoring the version makes the same directory open cleanly again.
+  const uint32_t current = io::kWalVersion;
+  std::memcpy(&bytes[4], &current, sizeof(current));
+  WriteFile(path, bytes);
+  auto healed = WalWriter::Open(options, &error);
+  ASSERT_TRUE(healed.has_value()) << error;
+  ASSERT_TRUE(healed->Append(1, "appended"));
+  healed->Close();
+
+  std::vector<std::string> got;
+  WalReplayStats stats;
+  ASSERT_TRUE(ReplayWal(
+      options,
+      [&](uint64_t, uint32_t, const std::string& payload) {
+        got.push_back(payload);
+      },
+      &stats));
+  EXPECT_EQ(got, (std::vector<std::string>{"from-the-future", "appended"}));
+}
+
+TEST(WalWriterTest, OpenRefusesToTruncateOversizedTail) {
+  WalOptions options;
+  options.dir = ScratchDir("oversize-tail");
+  {
+    auto writer = WalWriter::Open(options);
+    ASSERT_TRUE(writer.has_value());
+    ASSERT_TRUE(writer->Append(1, std::string(100, 'y')));
+    writer->Close();
+  }
+
+  // The same directory read with a smaller record limit: the 100-byte frame
+  // decodes as kOversized — a config mismatch, not a torn tail, so Open
+  // must refuse rather than destroy a frame the writer's config could read.
+  WalOptions shrunk = options;
+  shrunk.max_record_bytes = 16;
+  std::string error;
+  auto reopened = WalWriter::Open(shrunk, &error);
+  EXPECT_FALSE(reopened.has_value());
+  EXPECT_NE(error.find("oversized"), std::string::npos) << error;
+
+  auto original = WalWriter::Open(options, &error);
+  ASSERT_TRUE(original.has_value()) << error;
+  EXPECT_EQ(original->appends(), 0);  // Appends counts this writer only.
+  original->Close();
+
+  std::vector<std::string> got;
+  WalReplayStats stats;
+  ASSERT_TRUE(ReplayWal(
+      options,
+      [&](uint64_t, uint32_t, const std::string& payload) {
+        got.push_back(payload);
+      },
+      &stats));
+  EXPECT_EQ(got, (std::vector<std::string>{std::string(100, 'y')}));
+}
+
 }  // namespace
 }  // namespace dlinf
