@@ -1,0 +1,141 @@
+// Profiler overhead microbench (DESIGN.md §15) — the cost contract behind
+// leaving the sampling CPU profiler compiled into release binaries:
+//
+//   profiler.disarmed.check      N ProfilingArmed() checks (one relaxed load)
+//   profiler.workload.disarmed   fixed CPU-bound workload, profiler off
+//   profiler.workload.armed99    the same workload sampled at 99 Hz
+//
+// Two gates, enforced in-binary (exit 1) so a regression fails the bench
+// job even before bench_compare sees the JSON:
+//   - disarmed is free: the armed-flag check must cost no more than a few
+//     ns per op (it is one relaxed atomic load, same budget as the
+//     telemetry_overhead checks);
+//   - armed at the default 99 Hz costs < 5% wall time on a CPU-bound
+//     workload — 99 signals/s, each a backtrace into a per-thread ring.
+//
+// The profiler.* JSON keys additionally feed the bench_compare regression
+// gate once the committed baseline carries them (candidate-only keys are
+// informational — src/common/bench_compare.h).
+//
+// Flags: --json PATH (append results), --quick (smaller workload).
+
+#include <cstdint>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "obs/profiler.h"
+
+namespace dlinf {
+namespace bench {
+namespace {
+
+constexpr int64_t kCheckIterations = 100'000'000;
+constexpr int kRepetitions = 3;
+
+/// Opaque sink the optimizer cannot see through.
+volatile uint64_t g_sink = 0;
+
+template <typename Fn>
+double BestOfReps(Fn&& body) {
+  double best = 1e30;
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    Stopwatch watch;
+    body();
+    const double seconds = watch.ElapsedSeconds();
+    if (seconds < best) best = seconds;
+  }
+  return best;
+}
+
+/// The fixed CPU-bound workload both configurations run: xorshift mixing,
+/// ~1 ns/iteration, long enough that 99 Hz lands dozens of samples.
+void SpinWorkload(int64_t iterations) {
+  uint64_t x = 0x9e3779b97f4a7c15ull;
+  uint64_t acc = 0;
+  for (int64_t i = 0; i < iterations; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    acc += x;
+  }
+  g_sink = acc;
+}
+
+}  // namespace
+
+int Main(int argc, char** argv) {
+  const std::string metrics_path = ParseMetricsFlag(&argc, argv);
+  const std::string json_path = ParseJsonFlag(&argc, argv);
+  const bool quick = ParseQuickFlag(&argc, argv);
+  BenchResults results;
+
+  const int64_t workload_iterations = quick ? 200'000'000 : 1'000'000'000;
+  obs::prof::RegisterCurrentThread("bench.main");
+
+  // Gate 1: the disarmed armed-flag check is one relaxed load.
+  const double check_seconds = BestOfReps([] {
+    uint64_t acc = 0;
+    for (int64_t i = 0; i < kCheckIterations; ++i) {
+      acc += obs::prof::ProfilingArmed() ? 1 : 0;
+    }
+    g_sink = acc;
+  });
+  results.Add("profiler.disarmed.check", check_seconds);
+
+  // Gate 2: armed at the default 99 Hz vs disarmed on the same workload.
+  const double disarmed_seconds =
+      BestOfReps([workload_iterations] { SpinWorkload(workload_iterations); });
+  results.Add("profiler.workload.disarmed", disarmed_seconds);
+
+  obs::prof::CpuProfiler::Options options;
+  options.hz = 99;
+  std::string error;
+  if (!obs::prof::CpuProfiler::Global().Start(options, &error)) {
+    std::fprintf(stderr, "FAIL: profiler Start: %s\n", error.c_str());
+    return 1;
+  }
+  const double armed_seconds =
+      BestOfReps([workload_iterations] { SpinWorkload(workload_iterations); });
+  obs::prof::CpuProfiler::Global().Stop();
+  results.Add("profiler.workload.armed99", armed_seconds);
+
+  const double check_ns = check_seconds / kCheckIterations * 1e9;
+  const double overhead =
+      disarmed_seconds > 0.0 ? armed_seconds / disarmed_seconds - 1.0 : 0.0;
+  const int64_t samples = obs::prof::CpuProfiler::Global().sample_count();
+
+  std::printf("disarmed armed-flag check: %.3f ns/op (best of %d x %lld)\n",
+              check_ns, kRepetitions,
+              static_cast<long long>(kCheckIterations));
+  std::printf("workload %.4fs disarmed -> %.4fs armed @ 99 Hz "
+              "(%+.2f%%, %lld samples)\n",
+              disarmed_seconds, armed_seconds, overhead * 100.0,
+              static_cast<long long>(samples));
+
+  results.WriteJson(json_path);
+  DumpMetrics(metrics_path);
+
+  // A relaxed load plus a branch; 5 ns/op flags an accidental fence or
+  // function call without tripping on slow CI machines.
+  if (check_ns > 5.0) {
+    std::fprintf(stderr, "FAIL: disarmed check %.3f ns/op > 5 ns budget\n",
+                 check_ns);
+    return 1;
+  }
+  if (overhead > 0.05) {
+    std::fprintf(stderr, "FAIL: armed overhead %.2f%% > 5%% budget\n",
+                 overhead * 100.0);
+    return 1;
+  }
+  if (samples <= 0) {
+    std::fprintf(stderr, "FAIL: armed run captured no samples\n");
+    return 1;
+  }
+  std::printf("OK: disarmed check and 99 Hz overhead within budget\n");
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace dlinf
+
+int main(int argc, char** argv) { return dlinf::bench::Main(argc, argv); }

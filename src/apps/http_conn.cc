@@ -15,6 +15,7 @@
 #include <cstring>
 
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 
 namespace dlinf {
 namespace apps {
@@ -550,6 +551,9 @@ void HttpServer::Complete(uint64_t conn_id, uint64_t seq, std::string bytes) {
 }
 
 void HttpServer::Loop() {
+  if (!options_.thread_name.empty()) {
+    obs::prof::RegisterCurrentThread(options_.thread_name);
+  }
   constexpr int kMaxEvents = 64;
   epoll_event events[kMaxEvents];
   double last_sweep = NowSeconds();

@@ -128,6 +128,10 @@ class HttpServer {
     double idle_timeout_s = 30.0;
     int max_connections = 1024;
     HttpParserLimits limits;
+    /// When nonempty, the event-loop thread registers under this name for
+    /// thread naming, trace-track labels and CPU-profile sampling
+    /// (obs::prof::RegisterCurrentThread).
+    std::string thread_name;
   };
 
   /// Completion token for one request. Respond() may be called exactly once,

@@ -5,7 +5,10 @@
 #include <cstdlib>
 #include <utility>
 
+#include "apps/telemetry_server.h"
 #include "fault/fault.h"
+#include "obs/profiler.h"
+#include "obs/trace_log.h"
 
 namespace dlinf {
 namespace apps {
@@ -56,6 +59,50 @@ struct EngineMetrics {
   }
 };
 
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Maps an inbound X-Request-Id to a trace id: numeric ids (decimal or
+/// 0x-hex) are adopted so an upstream's id survives verbatim; any other
+/// string hashes deterministically. Never returns 0 ("no trace context").
+uint64_t RequestIdToTraceId(const std::string& id) {
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(id.c_str(), &end, 0);
+  if (end == id.c_str() + id.size() && value != 0) return value;
+  uint64_t hash = 0x2545f4914f6cdd1dull;
+  for (const char c : id) {
+    hash = SplitMix64(hash ^ static_cast<unsigned char>(c));
+  }
+  return hash != 0 ? hash : 1;
+}
+
+/// The generated id when a request arrives without one: 16 hex digits of a
+/// splitmix64-whitened fresh trace id.
+std::string GenerateRequestId(uint64_t* trace_id) {
+  *trace_id = SplitMix64(obs::NextTraceId());
+  if (*trace_id == 0) *trace_id = 1;
+  char buffer[24];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(*trace_id));
+  return buffer;
+}
+
+/// The echoed request id and its trace id: adopted from the X-Request-Id
+/// header when present, generated otherwise.
+std::string ExtractRequestId(const HttpRequest& request,
+                             uint64_t* trace_id) {
+  const std::string* header = request.FindHeader("x-request-id");
+  if (header != nullptr && !header->empty()) {
+    *trace_id = RequestIdToTraceId(*header);
+    return *header;
+  }
+  return GenerateRequestId(trace_id);
+}
+
 /// Minimal strict parse of {"address_ids":[1,2,3]}. False on anything that
 /// is not a flat array of base-10 integers under that key.
 bool ParseBatchBody(const std::string& body, std::vector<int64_t>* ids) {
@@ -97,6 +144,8 @@ struct QueryEngine::BatchState {
   std::atomic<int> remaining{0};
   HttpServer::ResponseHandle handle;
   double start_s = 0.0;
+  uint64_t trace_id = 0;
+  std::string request_id;
 
   void FinishIfLast() {
     if (remaining.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
@@ -107,7 +156,8 @@ struct QueryEngine::BatchState {
     }
     body += "]}";
     EngineMetrics::Get().latency->Observe(NowSeconds() - start_s);
-    handle.Respond(200, "application/json", body);
+    handle.RespondWithHeaders(200, "application/json", body,
+                              {{"X-Request-Id", request_id}});
   }
 };
 
@@ -155,6 +205,7 @@ std::unique_ptr<QueryEngine> QueryEngine::Create(const Options& options,
   HttpServer::Options server_options;
   server_options.port = options.port;
   server_options.idle_timeout_s = options.idle_timeout_s;
+  server_options.thread_name = "qe.loop";
   QueryEngine* raw = engine.get();
   if (!engine->server_.Start(
           server_options,
@@ -177,6 +228,9 @@ QueryEngine::~QueryEngine() { Stop(); }
 
 void QueryEngine::Stop() {
   if (stopped_.exchange(true, std::memory_order_acq_rel)) return;
+  // An in-flight /profilez capture answers through this engine's event
+  // loop; reel it in while the loop is still alive.
+  obs::prof::CaptureManager::Global().CancelAndJoin();
   // Drain the workers first: they finish every queued job (each completion
   // posts through the still-open event loop), then the loop itself stops.
   // The reverse order would let a worker complete into a closed eventfd.
@@ -298,11 +352,12 @@ bool QueryEngine::AdmitOrShed(int shard_index, Job job) {
       }
       job.batch->FinishIfLast();
     } else {
-      job.handle.Respond(
+      job.handle.RespondWithHeaders(
           200, "application/json",
           FormatAnswerJson(job.address_id,
                            ShedAnswer(*shard, job.address_id), shard_index,
-                           /*shed=*/true));
+                           /*shed=*/true),
+          {{"X-Request-Id", job.request_id}});
       EngineMetrics::Get().latency->Observe(NowSeconds() - job.enqueue_s);
     }
     return true;
@@ -316,6 +371,7 @@ bool QueryEngine::AdmitOrShed(int shard_index, Job job) {
 }
 
 void QueryEngine::WorkerLoop(Shard* shard, int shard_index) {
+  obs::prof::RegisterCurrentThread("qe.shard." + std::to_string(shard_index));
   for (;;) {
     Job job;
     {
@@ -337,6 +393,11 @@ void QueryEngine::WorkerLoop(Shard* shard, int shard_index) {
     // generation.
     const std::shared_ptr<const BundleManager::ServingState> state =
         shard->manager->state();
+    // The request's trace context lives for the whole shard-side handling:
+    // spans recorded below and any structured log line carry the id from
+    // the request's X-Request-Id header.
+    const obs::TraceScope trace_scope(
+        job.batch ? job.batch->trace_id : job.trace_id);
     if (job.batch) {
       EngineMetrics::Get().hits_total->Add(
           static_cast<int64_t>(job.indices.size()));
@@ -354,7 +415,8 @@ void QueryEngine::WorkerLoop(Shard* shard, int shard_index) {
           job.address_id, state->service->Query(job.address_id), shard_index,
           /*shed=*/false);
       EngineMetrics::Get().latency->Observe(NowSeconds() - job.enqueue_s);
-      job.handle.Respond(200, "application/json", body);
+      job.handle.RespondWithHeaders(200, "application/json", body,
+                                    {{"X-Request-Id", job.request_id}});
     }
   }
 }
@@ -382,6 +444,7 @@ void QueryEngine::HandleQuery(const HttpRequest& request,
   job.address_id = id;
   job.handle = handle;
   job.enqueue_s = NowSeconds();
+  job.request_id = ExtractRequestId(request, &job.trace_id);
   AdmitOrShed(router_.ShardOf(id), std::move(job));
 }
 
@@ -416,6 +479,7 @@ void QueryEngine::HandleQueryBatch(const HttpRequest& request,
   batch->parts.resize(batch->ids.size());
   batch->handle = handle;
   batch->start_s = NowSeconds();
+  batch->request_id = ExtractRequestId(request, &batch->trace_id);
 
   // Slice by shard; `remaining` must be final before any slice can finish.
   std::vector<std::vector<size_t>> by_shard(shards_.size());
@@ -454,6 +518,8 @@ void QueryEngine::Handle(const HttpRequest& request,
   } else if (request.path == "/varz") {
     handle.Respond(200, "text/plain",
                    obs::MetricsRegistry::Global().SnapshotText());
+  } else if (request.path == "/profilez") {
+    HandleProfilezRequest(request, std::move(handle));
   } else if (request.path == "/inventory") {
     handle.Respond(
         200, "application/json",

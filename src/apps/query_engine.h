@@ -26,6 +26,14 @@
 /// same bundle directory, so hot-reload (stage → validate → swap/rollback)
 /// happens per shard without ever blocking another shard's queries.
 ///
+/// **Request correlation**: `/query` and `/query_batch` accept an
+/// `X-Request-Id` header (any string; numeric values are adopted as the
+/// trace id directly, other strings are hashed, and a fresh splitmix64 id
+/// is generated when the header is absent). The id is echoed back in the
+/// response's `X-Request-Id` header and installed as the worker's
+/// `TraceScope`, so a slow request joins across /tracez spans, structured
+/// log `trace_id` fields and a captured CPU profile.
+///
 /// **Shedding contract**: admission control runs on the loop thread. When a
 /// shard's queue is at capacity (or the `service.shard.overload` fault point
 /// fires), the request is *not* dropped and the connection is *not* closed —
@@ -111,6 +119,8 @@ class QueryEngine {
     int64_t address_id = -1;
     HttpServer::ResponseHandle handle;  ///< Single-query only.
     double enqueue_s = 0.0;
+    uint64_t trace_id = 0;       ///< From X-Request-Id (or generated).
+    std::string request_id;      ///< Echoed back verbatim in X-Request-Id.
     std::shared_ptr<BatchState> batch;  ///< Batch slice only.
     std::vector<size_t> indices;        ///< Batch positions for this shard.
   };

@@ -2,8 +2,11 @@
 
 #include <utility>
 
+#include <cstdlib>
+
 #include "apps/bundle_manager.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace_log.h"
 
 namespace dlinf {
@@ -31,6 +34,33 @@ std::string JsonEscape(const std::string& s) {
 
 }  // namespace
 
+void HandleProfilezRequest(const HttpRequest& request,
+                           HttpServer::ResponseHandle handle) {
+  double seconds = 2.0;
+  int hz = 99;
+  bool chrome = false;
+  std::string value;
+  if (request.QueryParam("seconds", &value) && !value.empty()) {
+    seconds = std::strtod(value.c_str(), nullptr);
+  }
+  if (request.QueryParam("hz", &value) && !value.empty()) {
+    hz = static_cast<int>(std::strtol(value.c_str(), nullptr, 10));
+  }
+  if (request.QueryParam("format", &value)) chrome = value == "chrome";
+  // The capture runs on its own thread and answers through the handle when
+  // it finishes — the event loop keeps serving /metrics etc. meanwhile.
+  const bool started = obs::prof::CaptureManager::Global().Begin(
+      seconds, hz, chrome,
+      [handle](int status, const std::string& content_type,
+               const std::string& body) {
+        handle.Respond(status, content_type, body);
+      });
+  if (!started) {
+    handle.Respond(409, "text/plain",
+                   "a profile capture is already running\n");
+  }
+}
+
 TelemetryServer::~TelemetryServer() { Stop(); }
 
 bool TelemetryServer::Start(const Options& options, std::string* error) {
@@ -43,6 +73,7 @@ bool TelemetryServer::Start(const Options& options, std::string* error) {
   HttpServer::Options server_options;
   server_options.port = options.port;
   server_options.idle_timeout_s = options.idle_timeout_s;
+  server_options.thread_name = "telemetry.loop";
   obs::Counter* requests =
       obs::MetricsRegistry::Global().GetCounter("telemetry.http.requests");
   // The handler runs on the loop thread; every endpoint is a fast snapshot
@@ -70,6 +101,8 @@ bool TelemetryServer::Start(const Options& options, std::string* error) {
     } else if (request.path == "/tracez") {
       handle.Respond(200, "application/json",
                      obs::TraceLog::Global().ExportChromeJson());
+    } else if (request.path == "/profilez") {
+      HandleProfilezRequest(request, std::move(handle));
     } else {
       handle.Respond(404, "text/plain", "not found\n");
     }
@@ -77,7 +110,12 @@ bool TelemetryServer::Start(const Options& options, std::string* error) {
   return server_.Start(server_options, std::move(handler), error);
 }
 
-void TelemetryServer::Stop() { server_.Stop(); }
+void TelemetryServer::Stop() {
+  // Any in-flight /profilez capture answers through this server's event
+  // loop; reel it in before the loop goes away.
+  if (running()) obs::prof::CaptureManager::Global().CancelAndJoin();
+  server_.Stop();
+}
 
 std::function<HealthStatus()> BundleManagerHealth(
     const BundleManager* manager) {

@@ -25,6 +25,14 @@
 ///                 --metrics flag dumps).
 ///   GET /tracez   TraceLog::ExportChromeJson() — recent sampled trace
 ///                 events, loadable in Perfetto / chrome://tracing.
+///   GET /profilez On-demand CPU-profile capture (DESIGN.md §15):
+///                 `?seconds=N&hz=H` arms the sampling profiler, captures
+///                 for N seconds (default 2, 99 Hz) on a dedicated thread —
+///                 the event loop keeps answering other scrapes meanwhile —
+///                 and returns collapsed-stack text ready for
+///                 flamegraph.pl. `&format=chrome` returns the samples
+///                 merged with the TraceLog spans as one Chrome-trace
+///                 timeline. 409 while another capture is running.
 ///
 /// Anything else is 404. Historically this was a sequential-accept loop,
 /// which let one slow client delay every other scrape — a stalled reader
@@ -86,6 +94,14 @@ class TelemetryServer {
   Options options_;
   HttpServer server_;
 };
+
+/// Shared /profilez endpoint logic (used by the telemetry server and the
+/// query engine): parses `seconds`/`hz`/`format` query parameters, starts
+/// an asynchronous capture through obs::prof::CaptureManager and answers
+/// via `handle` when it completes (409 inline when a capture is already
+/// running).
+void HandleProfilezRequest(const HttpRequest& request,
+                           HttpServer::ResponseHandle handle);
 
 /// Health provider wired to a BundleManager: not-ok while
 /// `reload_degraded()` (a push was rolled back and the service runs on the

@@ -1,0 +1,115 @@
+#include "common/bench_compare.h"
+
+#include <cstdio>
+
+namespace dlinf {
+
+namespace {
+constexpr char kCalibrationKey[] = "_calibration";
+}  // namespace
+
+BenchComparison CompareBenchResults(
+    const std::map<std::string, double>& baseline,
+    const std::map<std::string, double>& pr,
+    const BenchCompareOptions& options) {
+  BenchComparison comparison;
+
+  const auto base_cal = baseline.find(kCalibrationKey);
+  const auto pr_cal = pr.find(kCalibrationKey);
+  if (base_cal != baseline.end() && pr_cal != pr.end() &&
+      base_cal->second > 0.0 && pr_cal->second > 0.0) {
+    comparison.scale = base_cal->second / pr_cal->second;
+    comparison.calibrated = true;
+  }
+
+  for (const auto& [name, base_seconds] : baseline) {
+    if (name == kCalibrationKey) continue;
+    const auto it = pr.find(name);
+    if (it == pr.end()) {
+      comparison.missing.push_back(name);
+      continue;
+    }
+    BenchCompareRow row;
+    row.name = name;
+    row.base_seconds = base_seconds;
+    row.pr_seconds = it->second * comparison.scale;
+    row.ratio = base_seconds > 0.0 ? row.pr_seconds / base_seconds : 1.0;
+    row.gated = base_seconds >= options.min_seconds;
+    row.regressed = row.gated && row.ratio > 1.0 + options.threshold;
+    if (row.regressed) ++comparison.regressions;
+    comparison.rows.push_back(std::move(row));
+  }
+  for (const auto& [name, pr_seconds] : pr) {
+    if (name != kCalibrationKey && baseline.count(name) == 0) {
+      comparison.new_entries.emplace_back(name,
+                                          pr_seconds * comparison.scale);
+    }
+  }
+  return comparison;
+}
+
+std::string BenchComparisonMarkdown(const BenchComparison& comparison,
+                                    const BenchCompareOptions& options) {
+  std::string out = "### Benchmark comparison\n\n";
+  char buffer[256];
+
+  if (!comparison.ok()) {
+    std::snprintf(buffer, sizeof(buffer),
+                  "**FAIL**: %d regression(s) beyond +%.0f%%, %d missing "
+                  "benchmark(s)\n\n",
+                  comparison.regressions, options.threshold * 100.0,
+                  static_cast<int>(comparison.missing.size()));
+    out += buffer;
+  } else {
+    std::snprintf(buffer, sizeof(buffer),
+                  "All benchmarks within +%.0f%% of baseline.\n\n",
+                  options.threshold * 100.0);
+    out += buffer;
+  }
+
+  for (const std::string& name : comparison.missing) {
+    out += "- :red_circle: `" + name + "` **missing from PR results**\n";
+  }
+  for (const BenchCompareRow& row : comparison.rows) {
+    if (!row.regressed) continue;
+    std::snprintf(buffer, sizeof(buffer),
+                  "- :red_circle: `%s` **%.0f%% slower** (%.4fs -> %.4fs)\n",
+                  row.name.c_str(), (row.ratio - 1.0) * 100.0,
+                  row.base_seconds, row.pr_seconds);
+    out += buffer;
+  }
+  for (const BenchCompareRow& row : comparison.rows) {
+    if (row.gated && !row.regressed &&
+        row.ratio < 1.0 - options.threshold) {
+      std::snprintf(buffer, sizeof(buffer),
+                    "- :zap: `%s` **%.0f%% faster** (%.4fs -> %.4fs)\n",
+                    row.name.c_str(), (1.0 - row.ratio) * 100.0,
+                    row.base_seconds, row.pr_seconds);
+      out += buffer;
+    }
+  }
+  for (const auto& [name, seconds] : comparison.new_entries) {
+    std::snprintf(buffer, sizeof(buffer),
+                  "- :new: `%s` %.4fs (no baseline yet; gates once the "
+                  "committed baseline includes it)\n",
+                  name.c_str(), seconds);
+    out += buffer;
+  }
+
+  out += "\n| benchmark | baseline(s) | pr(s) | ratio |\n";
+  out += "|---|---:|---:|---:|\n";
+  for (const BenchCompareRow& row : comparison.rows) {
+    std::snprintf(buffer, sizeof(buffer), "| `%s` | %.4f | %.4f | %.3f%s |\n",
+                  row.name.c_str(), row.base_seconds, row.pr_seconds,
+                  row.ratio, row.gated ? "" : " (not gated)");
+    out += buffer;
+  }
+  for (const auto& [name, seconds] : comparison.new_entries) {
+    std::snprintf(buffer, sizeof(buffer), "| `%s` | - | %.4f | new |\n",
+                  name.c_str(), seconds);
+    out += buffer;
+  }
+  return out;
+}
+
+}  // namespace dlinf

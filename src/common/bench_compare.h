@@ -1,0 +1,74 @@
+#ifndef DLINF_COMMON_BENCH_COMPARE_H_
+#define DLINF_COMMON_BENCH_COMPARE_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+/// \file
+/// The benchmark-regression comparison (the logic behind
+/// tools/bench_compare, extracted so it is unit-testable).
+///
+/// Both inputs are flat {"name": seconds} maps produced by the bench
+/// binaries' --json flag. Policy:
+///  - Every baseline benchmark must exist in the candidate ("PR") results;
+///    a missing one is a hard failure (a benchmark silently disappearing is
+///    exactly the regression the gate exists to catch).
+///  - A gated benchmark (baseline >= min_seconds) must not be more than
+///    `threshold` slower after calibration normalization.
+///  - A benchmark present only in the candidate is **new**: reported
+///    informationally, never a failure. New code can add `profiler.*` keys
+///    without a lockstep baseline regeneration; they start gating once the
+///    committed baseline picks them up.
+///  - `_calibration` entries are machine-speed metadata, not benchmarks:
+///    when both sides have one, candidate times are scaled by
+///    baseline_calibration / pr_calibration before comparison.
+
+namespace dlinf {
+
+struct BenchCompareOptions {
+  double threshold = 0.25;    ///< Allowed slowdown ratio above 1.0.
+  double min_seconds = 0.001; ///< Baselines below this are not ratio-gated.
+};
+
+/// One benchmark present on both sides.
+struct BenchCompareRow {
+  std::string name;
+  double base_seconds = 0.0;
+  double pr_seconds = 0.0;  ///< Calibration-normalized.
+  double ratio = 1.0;
+  bool gated = false;       ///< Above the min-seconds floor.
+  bool regressed = false;
+};
+
+/// The full comparison outcome.
+struct BenchComparison {
+  double scale = 1.0;       ///< Applied to candidate seconds.
+  bool calibrated = false;  ///< Both sides carried `_calibration`.
+  std::vector<BenchCompareRow> rows;
+  /// Candidate-only benchmarks (name, normalized seconds): informational.
+  std::vector<std::pair<std::string, double>> new_entries;
+  /// Baseline benchmarks absent from the candidate: hard failures.
+  std::vector<std::string> missing;
+  int regressions = 0;
+
+  bool ok() const { return regressions == 0 && missing.empty(); }
+};
+
+/// Compares candidate results against the committed baseline under the
+/// policy above. Pure function of its inputs.
+BenchComparison CompareBenchResults(
+    const std::map<std::string, double>& baseline,
+    const std::map<std::string, double>& pr,
+    const BenchCompareOptions& options = BenchCompareOptions());
+
+/// The GitHub-flavored-markdown digest CI appends to $GITHUB_STEP_SUMMARY:
+/// verdict, regression/improvement highlights, new-benchmark notes, full
+/// table.
+std::string BenchComparisonMarkdown(const BenchComparison& comparison,
+                                    const BenchCompareOptions& options);
+
+}  // namespace dlinf
+
+#endif  // DLINF_COMMON_BENCH_COMPARE_H_

@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "common/stopwatch.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 
 namespace dlinf {
 
@@ -20,7 +21,10 @@ ThreadPool::ThreadPool(int num_threads) {
   num_threads = std::max(1, num_threads);
   workers_.reserve(num_threads);
   for (int i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] {
+      obs::prof::RegisterCurrentThread("pool." + std::to_string(i));
+      WorkerLoop();
+    });
   }
 }
 

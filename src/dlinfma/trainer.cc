@@ -10,6 +10,7 @@
 #include "nn/loss.h"
 #include "nn/optimizer.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/structured_log.h"
 #include "obs/trace.h"
 #include "obs/trace_log.h"
@@ -60,6 +61,9 @@ TrainResult TrainLocMatcher(LocMatcher* model,
   CHECK(!val.empty());
   for (const AddressSample& sample : train) CHECK_GE(sample.label, 0);
 
+  // Attribute this thread's samples/tracks to the trainer in profiles and
+  // trace exports (idempotent; the CLI may already have named it "main").
+  obs::prof::RegisterCurrentThread("trainer");
   // The whole run is one trace: epoch spans, checkpoint writes and the
   // train.epoch log lines below all correlate under its id.
   obs::TraceScope trace;

@@ -1,5 +1,7 @@
 #include "obs/trace_log.h"
 
+#include <pthread.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -34,6 +36,7 @@ struct ThreadRing {
   uint32_t tid = 0;
   uint64_t generation = 0;  ///< Recording generation the ring belongs to.
   uint64_t next = 0;        ///< Events written this generation.
+  char name[64] = {0};      ///< SetCurrentThreadName; "" until named.
   std::vector<TraceEvent> slots;
 };
 
@@ -159,6 +162,21 @@ uint64_t NextTraceId() {
   return g_next_trace_id.fetch_add(1, std::memory_order_relaxed);
 }
 
+void SetCurrentThreadName(std::string_view name) {
+  // The kernel limit is 15 chars + NUL; keep the full name for exports.
+  char kernel_name[16];
+  const size_t kernel_length = std::min(name.size(), sizeof(kernel_name) - 1);
+  std::memcpy(kernel_name, name.data(), kernel_length);
+  kernel_name[kernel_length] = '\0';
+  pthread_setname_np(pthread_self(), kernel_name);
+
+  ThreadRing* ring = ThisThreadRing();
+  std::lock_guard<std::mutex> lock(ring->mu);
+  const size_t length = std::min(name.size(), sizeof(ring->name) - 1);
+  std::memcpy(ring->name, name.data(), length);
+  ring->name[length] = '\0';
+}
+
 TraceScope::TraceScope() : TraceScope(0) {}
 
 TraceScope::TraceScope(uint64_t trace_id) {
@@ -215,7 +233,7 @@ double TraceLog::sample_rate() const {
   return g_sample_rate.load(std::memory_order_relaxed);
 }
 
-std::string TraceLog::ExportChromeJson() const {
+void TraceLog::AppendChromeEvents(std::string* out, bool* first) const {
   std::vector<ThreadRing*> rings;
   {
     std::lock_guard<std::mutex> lock(RegistryMutex());
@@ -223,8 +241,28 @@ std::string TraceLog::ExportChromeJson() const {
   }
   const uint64_t generation = g_generation.load(std::memory_order_acquire);
 
-  std::string out = "{\"traceEvents\":[\n";
-  bool first = true;
+  // Metadata first: named tracks render labeled in Perfetto. Unnamed-only
+  // processes emit no metadata at all, keeping legacy exports byte-stable.
+  bool any_named = false;
+  for (ThreadRing* ring : rings) {
+    std::lock_guard<std::mutex> lock(ring->mu);
+    if (ring->name[0] != '\0') any_named = true;
+  }
+  if (any_named) {
+    if (!*first) *out += ",\n";
+    *first = false;
+    *out +=
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+        "\"args\":{\"name\":\"dlinf\"}}";
+    for (ThreadRing* ring : rings) {
+      std::lock_guard<std::mutex> lock(ring->mu);
+      if (ring->name[0] == '\0') continue;
+      *out += ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" +
+              std::to_string(ring->tid) + ",\"args\":{\"name\":\"" +
+              JsonEscapeName(ring->name) + "\"}}";
+    }
+  }
+
   char buffer[192];
   for (ThreadRing* ring : rings) {
     std::lock_guard<std::mutex> lock(ring->mu);
@@ -234,20 +272,30 @@ std::string TraceLog::ExportChromeJson() const {
     const uint64_t begin = ring->next - count;
     for (uint64_t i = 0; i < count; ++i) {
       const TraceEvent& event = ring->slots[(begin + i) % capacity];
-      if (!first) out += ",\n";
-      first = false;
-      out += "{\"name\":\"" + JsonEscapeName(event.name) + "\",\"ph\":\"";
-      out.push_back(event.phase);
-      out += "\",";
-      if (event.phase == 'i') out += "\"s\":\"t\",";
+      if (!*first) *out += ",\n";
+      *first = false;
+      *out += "{\"name\":\"" + JsonEscapeName(event.name) + "\",\"ph\":\"";
+      out->push_back(event.phase);
+      *out += "\",";
+      if (event.phase == 'i') *out += "\"s\":\"t\",";
       std::snprintf(buffer, sizeof(buffer),
                     "\"ts\":%.3f,\"pid\":1,\"tid\":%u,"
                     "\"args\":{\"trace_id\":%llu}}",
                     event.ts_us, ring->tid,
                     static_cast<unsigned long long>(event.trace_id));
-      out += buffer;
+      *out += buffer;
     }
   }
+}
+
+double TraceLog::origin_seconds() const {
+  return g_origin_seconds.load(std::memory_order_relaxed);
+}
+
+std::string TraceLog::ExportChromeJson() const {
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  AppendChromeEvents(&out, &first);
   out += "\n],\"displayTimeUnit\":\"ms\"}\n";
   return out;
 }

@@ -55,6 +55,15 @@ inline bool TracingArmed() {
 /// 0 means "no trace context").
 uint64_t NextTraceId();
 
+/// Names the calling thread for observability: sets the kernel thread name
+/// (`pthread_setname_np`, truncated to the 15-char limit) and attaches the
+/// full name to this thread's trace ring, so Chrome exports emit a
+/// `thread_name` metadata event and Perfetto shows a labeled track instead
+/// of a bare tid. Callers usually go through
+/// `obs::prof::RegisterCurrentThread`, which also registers the thread for
+/// CPU-profile sampling.
+void SetCurrentThreadName(std::string_view name);
+
 /// RAII per-request trace context: sets the calling thread's current trace
 /// id and draws the deterministic sampling decision for it. Nesting is
 /// allowed (the inner scope wins until it closes). When tracing is disarmed
@@ -147,6 +156,18 @@ class TraceLog {
 
   /// Writes ExportChromeJson() to `path`; false on I/O failure.
   bool ExportChromeJson(const std::string& path) const;
+
+  /// Appends the trace events as Chrome trace event objects without the
+  /// `traceEvents` envelope — the building block ExportChromeJson and the
+  /// profiler's combined export share. When at least one thread has been
+  /// named (SetCurrentThreadName), `process_name`/`thread_name` metadata
+  /// events (ph "M") precede the timeline so tracks render labeled.
+  void AppendChromeEvents(std::string* out, bool* first) const;
+
+  /// The monotonic-clock origin (seconds) timestamps are relative to — set
+  /// by Start(), 0 before the first recording. The profiler aligns sample
+  /// timestamps to this in the combined export.
+  double origin_seconds() const;
 
   /// Events currently held across all rings (post-wrap rings report the
   /// ring capacity). Exposed for tests and /tracez.

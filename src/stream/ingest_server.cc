@@ -10,6 +10,7 @@
 
 #include "common/string_util.h"
 #include "fault/fault.h"
+#include "obs/profiler.h"
 #include "io/artifact.h"
 #include "io/codecs.h"
 #include "obs/metrics.h"
@@ -274,6 +275,7 @@ bool IngestServer::Start(std::string* error) {
   apps::HttpServer::Options http_options;
   http_options.port = options_.port;
   http_options.idle_timeout_s = options_.idle_timeout_s;
+  http_options.thread_name = "ingest.loop";
   if (!http_.Start(http_options,
                    [this](const apps::HttpRequest& request,
                           apps::HttpServer::ResponseHandle handle) {
@@ -444,6 +446,7 @@ void IngestServer::HandleRequest(const apps::HttpRequest& request,
 }
 
 void IngestServer::WriterLoop() {
+  obs::prof::RegisterCurrentThread("ingest.writer");
   for (;;) {
     Batch batch;
     {

@@ -1,0 +1,137 @@
+// Tests for the benchmark-regression comparison policy
+// (src/common/bench_compare.h): missing-vs-new asymmetry, regression
+// detection, calibration normalization, the min-seconds floor, and the
+// markdown digest.
+
+#include "common/bench_compare.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+namespace dlinf {
+namespace {
+
+using Results = std::map<std::string, double>;
+
+TEST(BenchCompareTest, IdenticalResultsPass) {
+  const Results both = {{"a", 1.0}, {"b", 0.5}};
+  const BenchComparison comparison = CompareBenchResults(both, both);
+  EXPECT_TRUE(comparison.ok());
+  EXPECT_EQ(comparison.regressions, 0);
+  EXPECT_TRUE(comparison.missing.empty());
+  EXPECT_TRUE(comparison.new_entries.empty());
+  ASSERT_EQ(comparison.rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(comparison.rows[0].ratio, 1.0);
+}
+
+TEST(BenchCompareTest, MixedKeysNewIsInformationalMissingIsFailure) {
+  // The satellite case: candidate adds `profiler.overhead` (new key, not in
+  // the committed baseline) while also dropping `b` (baseline key gone).
+  const Results baseline = {{"a", 1.0}, {"b", 0.5}};
+  const Results pr = {{"a", 1.0}, {"profiler.overhead", 0.2}};
+  const BenchComparison comparison = CompareBenchResults(baseline, pr);
+
+  ASSERT_EQ(comparison.missing.size(), 1u);
+  EXPECT_EQ(comparison.missing[0], "b");
+  ASSERT_EQ(comparison.new_entries.size(), 1u);
+  EXPECT_EQ(comparison.new_entries[0].first, "profiler.overhead");
+  EXPECT_DOUBLE_EQ(comparison.new_entries[0].second, 0.2);
+  EXPECT_FALSE(comparison.ok());  // Because of the missing key only.
+
+  // Without the drop, a candidate-only key alone must pass.
+  const Results pr_additive = {{"a", 1.0}, {"b", 0.5},
+                               {"profiler.overhead", 0.2}};
+  const BenchComparison additive = CompareBenchResults(baseline, pr_additive);
+  EXPECT_TRUE(additive.ok());
+  ASSERT_EQ(additive.new_entries.size(), 1u);
+  EXPECT_EQ(additive.regressions, 0);
+}
+
+TEST(BenchCompareTest, RegressionBeyondThresholdFails) {
+  const Results baseline = {{"a", 1.0}};
+  const Results pr = {{"a", 1.30}};
+  BenchCompareOptions options;
+  options.threshold = 0.25;
+  const BenchComparison comparison =
+      CompareBenchResults(baseline, pr, options);
+  EXPECT_FALSE(comparison.ok());
+  EXPECT_EQ(comparison.regressions, 1);
+  ASSERT_EQ(comparison.rows.size(), 1u);
+  EXPECT_TRUE(comparison.rows[0].regressed);
+  EXPECT_NEAR(comparison.rows[0].ratio, 1.30, 1e-9);
+
+  // Just inside the band passes.
+  const Results pr_ok = {{"a", 1.24}};
+  EXPECT_TRUE(CompareBenchResults(baseline, pr_ok, options).ok());
+}
+
+TEST(BenchCompareTest, CalibrationNormalizesMachineSpeed) {
+  // Candidate machine is 2x slower (calibration 0.2 vs 0.1): its 2.2s run
+  // normalizes to 1.1s, within the 25% band of the 1.0s baseline.
+  const Results baseline = {{"_calibration", 0.1}, {"a", 1.0}};
+  const Results pr = {{"_calibration", 0.2}, {"a", 2.2}};
+  const BenchComparison comparison = CompareBenchResults(baseline, pr);
+  EXPECT_TRUE(comparison.calibrated);
+  EXPECT_DOUBLE_EQ(comparison.scale, 0.5);
+  EXPECT_TRUE(comparison.ok());
+  ASSERT_EQ(comparison.rows.size(), 1u);  // _calibration is not a row.
+  EXPECT_NEAR(comparison.rows[0].pr_seconds, 1.1, 1e-9);
+
+  // Calibration on one side only: raw comparison, and the 2.2s run fails.
+  const Results pr_uncal = {{"a", 2.2}};
+  const BenchComparison uncal = CompareBenchResults(baseline, pr_uncal);
+  EXPECT_FALSE(uncal.calibrated);
+  EXPECT_FALSE(uncal.ok());
+}
+
+TEST(BenchCompareTest, MinSecondsFloorExemptsFromRatioCheck) {
+  // 10x slower but the baseline is below the 1ms floor: present, not gated.
+  const Results baseline = {{"tiny", 0.0001}, {"big", 1.0}};
+  const Results pr = {{"tiny", 0.001}, {"big", 1.0}};
+  const BenchComparison comparison = CompareBenchResults(baseline, pr);
+  EXPECT_TRUE(comparison.ok());
+  for (const BenchCompareRow& row : comparison.rows) {
+    if (row.name == "tiny") {
+      EXPECT_FALSE(row.gated);
+      EXPECT_FALSE(row.regressed);
+    } else {
+      EXPECT_TRUE(row.gated);
+    }
+  }
+  // The floor does not exempt from presence: dropping `tiny` still fails.
+  const Results pr_dropped = {{"big", 1.0}};
+  EXPECT_FALSE(CompareBenchResults(baseline, pr_dropped).ok());
+}
+
+TEST(BenchCompareTest, MarkdownDigestCoversAllOutcomeKinds) {
+  const Results baseline = {{"gone", 1.0}, {"slow", 1.0}, {"fast", 1.0}};
+  const Results pr = {{"slow", 2.0}, {"fast", 0.5}, {"brand.new", 0.3}};
+  const BenchCompareOptions options;
+  const BenchComparison comparison =
+      CompareBenchResults(baseline, pr, options);
+  const std::string markdown = BenchComparisonMarkdown(comparison, options);
+
+  EXPECT_NE(markdown.find("**FAIL**"), std::string::npos);
+  EXPECT_NE(markdown.find("`gone` **missing from PR results**"),
+            std::string::npos);
+  EXPECT_NE(markdown.find("`slow` **100% slower**"), std::string::npos);
+  EXPECT_NE(markdown.find("`fast` **50% faster**"), std::string::npos);
+  // The new-key note says why it is not a failure.
+  EXPECT_NE(markdown.find("`brand.new`"), std::string::npos);
+  EXPECT_NE(markdown.find("no baseline yet"), std::string::npos);
+  // Table rows include the new entry with a "new" ratio cell.
+  EXPECT_NE(markdown.find("| `brand.new` | - | 0.3000 | new |"),
+            std::string::npos);
+
+  // All-green digest.
+  const Results clean = {{"a", 1.0}};
+  const BenchComparison ok_cmp = CompareBenchResults(clean, clean, options);
+  const std::string ok_md = BenchComparisonMarkdown(ok_cmp, options);
+  EXPECT_EQ(ok_md.find("**FAIL**"), std::string::npos);
+  EXPECT_NE(ok_md.find("within +25% of baseline"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dlinf

@@ -567,6 +567,65 @@ TEST(QueryEngineTest, MetricsExposePerShardLabeledSeries) {
       << body;
 }
 
+/// Reads one response and returns the echoed x-request-id header ("" when
+/// absent). Header names come back lowercased from ReadResponse.
+std::string ReadRequestIdEcho(HttpClient* client, int* status,
+                              std::string* body) {
+  std::vector<std::pair<std::string, std::string>> headers;
+  if (!client->ReadResponse(status, &headers, body)) return "";
+  for (const auto& [name, value] : headers) {
+    if (name == "x-request-id") return value;
+  }
+  return "";
+}
+
+TEST(QueryEngineTest, RequestIdIsEchoedAndGenerated) {
+  std::unique_ptr<QueryEngine> engine = MakeEngine();
+  ASSERT_NE(engine, nullptr);
+
+  HttpClient client;
+  ASSERT_TRUE(client.Connect(engine->port()));
+  int status = 0;
+  std::string body;
+
+  // A caller-supplied id echoes back verbatim, body unchanged.
+  ASSERT_TRUE(client.SendRaw(
+      "GET /query?address_id=1 HTTP/1.1\r\nHost: localhost\r\n"
+      "X-Request-Id: req-abc-123\r\n\r\n"));
+  EXPECT_EQ(ReadRequestIdEcho(&client, &status, &body), "req-abc-123");
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(body, ExpectedBody(*engine, 1));
+
+  // A numeric id is adopted as the trace id and still echoes verbatim.
+  ASSERT_TRUE(client.SendRaw(
+      "GET /query?address_id=2 HTTP/1.1\r\nHost: localhost\r\n"
+      "X-Request-Id: 0xdeadbeef\r\n\r\n"));
+  EXPECT_EQ(ReadRequestIdEcho(&client, &status, &body), "0xdeadbeef");
+  EXPECT_EQ(status, 200);
+
+  // No id supplied: the engine generates a 16-hex one.
+  ASSERT_TRUE(client.SendGet("/query?address_id=3"));
+  const std::string generated = ReadRequestIdEcho(&client, &status, &body);
+  EXPECT_EQ(status, 200);
+  ASSERT_EQ(generated.size(), 16u) << generated;
+  EXPECT_EQ(generated.find_first_not_of("0123456789abcdef"),
+            std::string::npos);
+
+  // Two generated ids differ (they seed from a global counter).
+  ASSERT_TRUE(client.SendGet("/query?address_id=3"));
+  EXPECT_NE(ReadRequestIdEcho(&client, &status, &body), generated);
+
+  // The batch path echoes too (response assembled across shard slices).
+  const std::string batch_body = "{\"address_ids\":[1,2,3]}";
+  ASSERT_TRUE(client.SendRaw(
+      "POST /query_batch HTTP/1.1\r\nHost: localhost\r\n"
+      "X-Request-Id: batch-7\r\n"
+      "Content-Type: application/json\r\nContent-Length: " +
+      std::to_string(batch_body.size()) + "\r\n\r\n" + batch_body));
+  EXPECT_EQ(ReadRequestIdEcho(&client, &status, &body), "batch-7");
+  EXPECT_EQ(status, 200);
+}
+
 }  // namespace
 }  // namespace apps
 }  // namespace dlinf

@@ -307,6 +307,34 @@ TEST(TraceLogTest, ExportToFileRoundTrips) {
   EXPECT_EQ(contents.str(), in_memory);
 }
 
+// Kept last in this file: ring names persist for the process lifetime, so
+// every export after this point carries 'M' metadata when the binary is run
+// directly (under ctest each test is its own process).
+TEST(TraceLogTest, NamedThreadsEmitChromeMetadataEvents) {
+  TraceLog::Global().Start(1.0);
+  SetCurrentThreadName("trace.metadata");
+  TraceInstant("named.mark");
+  const std::string json = TraceLog::Global().ExportChromeJson();
+  TraceLog::Global().Stop();
+
+  // Naming a thread turns on the 'M' preamble: one process_name for the
+  // span timeline plus a thread_name per named ring.
+  EXPECT_NE(json.find("\"name\":\"process_name\",\"ph\":\"M\""),
+            std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  EXPECT_NE(json.find("trace.metadata"), std::string::npos);
+
+  const std::vector<ParsedEvent> events = ParseExport(json);
+  int metadata = 0;
+  int instants = 0;
+  for (const ParsedEvent& event : events) {
+    if (event.phase == 'M') ++metadata;
+    if (event.phase == 'i') ++instants;
+  }
+  EXPECT_GE(metadata, 2);  // process_name + at least this thread's name.
+  EXPECT_EQ(instants, 1);
+}
+
 }  // namespace
 }  // namespace obs
 }  // namespace dlinf

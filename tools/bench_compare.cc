@@ -9,7 +9,10 @@
 // (default 25%) slower; exit status 1 otherwise. Benchmarks whose baseline
 // time is below `min-seconds` (default 1 ms) must still be present but are
 // exempt from the ratio check — timer noise dominates a 25% band at
-// microsecond scale.
+// microsecond scale. A benchmark present only in the PR results is **new**
+// (e.g. a freshly added microbench whose key the committed baseline does not
+// carry yet): reported informationally, never a failure, so adding keys
+// does not require a lockstep baseline regen.
 //
 // Machine differences: each results file carries a `_calibration` entry —
 // the wall time of a fixed CPU-bound workload on the machine that produced
@@ -20,86 +23,31 @@
 // compared.
 //
 // --summary FILE additionally writes a GitHub-flavored-markdown digest
-// (regressions first, then ">NN% faster" improvement lines, then the full
-// table) — CI appends it to $GITHUB_STEP_SUMMARY so the comparison is
-// readable from the run page without digging through logs.
+// (regressions first, then ">NN% faster" improvement lines and new-key
+// notes, then the full table) — CI appends it to $GITHUB_STEP_SUMMARY so
+// the comparison is readable from the run page without digging through
+// logs.
+//
+// The comparison policy itself lives in src/common/bench_compare.{h,cc}
+// (unit-tested in tests/bench_compare_test.cc); this binary is flag
+// parsing, file I/O and console rendering.
 
 #include <cstdio>
-#include <cstring>
-#include <map>
+#include <cstdlib>
 #include <optional>
 #include <string>
-#include <vector>
 
+#include "common/bench_compare.h"
 #include "common/flat_json.h"
 
 namespace {
-
-/// The calibration key is metadata, not a benchmark.
-constexpr char kCalibrationKey[] = "_calibration";
 
 struct Options {
   std::string baseline_path;
   std::string pr_path;
   std::string summary_path;
-  double threshold = 0.25;
-  double min_seconds = 0.001;
+  dlinf::BenchCompareOptions compare;
 };
-
-/// One compared benchmark, for the markdown summary.
-struct Row {
-  std::string name;
-  double base_seconds = 0.0;
-  double pr_seconds = 0.0;  // Calibration-normalized.
-  double ratio = 1.0;
-  bool gated = false;  // Above the min-seconds floor.
-  bool regressed = false;
-};
-
-/// Writes the markdown digest: regressions, then improvements beyond the
-/// threshold, then the full comparison table.
-bool WriteSummary(const std::string& path, const Options& options,
-                  const std::vector<Row>& rows, int missing) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return false;
-  std::fprintf(f, "### Benchmark comparison\n\n");
-
-  int regressions = 0;
-  for (const Row& r : rows) regressions += r.regressed ? 1 : 0;
-  if (regressions > 0 || missing > 0) {
-    std::fprintf(f, "**FAIL**: %d regression(s) beyond +%.0f%%, %d missing "
-                 "benchmark(s)\n\n", regressions, options.threshold * 100.0,
-                 missing);
-  } else {
-    std::fprintf(f, "All benchmarks within +%.0f%% of baseline.\n\n",
-                 options.threshold * 100.0);
-  }
-
-  for (const Row& r : rows) {
-    if (r.regressed) {
-      std::fprintf(f, "- :red_circle: `%s` **%.0f%% slower** (%.4fs -> "
-                   "%.4fs)\n", r.name.c_str(), (r.ratio - 1.0) * 100.0,
-                   r.base_seconds, r.pr_seconds);
-    }
-  }
-  for (const Row& r : rows) {
-    if (r.gated && !r.regressed && r.ratio < 1.0 - options.threshold) {
-      std::fprintf(f, "- :zap: `%s` **%.0f%% faster** (%.4fs -> %.4fs)\n",
-                   r.name.c_str(), (1.0 - r.ratio) * 100.0, r.base_seconds,
-                   r.pr_seconds);
-    }
-  }
-
-  std::fprintf(f, "\n| benchmark | baseline(s) | pr(s) | ratio |\n");
-  std::fprintf(f, "|---|---:|---:|---:|\n");
-  for (const Row& r : rows) {
-    std::fprintf(f, "| `%s` | %.4f | %.4f | %.3f%s |\n", r.name.c_str(),
-                 r.base_seconds, r.pr_seconds, r.ratio,
-                 r.gated ? "" : " (not gated)");
-  }
-  std::fclose(f);
-  return true;
-}
 
 std::optional<Options> ParseArgs(int argc, char** argv) {
   Options options;
@@ -111,9 +59,9 @@ std::optional<Options> ParseArgs(int argc, char** argv) {
     } else if (arg == "--pr" && has_value) {
       options.pr_path = argv[++i];
     } else if (arg == "--threshold" && has_value) {
-      options.threshold = std::strtod(argv[++i], nullptr);
+      options.compare.threshold = std::strtod(argv[++i], nullptr);
     } else if (arg == "--min-seconds" && has_value) {
-      options.min_seconds = std::strtod(argv[++i], nullptr);
+      options.compare.min_seconds = std::strtod(argv[++i], nullptr);
     } else if (arg == "--summary" && has_value) {
       options.summary_path = argv[++i];
     } else {
@@ -122,7 +70,7 @@ std::optional<Options> ParseArgs(int argc, char** argv) {
     }
   }
   if (options.baseline_path.empty() || options.pr_path.empty() ||
-      options.threshold <= 0.0) {
+      options.compare.threshold <= 0.0) {
     std::fprintf(stderr,
                  "usage: bench_compare --baseline FILE --pr FILE "
                  "[--threshold 0.25]\n");
@@ -150,72 +98,58 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  // Normalization factor applied to PR seconds before comparing.
-  double scale = 1.0;
-  const auto base_cal = baseline->find(kCalibrationKey);
-  const auto pr_cal = pr->find(kCalibrationKey);
-  if (base_cal != baseline->end() && pr_cal != pr->end() &&
-      base_cal->second > 0.0 && pr_cal->second > 0.0) {
-    scale = base_cal->second / pr_cal->second;
-    std::printf(
-        "calibration: baseline %.4fs, pr %.4fs -> scaling pr times by "
-        "%.3f\n",
-        base_cal->second, pr_cal->second, scale);
+  const dlinf::BenchComparison comparison =
+      dlinf::CompareBenchResults(*baseline, *pr, options->compare);
+  if (comparison.calibrated) {
+    std::printf("calibration: scaling pr times by %.3f\n", comparison.scale);
   } else {
     std::printf("calibration: absent in one side; comparing raw seconds\n");
   }
 
-  int regressions = 0;
-  int missing = 0;
-  std::vector<Row> rows;
   std::printf("%-40s %12s %12s %8s\n", "benchmark", "baseline(s)", "pr(s)",
               "ratio");
-  for (const auto& [name, base_seconds] : *baseline) {
-    if (name == kCalibrationKey) continue;
-    const auto it = pr->find(name);
-    if (it == pr->end()) {
-      std::printf("%-40s %12.4f %12s %8s  MISSING\n", name.c_str(),
-                  base_seconds, "-", "-");
-      ++missing;
-      continue;
-    }
-    Row row;
-    row.name = name;
-    row.base_seconds = base_seconds;
-    row.pr_seconds = it->second * scale;
-    row.ratio = base_seconds > 0.0 ? row.pr_seconds / base_seconds : 1.0;
-    row.gated = base_seconds >= options->min_seconds;
-    row.regressed = row.gated && row.ratio > 1.0 + options->threshold;
-    std::printf("%-40s %12.4f %12.4f %8.3f%s\n", name.c_str(), base_seconds,
-                row.pr_seconds, row.ratio,
-                row.regressed ? "  REGRESSION"
-                              : (row.gated ? ""
-                                           : "  (below floor, not gated)"));
-    if (row.regressed) ++regressions;
-    rows.push_back(row);
+  for (const std::string& name : comparison.missing) {
+    std::printf("%-40s %12s %12s %8s  MISSING\n", name.c_str(), "-", "-",
+                "-");
   }
-  for (const auto& [name, pr_seconds] : *pr) {
-    if (name != kCalibrationKey && baseline->count(name) == 0) {
-      std::printf("%-40s %12s %12.4f %8s  (new, no baseline)\n",
-                  name.c_str(), "-", pr_seconds * scale, "-");
+  for (const dlinf::BenchCompareRow& row : comparison.rows) {
+    std::printf("%-40s %12.4f %12.4f %8.3f%s\n", row.name.c_str(),
+                row.base_seconds, row.pr_seconds, row.ratio,
+                row.regressed
+                    ? "  REGRESSION"
+                    : (row.gated ? "" : "  (below floor, not gated)"));
+  }
+  for (const auto& [name, seconds] : comparison.new_entries) {
+    std::printf("%-40s %12s %12.4f %8s  (new, no baseline)\n", name.c_str(),
+                "-", seconds, "-");
+  }
+
+  if (!options->summary_path.empty()) {
+    const std::string markdown =
+        dlinf::BenchComparisonMarkdown(comparison, options->compare);
+    std::FILE* f = std::fopen(options->summary_path.c_str(), "w");
+    const bool written =
+        f != nullptr &&
+        std::fwrite(markdown.data(), 1, markdown.size(), f) ==
+            markdown.size();
+    if (f != nullptr) std::fclose(f);
+    if (!written) {
+      std::fprintf(stderr, "error: cannot write summary %s\n",
+                   options->summary_path.c_str());
+      return 2;
     }
   }
 
-  if (!options->summary_path.empty() &&
-      !WriteSummary(options->summary_path, *options, rows, missing)) {
-    std::fprintf(stderr, "error: cannot write summary %s\n",
-                 options->summary_path.c_str());
-    return 2;
-  }
-
-  if (regressions > 0 || missing > 0) {
+  if (!comparison.ok()) {
     std::fprintf(stderr,
                  "FAIL: %d regression(s) beyond +%.0f%%, %d missing "
                  "benchmark(s)\n",
-                 regressions, options->threshold * 100.0, missing);
+                 comparison.regressions,
+                 options->compare.threshold * 100.0,
+                 static_cast<int>(comparison.missing.size()));
     return 1;
   }
   std::printf("OK: all benchmarks within +%.0f%% of baseline\n",
-              options->threshold * 100.0);
+              options->compare.threshold * 100.0);
   return 0;
 }

@@ -107,6 +107,12 @@
 //     --log-json [FILE]  emit structured JSON-lines telemetry (per-epoch
 //                        training stats, reload transitions, degradation
 //                        warnings) to FILE, or stderr when no FILE given.
+//     --profile-out FILE arm the sampling CPU profiler (DESIGN.md §15) for
+//                        the whole command and write the collapsed-stack
+//                        ("folded") profile to FILE on exit — feed it to
+//                        flamegraph.pl. FILE ending in .json writes the
+//                        Chrome-trace merge (samples + spans) instead.
+//     --profile-hz H     sampling rate for --profile-out (default 99).
 
 #include <algorithm>
 #include <chrono>
@@ -136,6 +142,7 @@
 #include "io/checkpoint.h"
 #include "nn/kernels.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/structured_log.h"
 #include "obs/trace_log.h"
 #include "sim/generator.h"
@@ -1022,6 +1029,20 @@ int main(int argc, char** argv) {
   if (trace_out != flags.end() && trace_out->second != "true") {
     obs::TraceLog::Global().Start(/*sample_rate=*/1.0);
   }
+  const auto profile_out = flags.find("profile-out");
+  if (profile_out != flags.end() && profile_out->second != "true") {
+    obs::prof::RegisterCurrentThread("main");
+    obs::prof::CpuProfiler::Options profile_options;
+    if (auto hz = flags.find("profile-hz"); hz != flags.end()) {
+      profile_options.hz = std::stoi(hz->second);
+    }
+    std::string error;
+    if (!obs::prof::CpuProfiler::Global().Start(profile_options, &error)) {
+      std::fprintf(stderr, "error: cannot start profiler: %s\n",
+                   error.c_str());
+      return 1;
+    }
+  }
 
   // Which nn/ kernel path this process dispatched to (DESIGN.md §12) —
   // first thing in every structured log, so a perf report from the field
@@ -1062,6 +1083,34 @@ int main(int argc, char** argv) {
     } else if (!registry.DumpJson(it->second)) {
       std::fprintf(stderr, "error: cannot write metrics to %s\n",
                    it->second.c_str());
+      if (status == 0) status = 1;
+    }
+  }
+  if (profile_out != flags.end() && profile_out->second != "true") {
+    obs::prof::CpuProfiler& profiler = obs::prof::CpuProfiler::Global();
+    profiler.Stop();
+    const std::string& path = profile_out->second;
+    const bool chrome =
+        path.size() > 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+    bool written = false;
+    if (chrome) {
+      std::FILE* file = std::fopen(path.c_str(), "w");
+      if (file != nullptr) {
+        const std::string json = obs::prof::ExportCombinedChromeJson();
+        const bool full =
+            std::fwrite(json.data(), 1, json.size(), file) == json.size();
+        written = std::fclose(file) == 0 && full;
+      }
+    } else {
+      written = profiler.ExportFolded(path);
+    }
+    if (written) {
+      std::fprintf(stderr, "profile: %lld samples @ %d Hz -> %s\n",
+                   static_cast<long long>(profiler.sample_count()),
+                   profiler.hz(), path.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write profile to %s\n",
+                   path.c_str());
       if (status == 0) status = 1;
     }
   }
